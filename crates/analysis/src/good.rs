@@ -1,0 +1,310 @@
+//! Exponential annuli and Definition 1's *good nodes*.
+
+use fading_channel::NodeId;
+use fading_geom::{GridIndex, Point};
+
+use crate::LinkClasses;
+
+/// The number of **active** nodes in the exponential annulus `A^i_t(u)`:
+/// nodes at distance in `(unit·2^t·2^i, unit·2^{t+1}·2^i]` from `u` — i.e.
+/// `B(u, 2^{t+1}·2^i) \ B(u, 2^t·2^i)` in the paper's normalized units
+/// (the paper sets the shortest link to 1; `unit` carries that scale for
+/// unnormalized deployments).
+///
+/// `index` must be built over the positions of the *active* nodes only;
+/// `u_pos` is the center (whether or not it is itself indexed — a node never
+/// counts itself because its distance is 0, inside the excluded inner ball).
+#[must_use]
+pub fn annulus_count(index: &GridIndex, u_pos: Point, unit: f64, i: u32, t: u32) -> usize {
+    let inner = unit * 2f64.powi(t as i32) * 2f64.powi(i as i32);
+    let outer = 2.0 * inner;
+    index.count_in_annulus(u_pos, inner, outer)
+}
+
+/// Definition 1's per-annulus budget: a node of class `d_i` is *good* if
+/// every annulus `A^i_t(u)` holds at most `96·2^{t(α−ε)}` active nodes,
+/// where `ε = α/2 − 1` (so `α − ε = α/2 + 1`).
+///
+/// The slack between this `2^{t(α/2+1)}` budget and the `Θ(2^{2t})` area
+/// growth of the annulus is exactly the paper's "spatial reuse gap": it is
+/// positive iff `α > 2`.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 2` (the fading model's standing assumption).
+///
+/// # Example
+///
+/// ```
+/// use fading_analysis::good_threshold;
+/// // α = 3 → ε = 0.5, budget 96·2^{2.5·t}.
+/// assert_eq!(good_threshold(3.0, 0), 96.0);
+/// assert!((good_threshold(3.0, 1) - 96.0 * 2f64.powf(2.5)).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn good_threshold(alpha: f64, t: u32) -> f64 {
+    assert!(alpha > 2.0, "the fading model requires alpha > 2");
+    let eps = alpha / 2.0 - 1.0;
+    96.0 * 2f64.powf(f64::from(t) * (alpha - eps))
+}
+
+/// Good-node classification for one round snapshot.
+///
+/// Built from a [`LinkClasses`] partition; classifies every classed node as
+/// good or not per Definition 1, scanning annuli `t = 0, 1, …` until the
+/// inner radius exceeds the farthest active node (beyond which annuli are
+/// empty and the budget holds trivially).
+///
+/// # Example
+///
+/// ```
+/// use fading_analysis::{GoodNodes, LinkClasses};
+/// use fading_geom::{Deployment, Point};
+///
+/// let d = Deployment::from_points(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(40.0, 0.0),
+///     Point::new(41.0, 0.0),
+/// ]).unwrap();
+/// let active: Vec<usize> = (0..4).collect();
+/// let classes = LinkClasses::partition(d.points(), &active, 1.0);
+/// let good = GoodNodes::classify(d.points(), &active, &classes, 3.0);
+/// // Four well-separated nodes: everyone is good.
+/// assert_eq!(good.good_fraction(0), 1.0);
+/// assert!(good.is_good(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GoodNodes {
+    good: Vec<bool>,
+    /// Good member count per class index.
+    good_per_class: Vec<usize>,
+    total_per_class: Vec<usize>,
+}
+
+impl GoodNodes {
+    /// Classifies every active, classed node.
+    ///
+    /// `positions` is indexed by node id; `active` and `classes` must come
+    /// from the same round snapshot; `alpha > 2` is the path-loss exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 2`.
+    #[must_use]
+    pub fn classify(
+        positions: &[Point],
+        active: &[NodeId],
+        classes: &LinkClasses,
+        alpha: f64,
+    ) -> Self {
+        assert!(alpha > 2.0, "the fading model requires alpha > 2");
+        let n = positions.len();
+        let unit = classes.unit();
+        let mut good = vec![false; n];
+        let num_classes = classes.num_classes();
+        let mut good_per_class = vec![0usize; num_classes];
+        let mut total_per_class = vec![0usize; num_classes];
+
+        let active_points: Vec<Point> = active.iter().map(|&id| positions[id]).collect();
+        let index = GridIndex::build(&active_points);
+        // Farthest possible distance between active nodes bounds the annuli.
+        let span = index.bbox().min().distance(index.bbox().max());
+
+        for &u in active {
+            let Some(i) = classes.class_of(u) else {
+                continue;
+            };
+            total_per_class[i] += 1;
+            let mut ok = true;
+            let mut t: u32 = 0;
+            loop {
+                let inner = unit * 2f64.powi(t as i32) * 2f64.powi(i as i32);
+                if inner > span {
+                    break; // Annulus beyond the network: empty, trivially fine.
+                }
+                let count = annulus_count(&index, positions[u], unit, i as u32, t);
+                if (count as f64) > good_threshold(alpha, t) {
+                    ok = false;
+                    break;
+                }
+                t += 1;
+            }
+            if ok {
+                good[u] = true;
+                good_per_class[i] += 1;
+            }
+        }
+        GoodNodes {
+            good,
+            good_per_class,
+            total_per_class,
+        }
+    }
+
+    /// Whether node `u` is good (always `false` for unclassed nodes).
+    #[must_use]
+    pub fn is_good(&self, u: NodeId) -> bool {
+        self.good.get(u).copied().unwrap_or(false)
+    }
+
+    /// Number of good nodes in class `d_i`.
+    #[must_use]
+    pub fn good_count(&self, i: usize) -> usize {
+        self.good_per_class.get(i).copied().unwrap_or(0)
+    }
+
+    /// Fraction of class `d_i` that is good (1.0 for an empty class, by the
+    /// convention that an empty class vacuously satisfies Lemma 6).
+    #[must_use]
+    pub fn good_fraction(&self, i: usize) -> f64 {
+        let total = self.total_per_class.get(i).copied().unwrap_or(0);
+        if total == 0 {
+            1.0
+        } else {
+            self.good_count(i) as f64 / total as f64
+        }
+    }
+
+    /// Ids of the good nodes in class `d_i`, drawn from `classes`.
+    #[must_use]
+    pub fn good_members(&self, classes: &LinkClasses, i: usize) -> Vec<NodeId> {
+        classes
+            .members(i)
+            .iter()
+            .copied()
+            .filter(|&u| self.is_good(u))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn threshold_grows_with_alpha_minus_eps() {
+        // α = 4 → ε = 1, exponent α − ε = 3: budget 96·8^t.
+        assert_eq!(good_threshold(4.0, 0), 96.0);
+        assert_eq!(good_threshold(4.0, 1), 96.0 * 8.0);
+        assert_eq!(good_threshold(4.0, 2), 96.0 * 64.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > 2")]
+    fn threshold_rejects_alpha_two() {
+        let _ = good_threshold(2.0, 0);
+    }
+
+    #[test]
+    fn annulus_count_boundaries() {
+        // Points at distances 1, 2, 3, 4, 5 from origin.
+        let positions: Vec<Point> = (1..=5).map(|k| Point::new(f64::from(k), 0.0)).collect();
+        let index = GridIndex::build(&positions);
+        // i = 0, t = 0: annulus (1, 2] → the point at distance 2.
+        assert_eq!(annulus_count(&index, Point::ORIGIN, 1.0, 0, 0), 1);
+        // i = 0, t = 1: annulus (2, 4] → distances 3 and 4.
+        assert_eq!(annulus_count(&index, Point::ORIGIN, 1.0, 0, 1), 2);
+        // i = 1, t = 0: annulus (2, 4] again (inner 2^1).
+        assert_eq!(annulus_count(&index, Point::ORIGIN, 1.0, 1, 0), 2);
+        // Halving the unit halves all radii: annulus (0.5, 1] → distance 1.
+        assert_eq!(annulus_count(&index, Point::ORIGIN, 0.5, 0, 0), 1);
+    }
+
+    #[test]
+    fn sparse_nodes_are_good() {
+        let positions = pts(&[(0.0, 0.0), (1.0, 0.0), (50.0, 50.0), (51.0, 50.0)]);
+        let active = vec![0, 1, 2, 3];
+        let classes = LinkClasses::partition(&positions, &active, 1.0);
+        let good = GoodNodes::classify(&positions, &active, &classes, 3.0);
+        for u in 0..4 {
+            assert!(good.is_good(u), "node {u}");
+        }
+        assert_eq!(good.good_count(0), 4);
+        assert_eq!(good.good_fraction(0), 1.0);
+    }
+
+    /// Build the canonical bad-node configuration: a class-4 node whose
+    /// first annulus is stuffed with more than 96 class-0 nodes.
+    fn bad_node_configuration() -> (Vec<Point>, Vec<NodeId>) {
+        let mut coords = vec![(0.0, 0.0), (16.0, 0.0)]; // u and its partner: class 4
+                                                        // An 11×11 unit-spaced cluster centered at (24, 60): distances from
+                                                        // u = sqrt(24² + 60²) ≈ 64.6 … no — keep it inside u's t=0 annulus
+                                                        // (16, 32]: center the cluster at (0, 24), radius ≤ 7.
+        for r in 0..11 {
+            for c in 0..11 {
+                coords.push((f64::from(c) - 5.0, 24.0 + f64::from(r) - 5.0));
+            }
+        }
+        let positions = pts(&coords);
+        let active: Vec<NodeId> = (0..positions.len()).collect();
+        (positions, active)
+    }
+
+    #[test]
+    fn overloaded_annulus_is_not_good() {
+        let (positions, active) = bad_node_configuration();
+        let classes = LinkClasses::partition(&positions, &active, 1.0);
+        // u's nearest neighbor is the partner at 16 (cluster is ≥ 17.1 away):
+        // class 4. Its t = 0 annulus (16, 32] contains all 121 cluster
+        // nodes > 96 budget → u is bad.
+        assert_eq!(classes.class_of(0), Some(4));
+        let good = GoodNodes::classify(&positions, &active, &classes, 3.0);
+        assert!(!good.is_good(0), "overloaded node was classified good");
+        // The cluster nodes themselves (class 0, ≤ a handful of neighbors
+        // per annulus rung) are good.
+        let cluster_good = (2..positions.len()).filter(|&u| good.is_good(u)).count();
+        assert_eq!(cluster_good, positions.len() - 2);
+    }
+
+    #[test]
+    fn good_counts_per_class_are_consistent() {
+        let (positions, active) = bad_node_configuration();
+        let classes = LinkClasses::partition(&positions, &active, 1.0);
+        let good = GoodNodes::classify(&positions, &active, &classes, 3.0);
+        for i in 0..classes.num_classes() {
+            let by_filter = good.good_members(&classes, i).len();
+            assert_eq!(by_filter, good.good_count(i), "class {i}");
+            assert!(good.good_count(i) <= classes.count(i));
+        }
+    }
+
+    #[test]
+    fn larger_alpha_is_more_permissive() {
+        // The same configuration that is bad at α barely above 2 can be good
+        // at large α (budget 96·2^{t(α/2+1)} grows with α).
+        let (positions, active) = bad_node_configuration();
+        let classes = LinkClasses::partition(&positions, &active, 1.0);
+        let strict = GoodNodes::classify(&positions, &active, &classes, 2.2);
+        let lax = GoodNodes::classify(&positions, &active, &classes, 6.0);
+        let strict_good: usize = (0..classes.num_classes())
+            .map(|i| strict.good_count(i))
+            .sum();
+        let lax_good: usize = (0..classes.num_classes()).map(|i| lax.good_count(i)).sum();
+        assert!(lax_good >= strict_good);
+    }
+
+    #[test]
+    fn good_members_filters_class_list() {
+        let positions = pts(&[(0.0, 0.0), (1.0, 0.0), (30.0, 0.0), (31.0, 0.0)]);
+        let active = vec![0, 1, 2, 3];
+        let classes = LinkClasses::partition(&positions, &active, 1.0);
+        let good = GoodNodes::classify(&positions, &active, &classes, 2.5);
+        let members = good.good_members(&classes, 0);
+        assert_eq!(members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_class_fraction_is_one() {
+        let positions = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let active = vec![0, 1];
+        let classes = LinkClasses::partition(&positions, &active, 1.0);
+        let good = GoodNodes::classify(&positions, &active, &classes, 3.0);
+        assert_eq!(good.good_fraction(7), 1.0);
+        assert_eq!(good.good_count(7), 0);
+    }
+}

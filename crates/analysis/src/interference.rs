@@ -1,0 +1,336 @@
+//! Interference accounting at the nodes of `S_i` (Lemmas 3 and 4).
+//!
+//! The heart of §3.2: a member `u ∈ S_i` with partner `v` is knocked out in
+//! a round where `v` transmits, `u` listens, and the total interference at
+//! `u` stays below `c·P/(unit·2^i)^α`. Lemma 3 bounds the *outside*
+//! interference (transmitters not in `S_i ∪ T_i`) with high probability in
+//! `|S_i|`; Lemma 4 bounds the *inside* interference (other members and
+//! partners) deterministically, even if all of them transmit at once.
+//!
+//! This module measures both quantities on concrete round snapshots so the
+//! lemmas can be validated numerically.
+
+use fading_channel::{pow_alpha, NodeId, SinrParams};
+use fading_geom::Point;
+
+use crate::SeparatedSubset;
+
+/// Interference measured at one member of `S_i` for one round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceSample {
+    /// The member of `S_i`.
+    pub member: NodeId,
+    /// Its partner in `T_i`.
+    pub partner: NodeId,
+    /// Interference from transmitters **outside** `S_i ∪ T_i` (Lemma 3's
+    /// quantity).
+    pub outside: f64,
+    /// Interference from transmitters **inside** `S_i ∪ T_i`, excluding the
+    /// member itself and its partner (Lemma 4's quantity).
+    pub inside: f64,
+    /// The signal strength the partner would deliver (`P/d(u,v)^α`).
+    pub partner_signal: f64,
+}
+
+impl InterferenceSample {
+    /// Total interference (outside + inside).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.outside + self.inside
+    }
+
+    /// Whether the partner's transmission would be decoded against the
+    /// measured interference under the given model parameters.
+    #[must_use]
+    pub fn partner_decodable(&self, params: &SinrParams) -> bool {
+        self.partner_signal >= params.beta() * (params.noise() + self.total())
+    }
+}
+
+/// The unit interference budget for class `i`: `P / (unit·2^i)^α` — the
+/// budgets of Lemmas 3 and 4 are constant multiples of this quantity.
+///
+/// # Example
+///
+/// ```
+/// use fading_analysis::budget_unit;
+/// use fading_channel::SinrParams;
+///
+/// let params = SinrParams::builder().power(8.0).alpha(3.0).build()?;
+/// // Class 1 with unit 1: (2)^3 = 8, so the unit budget is 1.
+/// assert_eq!(budget_unit(&params, 1.0, 1), 1.0);
+/// # Ok::<(), fading_channel::ChannelError>(())
+/// ```
+#[must_use]
+pub fn budget_unit(params: &SinrParams, unit: f64, class: usize) -> f64 {
+    let d = unit * 2f64.powi(class as i32);
+    params.power() / pow_alpha(d * d, params.alpha())
+}
+
+/// Measures per-member interference at every node of `S_i` for a given
+/// transmitter set (one round snapshot).
+///
+/// `transmitters` may contain members of `S_i` and partners; each sample
+/// splits their contribution into the inside component per the lemma
+/// definitions.
+#[must_use]
+pub fn measure_interference(
+    positions: &[Point],
+    subset: &SeparatedSubset,
+    params: &SinrParams,
+    transmitters: &[NodeId],
+) -> Vec<InterferenceSample> {
+    let p = params.power();
+    let alpha = params.alpha();
+    let members = subset.members();
+    let partners = subset.partners();
+    let in_set = |w: NodeId| members.contains(&w) || partners.contains(&w);
+
+    members
+        .iter()
+        .zip(partners)
+        .map(|(&u, &v)| {
+            let up = positions[u];
+            let mut outside = 0.0;
+            let mut inside = 0.0;
+            for &w in transmitters {
+                if w == u || w == v {
+                    continue;
+                }
+                let contribution = p / pow_alpha(positions[w].distance_sq(up), alpha);
+                if in_set(w) {
+                    inside += contribution;
+                } else {
+                    outside += contribution;
+                }
+            }
+            let partner_signal = p / pow_alpha(positions[v].distance_sq(up), alpha);
+            InterferenceSample {
+                member: u,
+                partner: v,
+                outside,
+                inside,
+                partner_signal,
+            }
+        })
+        .collect()
+}
+
+/// Lemma 4's deterministic worst case: the inside interference at each
+/// member of `S_i` if **every** node of `S_i ∪ T_i` (except the member and
+/// its partner) transmitted simultaneously.
+#[must_use]
+pub fn lemma4_worst_case(
+    positions: &[Point],
+    subset: &SeparatedSubset,
+    params: &SinrParams,
+) -> Vec<f64> {
+    let everyone: Vec<NodeId> = subset
+        .members()
+        .iter()
+        .chain(subset.partners())
+        .copied()
+        .collect();
+    measure_interference(positions, subset, params, &everyone)
+        .into_iter()
+        .map(|s| s.inside)
+        .collect()
+}
+
+/// Summary of a Lemma 3 / Lemma 4 check over one round: the fraction of
+/// `S_i` members whose measured interference stays within `c` budget units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LemmaCheck {
+    /// Members measured.
+    pub members: usize,
+    /// Fraction with outside interference `≤ c_outside` budget units.
+    pub outside_ok_fraction: f64,
+    /// Fraction with worst-case inside interference `≤ c_inside` units.
+    pub inside_ok_fraction: f64,
+    /// The largest observed outside interference, in budget units.
+    pub max_outside_units: f64,
+    /// The largest observed worst-case inside interference, in budget units.
+    pub max_inside_units: f64,
+}
+
+/// Checks Lemmas 3 and 4 numerically on one round snapshot.
+///
+/// Lemma 3 asserts that with probability `1 − e^{−Ω(|S_i|)}` at least half
+/// the members see outside interference at most `c_outside` units; Lemma 4
+/// asserts every member's inside interference is at most `c_inside` units
+/// *deterministically* (given sufficient separation `s`). Returns the
+/// measured fractions so experiments can report them.
+#[must_use]
+pub fn check_lemmas(
+    positions: &[Point],
+    subset: &SeparatedSubset,
+    params: &SinrParams,
+    unit: f64,
+    transmitters: &[NodeId],
+    c_outside: f64,
+    c_inside: f64,
+) -> LemmaCheck {
+    let unit_budget = budget_unit(params, unit, subset.class());
+    let samples = measure_interference(positions, subset, params, transmitters);
+    let worst_inside = lemma4_worst_case(positions, subset, params);
+    let members = samples.len();
+    if members == 0 {
+        return LemmaCheck {
+            members: 0,
+            outside_ok_fraction: 1.0,
+            inside_ok_fraction: 1.0,
+            max_outside_units: 0.0,
+            max_inside_units: 0.0,
+        };
+    }
+    let outside_ok = samples
+        .iter()
+        .filter(|s| s.outside <= c_outside * unit_budget)
+        .count();
+    let inside_ok = worst_inside
+        .iter()
+        .filter(|&&x| x <= c_inside * unit_budget)
+        .count();
+    LemmaCheck {
+        members,
+        outside_ok_fraction: outside_ok as f64 / members as f64,
+        inside_ok_fraction: inside_ok as f64 / members as f64,
+        max_outside_units: samples
+            .iter()
+            .map(|s| s.outside / unit_budget)
+            .fold(0.0, f64::max),
+        max_inside_units: worst_inside
+            .iter()
+            .map(|&x| x / unit_budget)
+            .fold(0.0, f64::max),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{separated_subset, GoodNodes, LinkClasses};
+
+    fn params() -> SinrParams {
+        SinrParams::builder()
+            .power(16.0)
+            .alpha(3.0)
+            .beta(2.0)
+            .noise(1.0)
+            .build()
+            .unwrap()
+    }
+
+    /// Two far-apart class-0 pairs.
+    fn two_pairs() -> (Vec<Point>, SeparatedSubset, LinkClasses) {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(101.0, 0.0),
+        ];
+        let active: Vec<NodeId> = (0..4).collect();
+        let classes = LinkClasses::partition(&positions, &active, 1.0);
+        let good = GoodNodes::classify(&positions, &active, &classes, 3.0);
+        let subset = separated_subset(&positions, &classes, &good, 0, 3.0);
+        (positions, subset, classes)
+    }
+
+    #[test]
+    fn budget_unit_formula() {
+        let p = params();
+        // class 2, unit 1: d = 4, 16/64 = 0.25.
+        assert!((budget_unit(&p, 1.0, 2) - 0.25).abs() < 1e-12);
+        // unit 2 doubles d: 16/512.
+        assert!((budget_unit(&p, 2.0, 2) - 16.0 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_transmitters_means_zero_interference() {
+        let (positions, subset, _) = two_pairs();
+        let samples = measure_interference(&positions, &subset, &params(), &[]);
+        assert_eq!(samples.len(), 2);
+        for s in samples {
+            assert_eq!(s.outside, 0.0);
+            assert_eq!(s.inside, 0.0);
+            assert!(s.partner_signal > 0.0);
+        }
+    }
+
+    #[test]
+    fn partner_contribution_is_excluded() {
+        let (positions, subset, _) = two_pairs();
+        // Only the partners transmit: at each member, its own partner is
+        // excluded and the *other* pair's nodes are inside contributors.
+        let transmitters: Vec<NodeId> = subset.partners().to_vec();
+        let samples = measure_interference(&positions, &subset, &params(), &transmitters);
+        for s in &samples {
+            assert_eq!(s.outside, 0.0);
+            // The other pair is ~100 away: tiny but nonzero inside term.
+            assert!(s.inside > 0.0 && s.inside < 1e-3, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn outside_transmitter_is_counted_outside() {
+        let (mut positions, _, _) = two_pairs();
+        // Add a fifth, non-member node near the first pair.
+        positions.push(Point::new(0.0, 3.0));
+        let active: Vec<NodeId> = (0..5).collect();
+        let classes = LinkClasses::partition(&positions, &active, 1.0);
+        let good = GoodNodes::classify(&positions, &active, &classes, 3.0);
+        let subset = separated_subset(&positions, &classes, &good, 0, 3.0);
+        let samples = measure_interference(&positions, &subset, &params(), &[4]);
+        let near = samples
+            .iter()
+            .find(|s| s.member == 0 || s.member == 1)
+            .expect("first pair has a representative");
+        assert!(near.outside > 0.0);
+        assert_eq!(near.inside, 0.0);
+    }
+
+    #[test]
+    fn lemma4_worst_case_is_small_for_separated_pairs() {
+        let (positions, subset, _) = two_pairs();
+        let p = params();
+        let worst = lemma4_worst_case(&positions, &subset, &p);
+        let unit_budget = budget_unit(&p, 1.0, 0);
+        for w in worst {
+            // Pairs are 100 apart; inside interference must be far below
+            // one budget unit.
+            assert!(w < 0.01 * unit_budget, "inside {w} vs unit {unit_budget}");
+        }
+    }
+
+    #[test]
+    fn decodability_matches_sinr_rule() {
+        let (positions, subset, _) = two_pairs();
+        let p = params();
+        let samples = measure_interference(&positions, &subset, &p, &[]);
+        for s in samples {
+            // Signal 16 over noise 1, threshold 2: decodable.
+            assert!(s.partner_decodable(&p));
+        }
+    }
+
+    #[test]
+    fn check_lemmas_reports_fractions() {
+        let (positions, subset, _) = two_pairs();
+        let p = params();
+        let check = check_lemmas(&positions, &subset, &p, 1.0, &[], 1.0, 1.0);
+        assert_eq!(check.members, 2);
+        assert_eq!(check.outside_ok_fraction, 1.0);
+        assert_eq!(check.inside_ok_fraction, 1.0);
+        assert_eq!(check.max_outside_units, 0.0);
+    }
+
+    #[test]
+    fn empty_subset_check_is_vacuous() {
+        let (positions, _, classes) = two_pairs();
+        let good = GoodNodes::classify(&positions, &[0, 1, 2, 3], &classes, 3.0);
+        let empty = separated_subset(&positions, &classes, &good, 9, 3.0);
+        let check = check_lemmas(&positions, &empty, &params(), 1.0, &[0], 1.0, 1.0);
+        assert_eq!(check.members, 0);
+        assert_eq!(check.outside_ok_fraction, 1.0);
+    }
+}

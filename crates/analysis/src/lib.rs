@@ -1,0 +1,63 @@
+//! # fading-analysis
+//!
+//! The analysis machinery of Section 3 of *Contention Resolution on a Fading
+//! Channel* (Fineman, Gilbert, Kuhn, Newport — PODC 2016), reified as
+//! executable code so every lemma can be validated empirically.
+//!
+//! * [`LinkClasses`] — the partition of active nodes into classes
+//!   `d_0, d_1, …, d_{⌈log R⌉}` by nearest-active-neighbor distance
+//!   (`d_i` holds nodes whose nearest neighbor lies in `[2^i, 2^{i+1})`).
+//! * [`annulus_count`] / [`good_threshold`] / [`GoodNodes`] — the exponential
+//!   annuli `A^i_t(u)` and Definition 1's *good node* predicate
+//!   (`|A^i_t(u)| ≤ 96·2^{t(α−ε)}`, `ε = α/2 − 1`).
+//! * [`separated_subset`] — the well-spaced good subset `S_i` (pairwise
+//!   distance `> (s+1)·2^i`) and its partner set `T_i` (Lemmas 2–4).
+//! * [`measure_interference`] / [`check_lemmas`] — numerical verification
+//!   of the Lemma 3 (outside) and Lemma 4 (inside) interference budgets at
+//!   the nodes of `S_i`.
+//! * [`ClassBoundSchedule`] — the class-bound vectors `q_t` and the
+//!   auxiliary `q̂_t` of §3.3, with the `T = Θ(log n + log R)` horizon
+//!   (Claim 8) and a trace-adherence checker (Lemma 10 / Theorem 1).
+//! * [`stats`] — ordinary least squares fits used to test which of
+//!   `log n`, `log² n`, `log n + log R` best explains measured round counts.
+//!
+//! # Example
+//!
+//! ```
+//! use fading_analysis::LinkClasses;
+//! use fading_geom::{Deployment, Point};
+//!
+//! let d = Deployment::from_points(vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(1.0, 0.0),   // pair at distance 1 → class 0
+//!     Point::new(100.0, 0.0),
+//!     Point::new(105.0, 0.0), // pair at distance 5 → class 2
+//! ]).unwrap();
+//! let active: Vec<usize> = (0..4).collect();
+//! let classes = LinkClasses::partition(d.points(), &active, d.min_link());
+//! assert_eq!(classes.count(0), 2);
+//! assert_eq!(classes.count(2), 2);
+//! assert_eq!(classes.count_below(2), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod good;
+mod interference;
+mod link_classes;
+mod schedule;
+mod separated;
+pub mod stats;
+mod timeline;
+
+pub use good::{annulus_count, good_threshold, GoodNodes};
+pub use interference::{
+    budget_unit, check_lemmas, lemma4_worst_case, measure_interference, InterferenceSample,
+    LemmaCheck,
+};
+pub use link_classes::LinkClasses;
+pub use schedule::{ClassBoundSchedule, ScheduleParams, TraceAdherence};
+pub use separated::{lemma4_separation, separated_subset, SeparatedSubset};
+pub use timeline::{ExecutionTimeline, TimelineEntry};

@@ -1,0 +1,408 @@
+//! The class-bound vectors `q_t` of §3.3 and the `Θ(log n + log R)` horizon.
+
+use serde::{Deserialize, Serialize};
+
+/// The two tunable constants of the §3.3 schedule.
+///
+/// * `gamma` (γ) — the retention fraction from Corollary 7: with high
+///   probability at most a `γ` fraction of a pressured link class survives
+///   one round.
+/// * `rho` (ρ) — the target ratio between consecutive link-class bounds;
+///   the paper picks ρ small enough that `ρ/(1−ρ) < γ·δ`.
+///
+/// From these the schedule derives `γ_slow = γ + ρ/(1−ρ)` (the decay rate
+/// of each bound) and `l = ⌈log_{γ_slow} ρ⌉` (the stagger between
+/// consecutive classes' start steps).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleParams {
+    /// Per-round retention fraction `γ ∈ (0, 1)`.
+    pub gamma: f64,
+    /// Consecutive-class ratio `ρ ∈ (0, 1)` with `γ + ρ/(1−ρ) < 1`.
+    pub rho: f64,
+}
+
+impl Default for ScheduleParams {
+    /// `γ = 1/2`, `ρ = 1/4`: the empirically comfortable operating point
+    /// (FKN knocks out roughly half of a pressured class per round; see
+    /// experiment E8), giving `γ_slow = 5/6` and `l = 8`.
+    fn default() -> Self {
+        ScheduleParams {
+            gamma: 0.5,
+            rho: 0.25,
+        }
+    }
+}
+
+impl ScheduleParams {
+    /// `γ_slow = γ + ρ/(1−ρ)`, the per-step decay factor of every bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < γ < 1`, `0 < ρ < 1`, and `γ_slow < 1`.
+    #[must_use]
+    pub fn gamma_slow(&self) -> f64 {
+        assert!(
+            self.gamma > 0.0 && self.gamma < 1.0,
+            "gamma must be in (0,1)"
+        );
+        assert!(self.rho > 0.0 && self.rho < 1.0, "rho must be in (0,1)");
+        let gs = self.gamma + self.rho / (1.0 - self.rho);
+        assert!(gs < 1.0, "gamma + rho/(1-rho) must stay below 1");
+        gs
+    }
+
+    /// `l = ⌈log_{γ_slow} ρ⌉`: steps between consecutive classes' start
+    /// steps. After `l` extra decay steps a class bound has dropped by a
+    /// factor `γ_slow^l ≤ ρ` — the paper's interpretation of `ρ` as the
+    /// ratio between consecutive link-class bounds.
+    #[must_use]
+    pub fn stagger(&self) -> u32 {
+        let gs = self.gamma_slow();
+        (self.rho.ln() / gs.ln()).ceil() as u32
+    }
+}
+
+/// The sequence of class-bound vectors `q_0, q_1, …` from §3.3.
+///
+/// For class `i` with start step `s_i = i·l`:
+///
+/// ```text
+/// q_t(i) = n                       for t ≤ s_i
+/// q_t(i) = n·γ_slow^(t−s_i)        for t > s_i   (0 once it drops below 1)
+/// ```
+///
+/// The auxiliary vector `q̂_{t+1}(i) = q_t(i)·γ_slow − q_t(i)·ρ/(1−ρ)` is
+/// the "permanence" threshold: once a class falls below `q̂_{t+1}(i)` while
+/// all smaller classes obey `q_t`, migrations from smaller classes can never
+/// push it back above `q_{t+1}(i)` (the argument after Lemma 9).
+///
+/// # Example
+///
+/// ```
+/// use fading_analysis::{ClassBoundSchedule, ScheduleParams};
+///
+/// let sched = ClassBoundSchedule::new(1000, 5, ScheduleParams::default());
+/// // Claim 8: the horizon is finite and Θ(log n + log R).
+/// let t_max = sched.horizon();
+/// assert!(t_max > 0);
+/// for i in 0..5 {
+///     assert_eq!(sched.bound(t_max, i), 0.0);
+///     assert_eq!(sched.bound(0, i), 1000.0);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassBoundSchedule {
+    n: usize,
+    num_classes: usize,
+    gamma_slow: f64,
+    rho: f64,
+    stagger: u32,
+}
+
+impl ClassBoundSchedule {
+    /// Creates the schedule for `n` initial nodes spread over
+    /// `num_classes` link classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `num_classes == 0`, or `params` is invalid (see
+    /// [`ScheduleParams::gamma_slow`]).
+    #[must_use]
+    pub fn new(n: usize, num_classes: usize, params: ScheduleParams) -> Self {
+        assert!(n > 0, "need at least one node");
+        assert!(num_classes > 0, "need at least one link class");
+        ClassBoundSchedule {
+            n,
+            num_classes,
+            gamma_slow: params.gamma_slow(),
+            rho: params.rho,
+            stagger: params.stagger(),
+        }
+    }
+
+    /// The decay factor `γ_slow`.
+    #[must_use]
+    pub fn gamma_slow(&self) -> f64 {
+        self.gamma_slow
+    }
+
+    /// The stagger `l` between class start steps.
+    #[must_use]
+    pub fn stagger(&self) -> u32 {
+        self.stagger
+    }
+
+    /// Number of link classes covered.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The start step `s_i = i·l` before which class `i` owes no progress.
+    #[must_use]
+    pub fn start_step(&self, class: usize) -> u64 {
+        class as u64 * u64::from(self.stagger)
+    }
+
+    /// The bound `q_t(i)` (0.0 once the analytic bound drops below 1,
+    /// matching the integrality of class sizes).
+    #[must_use]
+    pub fn bound(&self, t: u64, class: usize) -> f64 {
+        let s_i = self.start_step(class);
+        if t <= s_i {
+            return self.n as f64;
+        }
+        let steps = (t - s_i) as i32;
+        let q = self.n as f64 * self.gamma_slow.powi(steps);
+        if q < 1.0 {
+            0.0
+        } else {
+            q
+        }
+    }
+
+    /// The auxiliary permanence bound
+    /// `q̂_{t+1}(i) = q_t(i)·(γ_slow − ρ/(1−ρ))`.
+    #[must_use]
+    pub fn aux_bound(&self, t_next: u64, class: usize) -> f64 {
+        if t_next == 0 {
+            return self.n as f64;
+        }
+        let q_prev = self.bound(t_next - 1, class);
+        let raw = q_prev * (self.gamma_slow - self.rho / (1.0 - self.rho));
+        // Clamp below 1 to 0, mirroring `bound`: class sizes are integers,
+        // so an analytic bound below 1 forces an empty class.
+        if raw < 1.0 {
+            0.0
+        } else {
+            raw
+        }
+    }
+
+    /// Claim 8's horizon `T`: the smallest step at which every class bound
+    /// is 0. Equals `s_{m−1} + ⌈log_{1/γ_slow} n⌉ + 1 = Θ(log n + log R)`.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        let decay_steps = ((self.n as f64).ln() / (1.0 / self.gamma_slow).ln()).ceil() as u64 + 1;
+        self.start_step(self.num_classes - 1) + decay_steps
+    }
+
+    /// Whether the per-class sizes satisfy `n_i ≤ q_t(i)` for every class
+    /// (`sizes` may be shorter than `num_classes`; missing classes count as
+    /// empty, and classes beyond `num_classes` must be empty).
+    #[must_use]
+    pub fn satisfied(&self, t: u64, sizes: &[usize]) -> bool {
+        for (i, &size) in sizes.iter().enumerate() {
+            let bound = if i < self.num_classes {
+                self.bound(t, i)
+            } else {
+                0.0
+            };
+            if size as f64 > bound {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks a recorded execution (per-round link-class size vectors,
+    /// round 1 first) against the schedule: for each step `t`, finds the
+    /// earliest round after which `q_t` holds **permanently** (the paper's
+    /// event `r(t)`).
+    #[must_use]
+    pub fn adherence(&self, size_series: &[Vec<usize>]) -> TraceAdherence {
+        let horizon = self.horizon();
+        let rounds = size_series.len();
+        let mut reached: Vec<Option<u64>> = Vec::with_capacity(horizon as usize + 1);
+        for t in 0..=horizon {
+            // Last round that violates q_t; r(t) is the round after it.
+            let mut last_violation: Option<usize> = None;
+            for (r, sizes) in size_series.iter().enumerate() {
+                if !self.satisfied(t, sizes) {
+                    last_violation = Some(r);
+                }
+            }
+            let r_t = match last_violation {
+                None => Some(1),
+                Some(r) if r + 1 < rounds => Some(r as u64 + 2), // 1-based round after
+                Some(_) => None, // violated through the end: never reached
+            };
+            reached.push(r_t);
+        }
+        TraceAdherence { horizon, reached }
+    }
+}
+
+/// The result of checking an execution trace against a
+/// [`ClassBoundSchedule`]: when each event `r(t)` occurred.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceAdherence {
+    /// The schedule horizon `T`.
+    pub horizon: u64,
+    /// `reached[t]` = the 1-based round from which `q_t` held permanently
+    /// (`None` if the execution ended still violating `q_t`).
+    pub reached: Vec<Option<u64>>,
+}
+
+impl TraceAdherence {
+    /// The round by which the *final* bound `q_T` (all classes empty … i.e.
+    /// at most the winner left) held permanently.
+    #[must_use]
+    pub fn completion_round(&self) -> Option<u64> {
+        self.reached.last().copied().flatten()
+    }
+
+    /// Fraction of steps `t ∈ [0, T]` whose event `r(t)` occurred in the
+    /// trace.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.reached.is_empty() {
+            return 0.0;
+        }
+        self.reached.iter().filter(|r| r.is_some()).count() as f64 / self.reached.len() as f64
+    }
+
+    /// `r(t)` must be monotone non-decreasing in `t` (a later bound is
+    /// tighter). Returns `true` if the recorded events respect that.
+    #[must_use]
+    pub fn is_monotone(&self) -> bool {
+        let mut prev = 0u64;
+        for r in self.reached.iter().flatten() {
+            if *r < prev {
+                return false;
+            }
+            prev = *r;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_derive_documented_constants() {
+        let p = ScheduleParams::default();
+        assert!((p.gamma_slow() - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(p.stagger(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "below 1")]
+    fn params_reject_overflowing_gamma_slow() {
+        let p = ScheduleParams {
+            gamma: 0.9,
+            rho: 0.5,
+        }; // 0.9 + 1 = 1.9
+        let _ = p.gamma_slow();
+    }
+
+    #[test]
+    fn bounds_decay_geometrically_after_start() {
+        let sched = ClassBoundSchedule::new(100, 3, ScheduleParams::default());
+        let l = u64::from(sched.stagger());
+        // Class 1 owes nothing before s_1 = l.
+        for t in 0..=l {
+            assert_eq!(sched.bound(t, 1), 100.0);
+        }
+        let gs = sched.gamma_slow();
+        assert!((sched.bound(l + 1, 1) - 100.0 * gs).abs() < 1e-9);
+        assert!((sched.bound(l + 3, 1) - 100.0 * gs.powi(3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_clamps_to_zero_below_one() {
+        let sched = ClassBoundSchedule::new(10, 1, ScheduleParams::default());
+        let t_zero = (0..10_000u64)
+            .find(|&t| sched.bound(t, 0) == 0.0)
+            .expect("bound eventually reaches 0");
+        assert!(sched.bound(t_zero - 1, 0) >= 1.0);
+    }
+
+    #[test]
+    fn horizon_scales_with_log_n_plus_classes() {
+        let p = ScheduleParams::default();
+        let a = ClassBoundSchedule::new(1 << 10, 4, p).horizon();
+        let b = ClassBoundSchedule::new(1 << 20, 4, p).horizon();
+        let c = ClassBoundSchedule::new(1 << 10, 8, p).horizon();
+        // Doubling log n adds ~10·ln2/ln(1/γ_slow) ≈ 38 decay steps; extra
+        // classes add l each.
+        assert!((30..=45).contains(&(b - a)), "b - a = {}", b - a);
+        assert_eq!(c - a, 4 * u64::from(p.stagger()));
+    }
+
+    #[test]
+    fn horizon_bounds_are_all_zero() {
+        let sched = ClassBoundSchedule::new(5_000, 6, ScheduleParams::default());
+        let t = sched.horizon();
+        for i in 0..6 {
+            assert_eq!(sched.bound(t, i), 0.0, "class {i}");
+            assert!(sched.bound(0, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn aux_bound_is_tighter() {
+        let sched = ClassBoundSchedule::new(1000, 3, ScheduleParams::default());
+        for t in 1..sched.horizon() {
+            for i in 0..3 {
+                assert!(
+                    sched.aux_bound(t, i) <= sched.bound(t, i) + 1e-9,
+                    "t={t} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn satisfied_checks_every_class() {
+        let sched = ClassBoundSchedule::new(100, 2, ScheduleParams::default());
+        assert!(sched.satisfied(0, &[100, 100]));
+        assert!(sched.satisfied(0, &[]));
+        // Beyond num_classes, only empty classes are acceptable.
+        assert!(sched.satisfied(0, &[1, 1, 0]));
+        assert!(!sched.satisfied(0, &[1, 1, 1]));
+        // After one step class 0 must have decayed.
+        assert!(!sched.satisfied(1, &[100, 100]));
+        assert!(sched.satisfied(1, &[83, 100]));
+    }
+
+    #[test]
+    fn adherence_on_ideal_trace() {
+        // A fabricated execution in which class sizes exactly track the
+        // bounds one round per step: adherence must be full and monotone.
+        let sched = ClassBoundSchedule::new(64, 2, ScheduleParams::default());
+        let horizon = sched.horizon();
+        let series: Vec<Vec<usize>> = (1..=horizon)
+            .map(|t| (0..2).map(|i| sched.bound(t, i).floor() as usize).collect())
+            .collect();
+        let adherence = sched.adherence(&series);
+        assert_eq!(adherence.coverage(), 1.0);
+        assert!(adherence.is_monotone());
+        assert!(adherence.completion_round().is_some());
+    }
+
+    #[test]
+    fn adherence_detects_persistent_violation() {
+        // Class sizes never shrink: only q_0 (and any bound ≥ n) is ever met.
+        let sched = ClassBoundSchedule::new(64, 1, ScheduleParams::default());
+        let series: Vec<Vec<usize>> = (0..50).map(|_| vec![64usize]).collect();
+        let adherence = sched.adherence(&series);
+        assert_eq!(adherence.reached[0], Some(1));
+        assert!(adherence.completion_round().is_none());
+        assert!(adherence.coverage() < 1.0);
+    }
+
+    #[test]
+    fn adherence_permanence_requires_no_later_violation() {
+        // Dips below the bound then bounces back up: r(t) must point past
+        // the bounce.
+        let sched = ClassBoundSchedule::new(100, 1, ScheduleParams::default());
+        // q_1(0) = 100·(5/6) ≈ 83.3.
+        let series = vec![vec![100], vec![80], vec![90], vec![70], vec![60]];
+        let adherence = sched.adherence(&series);
+        // Violations of q_1 at rounds 1 (100) and 3 (90): permanent from 4.
+        assert_eq!(adherence.reached[1], Some(4));
+    }
+}

@@ -1,0 +1,286 @@
+//! The well-separated good subsets `S_i` and partner sets `T_i`
+//! (Lemmas 2–4 of the paper).
+
+use fading_channel::NodeId;
+use fading_geom::Point;
+
+use crate::{GoodNodes, LinkClasses};
+
+/// The separation constant `s` from Lemma 4: for a target interference
+/// budget `c` at each node of `S_i`, it suffices to keep nodes of `S_i`
+/// pairwise further than `(s+1)·2^i` apart with
+///
+/// ```text
+/// s = (96 / (c·(1 − 2^{−ε})))^{1/ε},   ε = α/2 − 1.
+/// ```
+///
+/// # Panics
+///
+/// Panics if `alpha <= 2` or `c <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use fading_analysis::lemma4_separation;
+/// let s = lemma4_separation(3.0, 1.0);
+/// assert!(s > 1.0);
+/// ```
+#[must_use]
+pub fn lemma4_separation(alpha: f64, c: f64) -> f64 {
+    assert!(alpha > 2.0, "the fading model requires alpha > 2");
+    assert!(c > 0.0, "interference budget must be positive");
+    let eps = alpha / 2.0 - 1.0;
+    (96.0 / (c * (1.0 - 2f64.powf(-eps)))).powf(1.0 / eps)
+}
+
+/// A well-separated subset `S_i` of the good nodes of one link class,
+/// together with the partner set `T_i`.
+#[derive(Debug, Clone)]
+pub struct SeparatedSubset {
+    class: usize,
+    members: Vec<NodeId>,
+    partners: Vec<NodeId>,
+}
+
+impl SeparatedSubset {
+    /// The link class index `i` this subset was built for.
+    #[must_use]
+    pub fn class(&self) -> usize {
+        self.class
+    }
+
+    /// The nodes of `S_i`, in increasing id order.
+    #[must_use]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// `T_i`: for each member (same position in the slice), its partner —
+    /// the member's closest active node.
+    #[must_use]
+    pub fn partners(&self) -> &[NodeId] {
+        &self.partners
+    }
+
+    /// `|S_i|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if `S_i` is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Greedily constructs `S_i ⊆ V_i`: a maximal subset of the *good* nodes of
+/// class `d_i` with pairwise distance strictly greater than
+/// `(s + 1)·unit·2^i`, plus the partner set `T_i` (each member's nearest
+/// active node, per the paper's definition; ties broken toward smaller id by
+/// the underlying nearest-neighbor query).
+///
+/// Greedy maximality gives the constant-fraction guarantee of Lemma 2: a
+/// disk-packing argument shows `|S_i| = Θ(#good nodes in V_i)`.
+///
+/// # Example
+///
+/// ```
+/// use fading_analysis::{separated_subset, GoodNodes, LinkClasses};
+/// use fading_geom::{Deployment, Point};
+///
+/// // Two tight pairs far apart: both pairs' nodes are good, and one node
+/// // per location survives the separation filter.
+/// let d = Deployment::from_points(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(100.0, 0.0),
+///     Point::new(101.0, 0.0),
+/// ]).unwrap();
+/// let active: Vec<usize> = (0..4).collect();
+/// let classes = LinkClasses::partition(d.points(), &active, 1.0);
+/// let good = GoodNodes::classify(d.points(), &active, &classes, 3.0);
+/// let s0 = separated_subset(d.points(), &classes, &good, 0, 3.0);
+/// assert_eq!(s0.len(), 2); // one per far-apart pair
+/// assert_eq!(s0.partners().len(), 2);
+/// ```
+#[must_use]
+pub fn separated_subset(
+    positions: &[Point],
+    classes: &LinkClasses,
+    good: &GoodNodes,
+    class: usize,
+    s: f64,
+) -> SeparatedSubset {
+    let min_sep = (s + 1.0) * classes.unit() * 2f64.powi(class as i32);
+    let mut members: Vec<NodeId> = Vec::new();
+    for &u in classes.members(class) {
+        if !good.is_good(u) {
+            continue;
+        }
+        let up = positions[u];
+        let far_enough = members.iter().all(|&v| positions[v].distance(up) > min_sep);
+        if far_enough {
+            members.push(u);
+        }
+    }
+    let partners: Vec<NodeId> = members
+        .iter()
+        .map(|&u| {
+            classes
+                .nearest_active(u)
+                .expect("a classed node has an active nearest neighbor")
+                .0
+        })
+        .collect();
+    SeparatedSubset {
+        class,
+        members,
+        partners,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    fn build(positions: &[Point], s: f64, class: usize) -> (LinkClasses, SeparatedSubset) {
+        let active: Vec<NodeId> = (0..positions.len()).collect();
+        let classes = LinkClasses::partition(positions, &active, 1.0);
+        let good = GoodNodes::classify(positions, &active, &classes, 3.0);
+        let subset = separated_subset(positions, &classes, &good, class, s);
+        (classes, subset)
+    }
+
+    #[test]
+    fn lemma4_constant_decreases_with_budget() {
+        // A larger allowed interference budget needs less separation.
+        let tight = lemma4_separation(3.0, 0.1);
+        let loose = lemma4_separation(3.0, 10.0);
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn lemma4_constant_formula() {
+        // α = 4 → ε = 1: s = 96/(c·(1 − 1/2)) = 192/c.
+        assert!((lemma4_separation(4.0, 1.0) - 192.0).abs() < 1e-9);
+        assert!((lemma4_separation(4.0, 2.0) - 96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn members_are_pairwise_separated() {
+        // Tight pairs spaced 40 apart on a line: class 0 everywhere.
+        let mut coords = Vec::new();
+        for k in 0..10 {
+            let x = f64::from(k) * 40.0;
+            coords.push((x, 0.0));
+            coords.push((x + 1.0, 0.0));
+        }
+        let positions = pts(&coords);
+        let (classes, subset) = build(&positions, 3.0, 0);
+        let min_sep = (3.0 + 1.0) * classes.unit(); // class 0
+        for (a, &u) in subset.members().iter().enumerate() {
+            for &v in &subset.members()[a + 1..] {
+                assert!(positions[u].distance(positions[v]) > min_sep);
+            }
+        }
+        // One node per pair survives at this spacing.
+        assert_eq!(subset.len(), 10);
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        // No excluded good node could be added without violating separation.
+        let mut coords = Vec::new();
+        for k in 0..8 {
+            let x = f64::from(k) * 3.0;
+            coords.push((x, 0.0));
+            coords.push((x + 1.0, 0.0));
+        }
+        let positions = pts(&coords);
+        let active: Vec<NodeId> = (0..positions.len()).collect();
+        let classes = LinkClasses::partition(&positions, &active, 1.0);
+        let good = GoodNodes::classify(&positions, &active, &classes, 3.0);
+        let subset = separated_subset(&positions, &classes, &good, 0, 3.0);
+        let min_sep = 4.0;
+        for &u in classes.members(0) {
+            if !good.is_good(u) || subset.members().contains(&u) {
+                continue;
+            }
+            let blocked = subset
+                .members()
+                .iter()
+                .any(|&v| positions[v].distance(positions[u]) <= min_sep);
+            assert!(blocked, "good node {u} could have been added");
+        }
+    }
+
+    #[test]
+    fn lemma2_constant_fraction_on_dense_class() {
+        // 100 tight pairs on a 10×10 super-grid, spacing 50: every node is
+        // good and in class 0; S_0 must contain a constant fraction.
+        let mut coords = Vec::new();
+        for r in 0..10 {
+            for c in 0..10 {
+                let x = f64::from(c) * 50.0;
+                let y = f64::from(r) * 50.0;
+                coords.push((x, y));
+                coords.push((x + 1.0, y));
+            }
+        }
+        let positions = pts(&coords);
+        let (classes, subset) = build(&positions, 3.0, 0);
+        let good_total = classes.count(0);
+        assert_eq!(good_total, 200);
+        // Pairs are 50 apart; separation needed is 4, so one node per pair
+        // qualifies and no two pair-representatives conflict: |S_0| = 100.
+        assert_eq!(subset.len(), 100);
+        assert!(
+            subset.len() * 2 >= good_total / 2,
+            "not a constant fraction"
+        );
+    }
+
+    #[test]
+    fn partners_are_nearest_active_nodes() {
+        let positions = pts(&[(0.0, 0.0), (1.0, 0.0), (200.0, 0.0), (201.0, 0.0)]);
+        let (classes, subset) = build(&positions, 3.0, 0);
+        for (k, &u) in subset.members().iter().enumerate() {
+            let partner = subset.partners()[k];
+            assert_eq!(classes.nearest_active(u).unwrap().0, partner);
+            assert_ne!(partner, u);
+        }
+    }
+
+    #[test]
+    fn empty_class_gives_empty_subset() {
+        let positions = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let (_classes, subset) = build(&positions, 3.0, 5);
+        assert!(subset.is_empty());
+        assert_eq!(subset.class(), 5);
+        assert_eq!(subset.len(), 0);
+    }
+
+    #[test]
+    fn bad_nodes_are_excluded() {
+        // Reuse the overloaded configuration: the class-4 node is bad and
+        // must not appear in S_4.
+        let mut coords = vec![(0.0, 0.0), (16.0, 0.0)];
+        for r in 0..11 {
+            for c in 0..11 {
+                coords.push((f64::from(c) - 5.0, 24.0 + f64::from(r) - 5.0));
+            }
+        }
+        let positions = pts(&coords);
+        let active: Vec<NodeId> = (0..positions.len()).collect();
+        let classes = LinkClasses::partition(&positions, &active, 1.0);
+        let good = GoodNodes::classify(&positions, &active, &classes, 3.0);
+        let s4 = separated_subset(&positions, &classes, &good, 4, 1.0);
+        assert!(!s4.members().contains(&0));
+    }
+}

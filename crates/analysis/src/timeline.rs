@@ -1,0 +1,215 @@
+//! Per-round execution timelines: link-class evolution packaged for
+//! schedule-adherence and knockout-dynamics analysis.
+
+use fading_channel::NodeId;
+use fading_geom::Point;
+
+use crate::{ClassBoundSchedule, LinkClasses, TraceAdherence};
+
+/// One snapshot of an execution, taken at the start of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// Completed rounds when the snapshot was taken (0 = initial state).
+    pub round: u64,
+    /// Number of active nodes.
+    pub active: usize,
+    /// Link-class sizes `(n_0, n_1, …)` up to the largest occupied index.
+    pub class_sizes: Vec<usize>,
+}
+
+impl TimelineEntry {
+    /// The smallest nonempty class index, if any.
+    #[must_use]
+    pub fn smallest_nonempty(&self) -> Option<usize> {
+        self.class_sizes.iter().position(|&s| s > 0)
+    }
+}
+
+/// A recorded execution timeline: the link-class size vector at every round
+/// of a run, plus the derived analyses of §3.3.
+///
+/// Build one incrementally with [`ExecutionTimeline::record`] from inside a
+/// simulation loop (or the observer hook of
+/// `Simulation::run_until_resolved_with`).
+///
+/// # Example
+///
+/// ```
+/// use fading_analysis::ExecutionTimeline;
+/// use fading_channel::{SinrChannel, SinrParams};
+/// use fading_geom::Deployment;
+/// use fading_protocols::Fkn;
+/// use fading_sim::Simulation;
+///
+/// let d = Deployment::uniform_square(48, 25.0, 3);
+/// let params = SinrParams::default_single_hop().with_power_for(&d);
+/// let mut timeline = ExecutionTimeline::new(d.min_link());
+/// let mut sim = Simulation::new(d.clone(), Box::new(SinrChannel::new(params)), 3, |_| {
+///     Box::new(Fkn::new())
+/// });
+/// let result = sim.run_until_resolved_with(100_000, |s| {
+///     timeline.record(s.round(), d.points(), &s.active_ids());
+/// });
+/// assert!(result.resolved());
+/// assert_eq!(timeline.len() as u64, result.rounds_executed() + 1);
+/// assert!(timeline.is_active_monotone());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTimeline {
+    unit: f64,
+    entries: Vec<TimelineEntry>,
+}
+
+impl ExecutionTimeline {
+    /// Creates an empty timeline using `unit` as the link-class
+    /// normalization (the deployment's shortest link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is not strictly positive.
+    #[must_use]
+    pub fn new(unit: f64) -> Self {
+        assert!(unit > 0.0, "normalization unit must be positive");
+        ExecutionTimeline {
+            unit,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records a snapshot: partitions the given active set into link
+    /// classes and appends an entry.
+    pub fn record(&mut self, round: u64, positions: &[Point], active: &[NodeId]) {
+        let classes = LinkClasses::partition(positions, active, self.unit);
+        self.entries.push(TimelineEntry {
+            round,
+            active: active.len(),
+            class_sizes: classes.sizes(),
+        });
+    }
+
+    /// Number of recorded snapshots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded entries, in order.
+    #[must_use]
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// The per-round class-size vectors (the §3.3 input format).
+    #[must_use]
+    pub fn size_series(&self) -> Vec<Vec<usize>> {
+        self.entries.iter().map(|e| e.class_sizes.clone()).collect()
+    }
+
+    /// Whether the active count never increased across the timeline
+    /// (knockouts are permanent, so any violation indicates a recording or
+    /// simulation bug).
+    #[must_use]
+    pub fn is_active_monotone(&self) -> bool {
+        self.entries.windows(2).all(|w| w[1].active <= w[0].active)
+    }
+
+    /// The per-round knockout counts implied by consecutive active counts.
+    #[must_use]
+    pub fn knockouts_per_round(&self) -> Vec<usize> {
+        self.entries
+            .windows(2)
+            .map(|w| w[0].active.saturating_sub(w[1].active))
+            .collect()
+    }
+
+    /// Checks the timeline against a §3.3 class-bound schedule.
+    #[must_use]
+    pub fn adherence(&self, schedule: &ClassBoundSchedule) -> TraceAdherence {
+        schedule.adherence(&self.size_series())
+    }
+
+    /// The largest class index ever occupied (`None` for an empty or
+    /// single-node timeline).
+    #[must_use]
+    pub fn max_occupied_class(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.class_sizes.iter().rposition(|&s| s > 0))
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScheduleParams;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn records_partition_snapshots() {
+        let positions = pts(&[(0.0, 0.0), (1.0, 0.0), (10.0, 0.0), (14.0, 0.0)]);
+        let mut t = ExecutionTimeline::new(1.0);
+        t.record(0, &positions, &[0, 1, 2, 3]);
+        t.record(1, &positions, &[0, 2, 3]);
+        t.record(2, &positions, &[2]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        // Round 0: pair (0,1) class 0; pair (2,3) distance 4 → class 2.
+        assert_eq!(t.entries()[0].class_sizes, vec![2, 0, 2]);
+        assert_eq!(t.entries()[0].smallest_nonempty(), Some(0));
+        // Round 1: node 0's nearest active is node 2 at distance 10 →
+        // class 3; nodes 2 and 3 pair up at distance 4 → class 2.
+        assert_eq!(t.entries()[1].class_sizes, vec![0, 0, 2, 1]);
+        // Round 2: a single active node has no classes.
+        assert!(t.entries()[2].class_sizes.is_empty());
+        assert_eq!(t.entries()[2].smallest_nonempty(), None);
+    }
+
+    #[test]
+    fn monotonicity_and_knockouts() {
+        let positions = pts(&[(0.0, 0.0), (1.0, 0.0), (5.0, 0.0)]);
+        let mut t = ExecutionTimeline::new(1.0);
+        t.record(0, &positions, &[0, 1, 2]);
+        t.record(1, &positions, &[0, 2]);
+        t.record(2, &positions, &[0, 2]);
+        assert!(t.is_active_monotone());
+        assert_eq!(t.knockouts_per_round(), vec![1, 0]);
+        assert_eq!(t.max_occupied_class(), Some(2));
+    }
+
+    #[test]
+    fn non_monotone_is_detected() {
+        let positions = pts(&[(0.0, 0.0), (1.0, 0.0), (5.0, 0.0)]);
+        let mut t = ExecutionTimeline::new(1.0);
+        t.record(0, &positions, &[0, 1]);
+        t.record(1, &positions, &[0, 1, 2]);
+        assert!(!t.is_active_monotone());
+    }
+
+    #[test]
+    fn adherence_delegates_to_schedule() {
+        let positions = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let mut t = ExecutionTimeline::new(1.0);
+        t.record(0, &positions, &[0, 1]);
+        t.record(1, &positions, &[0]);
+        let sched = ClassBoundSchedule::new(2, 1, ScheduleParams::default());
+        let adherence = t.adherence(&sched);
+        assert!(adherence.is_monotone());
+        assert!(adherence.completion_round().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_unit() {
+        let _ = ExecutionTimeline::new(0.0);
+    }
+}

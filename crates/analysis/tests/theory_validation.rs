@@ -1,0 +1,234 @@
+//! Empirical validation of the paper's analysis lemmas against live FKN
+//! executions: Lemma 6 (good-node fraction), Corollary 7 (constant-fraction
+//! knockout), and the §3.3 class-bound schedule.
+
+use fading_analysis::{
+    separated_subset, ClassBoundSchedule, GoodNodes, LinkClasses, ScheduleParams,
+};
+use fading_channel::{SinrChannel, SinrParams};
+use fading_geom::{generators, Deployment};
+use fading_protocols::Fkn;
+use fading_sim::Simulation;
+
+const ALPHA: f64 = 3.0;
+
+fn sinr_sim(deployment: Deployment, seed: u64) -> Simulation {
+    let channel = SinrChannel::new(SinrParams::default_single_hop());
+    Simulation::new(
+        deployment,
+        Box::new(channel),
+        seed,
+        |_| Box::new(Fkn::new()),
+    )
+}
+
+/// Lemma 6: with `n_{<i} ≤ δ·n_i`, at least half of `V_i` is good.
+#[test]
+fn lemma6_dominant_class_is_mostly_good() {
+    // 40 pairs in class 3, only 2 pairs in class 0: n_{<3} = 4 ≤ δ·80 for
+    // any reasonable δ.
+    let d = generators::geometric_pairs(&[2, 0, 0, 40], 7).unwrap();
+    let active: Vec<usize> = (0..d.len()).collect();
+    let classes = LinkClasses::partition(d.points(), &active, d.min_link());
+    let good = GoodNodes::classify(d.points(), &active, &classes, ALPHA);
+    // geometric_pairs separation 1.5·2^i and min_link = 1.5 → unit 1.5, so
+    // every pair is class 0 w.r.t. its own nn... find the dominant class.
+    let sizes = classes.sizes();
+    let (dominant, _) = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .expect("some class is nonempty");
+    assert!(
+        good.good_fraction(dominant) >= 0.5,
+        "dominant class {dominant} good fraction {} (sizes {sizes:?})",
+        good.good_fraction(dominant)
+    );
+}
+
+/// Corollary 7 empirically: one FKN round on a crowded single class knocks
+/// out a constant fraction of the separated subset S_i (averaged over
+/// seeds).
+#[test]
+fn corollary7_constant_fraction_knockout() {
+    let mut fractions = Vec::new();
+    for seed in 0..10 {
+        let d = Deployment::uniform_square(200, 40.0, seed);
+        let unit = d.min_link();
+        let mut sim = sinr_sim(d.clone(), seed);
+        let before = sim.active_ids();
+        let classes = LinkClasses::partition(d.points(), &before, unit);
+        let good = GoodNodes::classify(d.points(), &before, &classes, ALPHA);
+        let i = classes.smallest_nonempty().expect("nonempty class");
+        let s_i = separated_subset(d.points(), &classes, &good, i, 2.0);
+        if s_i.len() < 5 {
+            continue;
+        }
+        sim.step();
+        let knocked = s_i.members().iter().filter(|&&u| !sim.is_active(u)).count();
+        fractions.push(knocked as f64 / s_i.len() as f64);
+    }
+    assert!(!fractions.is_empty(), "no seed produced a usable S_i");
+    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    assert!(
+        mean > 0.05,
+        "mean knockout fraction {mean} too small: knockouts are not happening"
+    );
+}
+
+/// The §3.3 schedule: a real FKN execution's link-class sizes eventually
+/// fall (permanently) below every bound vector, and the completion round is
+/// within a constant factor of the schedule horizon.
+#[test]
+fn schedule_adherence_on_real_execution() {
+    let d = Deployment::uniform_square(256, 60.0, 3);
+    let unit = d.min_link();
+    let num_classes = d.num_link_classes();
+    let n = d.len();
+    let mut sim = sinr_sim(d.clone(), 3);
+
+    // Record link-class size vectors per round until resolution.
+    let mut series: Vec<Vec<usize>> = Vec::new();
+    for _ in 0..100_000 {
+        let active = sim.active_ids();
+        let classes = LinkClasses::partition(d.points(), &active, unit);
+        series.push(classes.sizes());
+        if sim.resolved_at().is_some() {
+            break;
+        }
+        sim.step();
+    }
+    assert!(sim.resolved_at().is_some(), "run did not resolve");
+
+    let sched = ClassBoundSchedule::new(n, num_classes, ScheduleParams::default());
+    let adherence = sched.adherence(&series);
+    assert!(adherence.is_monotone());
+    assert_eq!(
+        adherence.coverage(),
+        1.0,
+        "execution never satisfied some bound: {adherence:?}"
+    );
+    let completion = adherence.completion_round().unwrap();
+    // Theorem 1: completion within O(horizon) rounds. The schedule counts
+    // *steps*; each step needs O(1) rounds (segments), so allow a generous
+    // constant.
+    let horizon = sched.horizon();
+    assert!(
+        completion <= 20 * horizon + 100,
+        "completion {completion} vs horizon {horizon}"
+    );
+}
+
+/// Migration: knocking out a node can only move its old neighbors to LARGER
+/// classes ("no node can join a smaller link class").
+#[test]
+fn knockouts_never_shrink_class_indices() {
+    let d = Deployment::uniform_square(128, 30.0, 11);
+    let unit = d.min_link();
+    let mut sim = sinr_sim(d.clone(), 11);
+    let mut prev: Option<LinkClasses> = None;
+    for _ in 0..60 {
+        let active = sim.active_ids();
+        if active.len() < 2 {
+            break;
+        }
+        let classes = LinkClasses::partition(d.points(), &active, unit);
+        if let Some(ref p) = prev {
+            for &u in &active {
+                if let (Some(old), Some(new)) = (p.class_of(u), classes.class_of(u)) {
+                    assert!(
+                        new >= old,
+                        "node {u} migrated from class {old} down to {new}"
+                    );
+                }
+            }
+        }
+        prev = Some(classes);
+        sim.step();
+    }
+}
+
+/// The smallest nonempty class empties fastest on multi-scale deployments:
+/// by the time the run resolves, classes vanished bottom-up in the trace.
+#[test]
+fn smallest_class_index_is_monotone_in_time() {
+    let d = generators::clustered(6, 20, 0.8, 200.0, 5).unwrap();
+    let unit = d.min_link();
+    let mut sim = sinr_sim(d.clone(), 5);
+    let mut smallest_seen: Vec<usize> = Vec::new();
+    for _ in 0..100_000 {
+        let active = sim.active_ids();
+        if active.len() < 2 || sim.resolved_at().is_some() {
+            break;
+        }
+        let classes = LinkClasses::partition(d.points(), &active, unit);
+        if let Some(s) = classes.smallest_nonempty() {
+            smallest_seen.push(s);
+        }
+        sim.step();
+    }
+    assert!(!smallest_seen.is_empty());
+    // Not strictly monotone round-by-round (migration can fill a small
+    // class), but the final smallest index must be >= the initial one, and
+    // large regressions should not occur.
+    let first = smallest_seen[0];
+    let last = *smallest_seen.last().unwrap();
+    assert!(
+        last >= first,
+        "smallest class regressed from {first} to {last}"
+    );
+}
+
+/// Lemmas 3 and 4, live: over real FKN rounds, the outside interference at
+/// most members of S_i stays within a constant number of budget units, and
+/// the worst-case inside interference (everyone in S_i ∪ T_i transmitting)
+/// is bounded for every member.
+#[test]
+fn lemma3_and_lemma4_interference_budgets() {
+    use fading_analysis::{check_lemmas, separated_subset};
+    use fading_channel::SinrParams;
+    use fading_sim::Action;
+
+    let mut outside_fracs = Vec::new();
+    let mut inside_fracs = Vec::new();
+    for seed in 0..8 {
+        let d = Deployment::uniform_square(200, 40.0, seed);
+        let unit = d.min_link();
+        let params = SinrParams::default_single_hop().with_power_for(&d);
+        let active: Vec<usize> = (0..d.len()).collect();
+        let classes = LinkClasses::partition(d.points(), &active, unit);
+        let good = GoodNodes::classify(d.points(), &active, &classes, ALPHA);
+        let Some(i) = classes.smallest_nonempty() else {
+            continue;
+        };
+        let s_i = separated_subset(d.points(), &classes, &good, i, 2.0);
+        if s_i.len() < 5 {
+            continue;
+        }
+        // Draw one round of FKN transmitters (p = 0.05) from the active set.
+        use rand::Rng;
+        let mut rng = fading_sim::node_rng(seed, 0);
+        let transmitters: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(0.05))
+            .collect();
+        let _ = Action::Listen; // silence unused-import lint on some cfgs
+                                // Budgets: generous constants — the lemmas allow any constant c.
+        let check = check_lemmas(d.points(), &s_i, &params, unit, &transmitters, 50.0, 50.0);
+        outside_fracs.push(check.outside_ok_fraction);
+        inside_fracs.push(check.inside_ok_fraction);
+    }
+    assert!(!outside_fracs.is_empty(), "no usable S_i found");
+    // Lemma 3: at least half the members within budget (we require the
+    // average across seeds to clear it comfortably).
+    let mean_outside = outside_fracs.iter().sum::<f64>() / outside_fracs.len() as f64;
+    assert!(
+        mean_outside >= 0.5,
+        "outside-budget fraction {mean_outside} below Lemma 3's guarantee"
+    );
+    // Lemma 4 is deterministic: every member within budget, every seed.
+    for (k, f) in inside_fracs.iter().enumerate() {
+        assert_eq!(*f, 1.0, "seed {k}: inside budget violated");
+    }
+}

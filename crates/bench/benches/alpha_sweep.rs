@@ -1,0 +1,42 @@
+//! E6 bench: run-to-resolution wall-clock across path-loss exponents
+//! (non-integer alphas also exercise the slow `powf` path of the SINR
+//! kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use fading_cr::prelude::*;
+
+fn bench_e6(c: &mut Criterion) {
+    let n = 512;
+    let mut group = c.benchmark_group("e6_alpha_sweep");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &alpha in &[2.1f64, 3.0, 4.0, 6.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let d = Deployment::uniform_density(n, 0.25, seed);
+                let params = SinrParams::builder()
+                    .alpha(alpha)
+                    .build()
+                    .expect("valid alpha")
+                    .with_power_for(&d);
+                Simulation::new(d, Box::new(SinrChannel::new(params)), seed, |_| {
+                    Box::new(Fkn::new())
+                })
+                .run_until_resolved(2_000_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_e6
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Kernel benches for the analysis machinery (E7–E9 building blocks):
+//! link-class partition, good-node classification, separated-subset
+//! construction, and schedule adherence checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use fading_cr::analysis::{
+    separated_subset, ClassBoundSchedule, GoodNodes, LinkClasses, ScheduleParams,
+};
+use fading_cr::prelude::*;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_class_partition");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    for &n in &[256usize, 1024, 4096] {
+        let d = Deployment::uniform_density(n, 0.25, 5);
+        let active: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| LinkClasses::partition(d.points(), &active, d.min_link()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_good_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("good_node_classification");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let d = Deployment::uniform_density(n, 0.25, 5);
+        let active: Vec<usize> = (0..n).collect();
+        let classes = LinkClasses::partition(d.points(), &active, d.min_link());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| GoodNodes::classify(d.points(), &active, &classes, 3.0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_separated_subset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("separated_subset");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    let n = 1024;
+    let d = Deployment::uniform_density(n, 0.25, 5);
+    let active: Vec<usize> = (0..n).collect();
+    let classes = LinkClasses::partition(d.points(), &active, d.min_link());
+    let good = GoodNodes::classify(d.points(), &active, &classes, 3.0);
+    let i = classes.smallest_nonempty().expect("nonempty class");
+    group.bench_function("smallest_class", |b| {
+        b.iter(|| separated_subset(d.points(), &classes, &good, i, 2.0));
+    });
+    group.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_adherence");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    let sched = ClassBoundSchedule::new(4096, 12, ScheduleParams::default());
+    // A synthetic 300-round trace of 12-class size vectors.
+    let series: Vec<Vec<usize>> = (0..300u64)
+        .map(|r| {
+            (0..12)
+                .map(|i| sched.bound(r / 3, i).floor() as usize)
+                .collect()
+        })
+        .collect();
+    group.bench_function("adherence_300_rounds", |b| {
+        b.iter(|| sched.adherence(&series));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_partition, bench_good_nodes, bench_separated_subset, bench_schedule
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Kernel benches: per-round channel resolution cost across models and
+//! sizes — the inner loop of every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+use fading_cr::prelude::*;
+
+fn split(n: usize) -> (Vec<usize>, Vec<usize>) {
+    // 25% transmitters, the FKN default.
+    let transmitters: Vec<usize> = (0..n).step_by(4).collect();
+    let listeners: Vec<usize> = (0..n).filter(|i| i % 4 != 0).collect();
+    (transmitters, listeners)
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_resolve");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    for &n in &[256usize, 1024, 4096] {
+        let d = Deployment::uniform_density(n, 0.25, 7);
+        let positions = d.points().to_vec();
+        let (tx, rx) = split(n);
+        let params = SinrParams::default_single_hop().with_power_for(&d);
+
+        let sinr = SinrChannel::new(params);
+        group.bench_with_input(BenchmarkId::new("sinr", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(0);
+            b.iter(|| sinr.resolve(&positions, &tx, &rx, &mut rng));
+        });
+
+        let rayleigh = RayleighSinrChannel::new(params);
+        group.bench_with_input(BenchmarkId::new("rayleigh", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(0);
+            b.iter(|| rayleigh.resolve(&positions, &tx, &rx, &mut rng));
+        });
+
+        let radio = RadioChannel::new();
+        group.bench_with_input(BenchmarkId::new("radio", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(0);
+            b.iter(|| radio.resolve(&positions, &tx, &rx, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pow_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pow_alpha");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    let d_sq: Vec<f64> = (1..1000).map(|i| f64::from(i) * 0.37).collect();
+    for &alpha in &[2.5f64, 3.0, 4.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| {
+                d_sq.iter()
+                    .map(|&x| fading_cr::channel::pow_alpha(x, alpha))
+                    .sum::<f64>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_channels, bench_pow_alpha
+}
+criterion_main!(benches);

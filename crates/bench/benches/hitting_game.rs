@@ -1,0 +1,50 @@
+//! E10 bench: hitting-game wall-clock per player strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use fading_cr::prelude::*;
+
+fn bench_e10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_hitting_game");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    for &k in &[64usize, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::new("halving", k), &k, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut game = RestrictedHitting::new(k, seed).expect("k >= 2");
+                let mut player = HalvingPlayer::new(k);
+                game.play(&mut player, 10_000, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("random", k), &k, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut game = RestrictedHitting::new(k, seed).expect("k >= 2");
+                let mut player = UniformRandomPlayer::new(k);
+                game.play(&mut player, 10_000, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fkn_reduction", k), &k, |b, &k| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut game = RestrictedHitting::new(k, seed).expect("k >= 2");
+                let mut player = ProtocolPlayer::new(k, seed, |_| Box::new(Fkn::new()));
+                game.play(&mut player, 100_000, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_e10
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 bench: run-to-resolution wall-clock across FKN broadcast
+//! probabilities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use fading_cr::prelude::*;
+
+fn bench_e5(c: &mut Criterion) {
+    let n = 512;
+    let mut group = c.benchmark_group("e5_p_sweep");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &p in &[0.05f64, 0.25, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let d = Deployment::uniform_density(n, 0.25, seed);
+                let params = SinrParams::default_single_hop().with_power_for(&d);
+                Simulation::new(d, Box::new(SinrChannel::new(params)), seed, |_| {
+                    Box::new(Fkn::with_probability(p).expect("valid p"))
+                })
+                .run_until_resolved(2_000_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_e5
+}
+criterion_main!(benches);

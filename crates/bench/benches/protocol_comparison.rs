@@ -1,0 +1,56 @@
+//! E3 bench: run-to-resolution wall-clock per protocol on the SINR channel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use fading_cr::prelude::*;
+
+fn run_protocol(kind: ProtocolKind, n: usize, seed: u64) -> RunResult {
+    let d = Deployment::uniform_density(n, 0.25, seed);
+    let params = SinrParams::default_single_hop().with_power_for(&d);
+    Simulation::new(d, Box::new(SinrChannel::new(params)), seed, |id| {
+        kind.build(id)
+    })
+    .run_until_resolved(2_000_000)
+}
+
+fn bench_e3(c: &mut Criterion) {
+    let n = 512;
+    let mut group = c.benchmark_group("e3_protocols_on_sinr");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let kinds = [
+        ProtocolKind::fkn_default(),
+        ProtocolKind::Aloha { n },
+        ProtocolKind::DecayClassic,
+        ProtocolKind::Decay,
+        ProtocolKind::JurdzinskiStachowiak { n_bound: 2 * n },
+        ProtocolKind::CyclicSweep { n_bound: 2 * n },
+        ProtocolKind::FknInterleavedJs {
+            p: 0.25,
+            n_bound: 2 * n,
+        },
+    ];
+    for kind in kinds {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_protocol(kind, n, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_e3
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E2 bench: wall-clock of FKN resolution on geometric chains as R grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use fading_cr::prelude::*;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_rounds_vs_r");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &pow in &[8u32, 16, 24] {
+        group.bench_with_input(BenchmarkId::new("r_2pow", pow), &pow, |b, &pow| {
+            let ratio = 2f64.powi(pow as i32);
+            let d = generators::geometric_line(24, ratio).expect("valid chain");
+            let params = SinrParams::default_single_hop().with_power_for(&d);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Simulation::new(d.clone(), Box::new(SinrChannel::new(params)), seed, |_| {
+                    Box::new(Fkn::new())
+                })
+                .run_until_resolved(1_000_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_e2
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Kernel benches: full run-to-resolution latency of the simulator with the
+//! paper's algorithm, across n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use fading_cr::prelude::*;
+
+fn bench_fkn_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fkn_run_to_resolution");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let d = Deployment::uniform_density(n, 0.25, seed);
+                let params = SinrParams::default_single_hop().with_power_for(&d);
+                let mut sim = Simulation::new(d, Box::new(SinrChannel::new(params)), seed, |_| {
+                    Box::new(Fkn::new())
+                });
+                sim.run_until_resolved(1_000_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fkn_first_step");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let d = Deployment::uniform_density(n, 0.25, 3);
+            let params = SinrParams::default_single_hop().with_power_for(&d);
+            b.iter(|| {
+                // Rebuild to measure a fresh (maximum-contention) round.
+                let mut sim =
+                    Simulation::new(d.clone(), Box::new(SinrChannel::new(params)), 3, |_| {
+                        Box::new(Fkn::new())
+                    });
+                sim.step()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_fkn_run, bench_single_step
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ad-hoc single-configuration runs for exploration.
+//!
+//! Usage:
+//!
+//! ```text
+//! sweep [--n <n>] [--protocol <fkn|decay|decay-classic|aloha|js|sweep|fixed>]
+//!       [--channel <sinr|radio|radio-cd|rayleigh>] [--p <prob>]
+//!       [--alpha <a>] [--trials <t>] [--seed <s>] [--max-rounds <r>]
+//! ```
+//!
+//! Prints a one-line distribution summary, e.g. to eyeball a configuration
+//! before wiring it into an experiment.
+
+use fading_cr::experiments::ExperimentConfig;
+use fading_cr::prelude::*;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = flag(&args, "--n").map_or(256, |v| v.parse().expect("--n"));
+    let trials: usize = flag(&args, "--trials").map_or(50, |v| v.parse().expect("--trials"));
+    let seed: u64 = flag(&args, "--seed").map_or(1, |v| v.parse().expect("--seed"));
+    let max_rounds: u64 =
+        flag(&args, "--max-rounds").map_or(1_000_000, |v| v.parse().expect("--max-rounds"));
+    let p: f64 = flag(&args, "--p").map_or(0.25, |v| v.parse().expect("--p"));
+    let alpha: f64 = flag(&args, "--alpha").map_or(3.0, |v| v.parse().expect("--alpha"));
+
+    let protocol = match flag(&args, "--protocol").as_deref().unwrap_or("fkn") {
+        "fkn" => ProtocolKind::Fkn { p },
+        "decay" => ProtocolKind::Decay,
+        "decay-classic" => ProtocolKind::DecayClassic,
+        "aloha" => ProtocolKind::Aloha { n },
+        "js" => ProtocolKind::JurdzinskiStachowiak { n_bound: 2 * n },
+        "sweep" => ProtocolKind::CyclicSweep { n_bound: 2 * n },
+        "fixed" => ProtocolKind::FixedProbability { p },
+        other => {
+            eprintln!("unknown protocol: {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let channel_name = flag(&args, "--channel").unwrap_or_else(|| "sinr".to_string());
+    let cfg = ExperimentConfig {
+        trials,
+        seed,
+        max_rounds,
+        ..ExperimentConfig::quick()
+    };
+
+    let results = montecarlo::run_trials(cfg.trials, cfg.threads, cfg.seed, |s| {
+        let d = Deployment::uniform_density(n, 0.25, s);
+        let params = SinrParams::builder()
+            .alpha(alpha)
+            .build()
+            .expect("valid alpha")
+            .with_power_for(&d);
+        let kind = match channel_name.as_str() {
+            "sinr" => ChannelKind::Sinr(params),
+            "radio" => ChannelKind::Radio,
+            "radio-cd" => ChannelKind::RadioCd,
+            "rayleigh" => ChannelKind::RayleighSinr(params),
+            other => {
+                eprintln!("unknown channel: {other}");
+                std::process::exit(2);
+            }
+        };
+        let mut sim = Simulation::new(d, kind.build(), s, |id| protocol.build(id));
+        sim.run_until_resolved(cfg.max_rounds)
+    });
+    let s = montecarlo::Summary::from_results(&results);
+    println!(
+        "n={n} protocol={} channel={channel_name} trials={trials}: success={:.3} mean={:.1} median={:.1} p95={:.1} max={}",
+        protocol.label(),
+        s.success_rate,
+        s.mean_rounds,
+        s.median_rounds,
+        s.p95_rounds,
+        s.max_rounds
+    );
+}

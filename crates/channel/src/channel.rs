@@ -1,0 +1,59 @@
+//! The sealed [`Channel`] trait.
+
+use rand::rngs::SmallRng;
+
+use fading_geom::Point;
+
+use crate::{NodeId, Reception};
+
+pub(crate) mod sealed {
+    /// Prevents downstream implementations so the trait can evolve.
+    pub trait Sealed {}
+}
+
+/// A synchronous-round wireless channel model.
+///
+/// Given the node positions, the set of transmitters, and the set of
+/// listeners for one round, a channel decides what every listener observes.
+/// All channels in this crate are memoryless across rounds; stochastic
+/// channels (e.g. [`RayleighSinrChannel`](crate::RayleighSinrChannel)) draw
+/// their per-round fading coefficients from the supplied `rng`, so a run is
+/// reproducible given the rng seed.
+///
+/// This trait is **sealed**: it cannot be implemented outside this crate
+/// (the model set is part of the reproduction's fidelity contract). It is
+/// object-safe, so simulators can hold a `Box<dyn Channel>`.
+pub trait Channel: sealed::Sealed + Send + Sync + std::fmt::Debug {
+    /// Resolves one round: returns what each node in `listeners` observes
+    /// (in the same order as `listeners`).
+    ///
+    /// `transmitters` and `listeners` must be disjoint index sets into
+    /// `positions`; a node cannot transmit and listen in the same round
+    /// (half-duplex, per the model section of the paper).
+    fn resolve(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        rng: &mut SmallRng,
+    ) -> Vec<Reception>;
+
+    /// A short stable name for reports and tables (e.g. `"sinr"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether listeners on this channel can distinguish collisions from
+    /// silence (true only for collision-detection channels).
+    fn supports_collision_detection(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_trait_is_object_safe() {
+        fn _takes_dyn(_c: &dyn Channel) {}
+    }
+}

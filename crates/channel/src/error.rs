@@ -1,0 +1,71 @@
+//! Error types for channel construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating channel models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChannelError {
+    /// A physical-model parameter violated its documented constraint.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// The transmission power is too small for the deployment to form a
+    /// single-hop network (the paper's admissibility condition
+    /// `P > c·β·N·d(u,v)^α` fails for the longest link).
+    NotSingleHop {
+        /// The supplied power.
+        power: f64,
+        /// The minimum power the deployment requires.
+        required: f64,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::InvalidParameter {
+                name,
+                reason,
+                value,
+            } => {
+                write!(f, "invalid parameter `{name}` = {value}: {reason}")
+            }
+            ChannelError::NotSingleHop { power, required } => write!(
+                f,
+                "power {power} too small for a single-hop deployment (needs > {required})"
+            ),
+        }
+    }
+}
+
+impl Error for ChannelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ChannelError::InvalidParameter {
+            name: "alpha",
+            reason: "must exceed 2",
+            value: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("alpha"));
+        assert!(msg.contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChannelError>();
+    }
+}

@@ -1,0 +1,335 @@
+//! SINR model parameters.
+
+use serde::{Deserialize, Serialize};
+
+use fading_geom::Deployment;
+
+use crate::sinr::pow_alpha;
+use crate::ChannelError;
+
+/// The constant `c` in the paper's single-hop admissibility condition
+/// `P > c · β · N · d(u,v)^α` ("it is sufficient to assume `c ≥ 4`").
+pub const DEFAULT_SINGLE_HOP_MARGIN: f64 = 4.0;
+
+/// Parameters of the SINR (physical / fading) model — Equation 1 of the
+/// paper.
+///
+/// * `power` — the fixed transmission power `P` (all nodes transmit at the
+///   same power; the paper studies the fixed-power regime).
+/// * `alpha` — the path-loss exponent `α`, required to be **strictly greater
+///   than 2**; the gap `α − 2` is exactly the "spatial reuse" slack the
+///   paper's analysis exploits.
+/// * `beta` — the decoding threshold `β ≥ 1`.
+/// * `noise` — the ambient noise `N ≥ 0`.
+///
+/// Construct via [`SinrParams::builder`] (validated) or start from
+/// [`SinrParams::default_single_hop`].
+///
+/// # Example
+///
+/// ```
+/// use fading_channel::SinrParams;
+///
+/// let p = SinrParams::builder()
+///     .power(1e9)
+///     .alpha(3.0)
+///     .beta(2.0)
+///     .noise(1.0)
+///     .build()?;
+/// assert_eq!(p.alpha(), 3.0);
+/// // ε = α/2 − 1 from Definition 1 of the paper.
+/// assert_eq!(p.epsilon(), 0.5);
+/// # Ok::<(), fading_channel::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinrParams {
+    power: f64,
+    alpha: f64,
+    beta: f64,
+    noise: f64,
+}
+
+impl SinrParams {
+    /// Starts building a parameter set. Unset fields use the defaults of
+    /// [`SinrParams::default_single_hop`].
+    #[must_use]
+    pub fn builder() -> SinrParamsBuilder {
+        SinrParamsBuilder::default()
+    }
+
+    /// A standard parameter set (`α = 3`, `β = 2`, `N = 1`) with power high
+    /// enough (`P = 10^12`) that any deployment of diameter up to a few
+    /// thousand distance units is comfortably single-hop.
+    ///
+    /// This is the interference-limited regime: noise is negligible relative
+    /// to signal, which is exactly the setting in which the paper's
+    /// single-hop assumption holds with a large constant margin.
+    #[must_use]
+    pub fn default_single_hop() -> Self {
+        SinrParams {
+            power: 1e12,
+            alpha: 3.0,
+            beta: 2.0,
+            noise: 1.0,
+        }
+    }
+
+    /// The transmission power `P`.
+    #[must_use]
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// The path-loss exponent `α`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The decoding threshold `β`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The ambient noise `N`.
+    #[must_use]
+    pub fn noise(&self) -> f64 {
+        self.noise
+    }
+
+    /// The paper's `ε = α/2 − 1` (Definition 1): the exponent gap between
+    /// quadratic annulus growth and super-quadratic signal decay. Positive
+    /// exactly when `α > 2`.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.alpha / 2.0 - 1.0
+    }
+
+    /// Received power at distance `d` (i.e. `P / d^α`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `d` is not strictly positive.
+    #[must_use]
+    pub fn received_power(&self, d: f64) -> f64 {
+        debug_assert!(d > 0.0, "distance must be positive");
+        self.power / pow_alpha(d * d, self.alpha)
+    }
+
+    /// The minimum power required for `deployment` to be single-hop with
+    /// margin `c`: `c · β · N · (longest link)^α`.
+    #[must_use]
+    pub fn required_single_hop_power(&self, deployment: &Deployment, margin: f64) -> f64 {
+        let d = deployment.max_link();
+        margin * self.beta * self.noise * pow_alpha(d * d, self.alpha)
+    }
+
+    /// Checks the paper's single-hop admissibility condition
+    /// `P > c · β · N · d(u,v)^α` for every pair, using the default margin
+    /// `c = 4` ([`DEFAULT_SINGLE_HOP_MARGIN`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::NotSingleHop`] with the required power if the
+    /// condition fails.
+    pub fn admits_single_hop(&self, deployment: &Deployment) -> Result<(), ChannelError> {
+        let required = self.required_single_hop_power(deployment, DEFAULT_SINGLE_HOP_MARGIN);
+        if self.power > required {
+            Ok(())
+        } else {
+            Err(ChannelError::NotSingleHop {
+                power: self.power,
+                required,
+            })
+        }
+    }
+
+    /// Returns a copy with power set exactly large enough for `deployment`
+    /// to be single-hop with margin `c = 2 · DEFAULT_SINGLE_HOP_MARGIN`
+    /// (double the paper's minimum, so the condition holds strictly).
+    #[must_use]
+    pub fn with_power_for(&self, deployment: &Deployment) -> Self {
+        let mut out = *self;
+        out.power = self.required_single_hop_power(deployment, 2.0 * DEFAULT_SINGLE_HOP_MARGIN);
+        out
+    }
+}
+
+impl Default for SinrParams {
+    fn default() -> Self {
+        Self::default_single_hop()
+    }
+}
+
+/// Builder for [`SinrParams`]; validates all constraints at
+/// [`SinrParamsBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct SinrParamsBuilder {
+    power: f64,
+    alpha: f64,
+    beta: f64,
+    noise: f64,
+}
+
+impl Default for SinrParamsBuilder {
+    fn default() -> Self {
+        let d = SinrParams::default_single_hop();
+        SinrParamsBuilder {
+            power: d.power,
+            alpha: d.alpha,
+            beta: d.beta,
+            noise: d.noise,
+        }
+    }
+}
+
+impl SinrParamsBuilder {
+    /// Sets the transmission power `P` (must be strictly positive).
+    pub fn power(&mut self, power: f64) -> &mut Self {
+        self.power = power;
+        self
+    }
+
+    /// Sets the path-loss exponent `α` (must satisfy `α > 2`).
+    pub fn alpha(&mut self, alpha: f64) -> &mut Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the decoding threshold `β` (must satisfy `β ≥ 1`).
+    pub fn beta(&mut self, beta: f64) -> &mut Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the ambient noise `N` (must satisfy `N ≥ 0`).
+    pub fn noise(&mut self, noise: f64) -> &mut Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Validates and produces the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::InvalidParameter`] if any constraint is
+    /// violated (`P > 0`, `α > 2`, `β ≥ 1`, `N ≥ 0`, all finite).
+    pub fn build(&self) -> Result<SinrParams, ChannelError> {
+        if !(self.power > 0.0) || !self.power.is_finite() {
+            return Err(ChannelError::InvalidParameter {
+                name: "power",
+                reason: "must be strictly positive and finite",
+                value: self.power,
+            });
+        }
+        if !(self.alpha > 2.0) || !self.alpha.is_finite() {
+            return Err(ChannelError::InvalidParameter {
+                name: "alpha",
+                reason: "the fading model requires alpha > 2",
+                value: self.alpha,
+            });
+        }
+        if !(self.beta >= 1.0) || !self.beta.is_finite() {
+            return Err(ChannelError::InvalidParameter {
+                name: "beta",
+                reason: "must be at least 1",
+                value: self.beta,
+            });
+        }
+        if !(self.noise >= 0.0) || !self.noise.is_finite() {
+            return Err(ChannelError::InvalidParameter {
+                name: "noise",
+                reason: "must be non-negative and finite",
+                value: self.noise,
+            });
+        }
+        Ok(SinrParams {
+            power: self.power,
+            alpha: self.alpha,
+            beta: self.beta,
+            noise: self.noise,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_geom::Point;
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = SinrParams::builder().build().unwrap();
+        assert_eq!(built, SinrParams::default_single_hop());
+        assert_eq!(built, SinrParams::default());
+    }
+
+    #[test]
+    fn builder_rejects_bad_alpha() {
+        assert!(SinrParams::builder().alpha(2.0).build().is_err());
+        assert!(SinrParams::builder().alpha(1.0).build().is_err());
+        assert!(SinrParams::builder().alpha(f64::NAN).build().is_err());
+        assert!(SinrParams::builder().alpha(2.0001).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_beta_noise_power() {
+        assert!(SinrParams::builder().beta(0.5).build().is_err());
+        assert!(SinrParams::builder().noise(-1.0).build().is_err());
+        assert!(SinrParams::builder().power(0.0).build().is_err());
+        assert!(SinrParams::builder().power(f64::INFINITY).build().is_err());
+    }
+
+    #[test]
+    fn epsilon_formula() {
+        let p = SinrParams::builder().alpha(4.0).build().unwrap();
+        assert_eq!(p.epsilon(), 1.0);
+        let q = SinrParams::builder().alpha(2.5).build().unwrap();
+        assert!((q.epsilon() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn received_power_decays_with_alpha() {
+        let p = SinrParams::builder().power(8.0).alpha(3.0).build().unwrap();
+        assert!((p.received_power(2.0) - 1.0).abs() < 1e-12); // 8 / 2^3
+        assert!(p.received_power(1.0) > p.received_power(2.0));
+    }
+
+    #[test]
+    fn single_hop_admissibility() {
+        let d = Deployment::from_points(vec![Point::ORIGIN, Point::new(10.0, 0.0)]).unwrap();
+        // required = 4 * 2 * 1 * 10^3 = 8000
+        let weak = SinrParams::builder().power(8000.0).build().unwrap();
+        assert!(weak.admits_single_hop(&d).is_err()); // strict inequality
+        let strong = SinrParams::builder().power(8001.0).build().unwrap();
+        assert!(strong.admits_single_hop(&d).is_ok());
+    }
+
+    #[test]
+    fn with_power_for_is_admissible() {
+        let d = Deployment::from_points(vec![Point::ORIGIN, Point::new(123.0, 45.0)]).unwrap();
+        let p = SinrParams::builder().power(1.0).build().unwrap();
+        assert!(p.admits_single_hop(&d).is_err());
+        let fixed = p.with_power_for(&d);
+        assert!(fixed.admits_single_hop(&d).is_ok());
+    }
+
+    #[test]
+    fn required_power_uses_longest_link() {
+        let d = Deployment::from_points(vec![
+            Point::ORIGIN,
+            Point::new(1.0, 0.0),
+            Point::new(4.0, 0.0),
+        ])
+        .unwrap();
+        let p = SinrParams::builder()
+            .alpha(3.0)
+            .beta(2.0)
+            .noise(1.0)
+            .build()
+            .unwrap();
+        // 4 * 2 * 1 * 4^3 = 512
+        assert!((p.required_single_hop_power(&d, 4.0) - 512.0).abs() < 1e-9);
+    }
+}

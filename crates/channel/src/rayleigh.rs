@@ -1,0 +1,184 @@
+//! Stochastic (Rayleigh) fading extension of the SINR channel.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use fading_geom::Point;
+
+use crate::channel::{sealed, Channel};
+use crate::sinr::pow_alpha;
+use crate::{NodeId, Reception, SinrParams};
+
+/// A SINR channel with Rayleigh fading: every transmitter–listener power
+/// gain is multiplied by an independent `Exp(1)` coefficient, redrawn each
+/// round.
+///
+/// The PODC'16 paper analyzes the deterministic geometric-path-loss model;
+/// stochastic fading is the natural "future work" robustness check (the
+/// algorithm itself is oblivious to the channel). Expected gains equal the
+/// deterministic model's, so the deterministic channel is recovered in the
+/// mean; individual rounds, however, can deliver lucky captures or unlucky
+/// deep fades.
+///
+/// Randomness comes from the `rng` passed to [`Channel::resolve`], so runs
+/// remain reproducible under a fixed seed.
+///
+/// # Example
+///
+/// ```
+/// use fading_channel::{Channel, RayleighSinrChannel, SinrParams};
+/// use fading_geom::Point;
+/// use rand::SeedableRng;
+///
+/// let ch = RayleighSinrChannel::new(SinrParams::default_single_hop());
+/// let pos = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let rx = ch.resolve(&pos, &[0], &[1], &mut rng);
+/// assert_eq!(rx.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RayleighSinrChannel {
+    params: SinrParams,
+}
+
+impl RayleighSinrChannel {
+    /// Creates a Rayleigh-fading SINR channel.
+    #[must_use]
+    pub fn new(params: SinrParams) -> Self {
+        RayleighSinrChannel { params }
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &SinrParams {
+        &self.params
+    }
+}
+
+/// Draws an `Exp(1)` variate (the power gain of a Rayleigh amplitude).
+fn exp1(rng: &mut SmallRng) -> f64 {
+    // Inverse CDF; guard the log away from 0.
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
+impl sealed::Sealed for RayleighSinrChannel {}
+
+impl Channel for RayleighSinrChannel {
+    fn resolve(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        let p = self.params.power();
+        let alpha = self.params.alpha();
+        let beta = self.params.beta();
+        let noise = self.params.noise();
+        let mut out = Vec::with_capacity(listeners.len());
+        for &v in listeners {
+            let vp = positions[v];
+            let mut total = 0.0;
+            let mut best_sig = 0.0;
+            let mut best_tx: Option<NodeId> = None;
+            for &u in transmitters {
+                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
+                let gain = exp1(rng);
+                let sig = gain * p / pow_alpha(positions[u].distance_sq(vp), alpha);
+                total += sig;
+                if sig > best_sig {
+                    best_sig = sig;
+                    best_tx = Some(u);
+                }
+            }
+            let reception = match best_tx {
+                Some(u) if best_sig >= beta * (noise + (total - best_sig)) => {
+                    Reception::Message { from: u }
+                }
+                _ => Reception::Silence,
+            };
+            out.push(reception);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "rayleigh-sinr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn params() -> SinrParams {
+        SinrParams::builder()
+            .power(16.0)
+            .alpha(3.0)
+            .beta(2.0)
+            .noise(1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reproducible_under_fixed_seed() {
+        let ch = RayleighSinrChannel::new(params());
+        let pos = [Point::ORIGIN, Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let a = ch.resolve(&pos, &[0, 2], &[1], &mut SmallRng::seed_from_u64(5));
+        let b = ch.resolve(&pos, &[0, 2], &[1], &mut SmallRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strong_solo_link_usually_decodes() {
+        // d = 1, signal mean 16, threshold beta*(noise) = 2. The fade must
+        // be below 1/8 to fail: probability 1 - e^{-1/8} ≈ 0.118.
+        let ch = RayleighSinrChannel::new(params());
+        let pos = [Point::ORIGIN, Point::new(1.0, 0.0)];
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut received = 0;
+        let trials = 2_000;
+        for _ in 0..trials {
+            if ch.resolve(&pos, &[0], &[1], &mut rng)[0].is_message() {
+                received += 1;
+            }
+        }
+        let rate = f64::from(received) / f64::from(trials);
+        assert!(
+            (rate - (-0.125f64).exp()).abs() < 0.03,
+            "observed decode rate {rate}"
+        );
+    }
+
+    #[test]
+    fn deep_fade_can_block_a_strong_link() {
+        // Over many trials at least one failure must occur for a link whose
+        // deterministic SINR would always pass.
+        let ch = RayleighSinrChannel::new(params());
+        let pos = [Point::ORIGIN, Point::new(1.0, 0.0)];
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut failures = 0;
+        for _ in 0..500 {
+            if !ch.resolve(&pos, &[0], &[1], &mut rng)[0].is_message() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "Rayleigh fading never produced a deep fade");
+    }
+
+    #[test]
+    fn no_transmitters_is_silence() {
+        let ch = RayleighSinrChannel::new(params());
+        let pos = [Point::ORIGIN, Point::new(1.0, 0.0)];
+        let rx = ch.resolve(&pos, &[], &[0, 1], &mut SmallRng::seed_from_u64(0));
+        assert_eq!(rx, vec![Reception::Silence; 2]);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(RayleighSinrChannel::new(params()).name(), "rayleigh-sinr");
+    }
+}

@@ -1,0 +1,69 @@
+//! What a listening node observes in one round.
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// The outcome of one round of listening, as observed by a single node.
+///
+/// On the SINR channel and the plain radio channel only [`Reception::Silence`]
+/// and [`Reception::Message`] occur; [`Reception::Collision`] is produced
+/// only by collision-detection channels ([`RadioCdChannel`]), where a
+/// receiver can distinguish "two or more transmitters" from "none".
+///
+/// [`RadioCdChannel`]: crate::RadioCdChannel
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reception {
+    /// Nothing decodable was heard, and (on CD channels) no energy detected.
+    Silence,
+    /// A message from node `from` was successfully decoded.
+    Message {
+        /// The transmitting node.
+        from: NodeId,
+    },
+    /// Energy was detected but no message decoded (CD channels only).
+    Collision,
+}
+
+impl Reception {
+    /// `true` iff a message was decoded.
+    #[must_use]
+    pub fn is_message(&self) -> bool {
+        matches!(self, Reception::Message { .. })
+    }
+
+    /// The sender, if a message was decoded.
+    #[must_use]
+    pub fn sender(&self) -> Option<NodeId> {
+        match self {
+            Reception::Message { from } => Some(*from),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Reception {
+    fn default() -> Self {
+        Reception::Silence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_accessors() {
+        let m = Reception::Message { from: 7 };
+        assert!(m.is_message());
+        assert_eq!(m.sender(), Some(7));
+        assert!(!Reception::Silence.is_message());
+        assert_eq!(Reception::Silence.sender(), None);
+        assert_eq!(Reception::Collision.sender(), None);
+    }
+
+    #[test]
+    fn default_is_silence() {
+        assert_eq!(Reception::default(), Reception::Silence);
+    }
+}

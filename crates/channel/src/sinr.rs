@@ -1,0 +1,317 @@
+//! The SINR (physical / fading) channel — Equation 1 of the paper.
+
+use rand::rngs::SmallRng;
+
+use fading_geom::Point;
+
+use crate::channel::{sealed, Channel};
+use crate::{NodeId, Reception, SinrParams};
+
+/// Computes `d^alpha` given the *squared* distance `d_sq = d²`.
+///
+/// Callers typically already have squared distances; this avoids a square
+/// root in the common cases and takes fast paths for the integer exponents
+/// used throughout the experiments (`α ∈ {3, 4, 6}` and the degenerate
+/// `α = 2`).
+///
+/// # Example
+///
+/// ```
+/// use fading_channel::pow_alpha;
+/// assert_eq!(pow_alpha(4.0, 3.0), 8.0);   // d = 2, d³ = 8
+/// assert_eq!(pow_alpha(9.0, 4.0), 81.0);  // d = 3, d⁴ = 81
+/// assert!((pow_alpha(4.0, 2.5) - 2f64.powf(2.5)).abs() < 1e-12);
+/// ```
+#[inline]
+#[must_use]
+pub fn pow_alpha(d_sq: f64, alpha: f64) -> f64 {
+    if alpha == 2.0 {
+        d_sq
+    } else if alpha == 3.0 {
+        d_sq * d_sq.sqrt()
+    } else if alpha == 4.0 {
+        d_sq * d_sq
+    } else if alpha == 6.0 {
+        d_sq * d_sq * d_sq
+    } else {
+        d_sq.powf(alpha * 0.5)
+    }
+}
+
+/// The paper's fading channel: reception is governed exactly by the SINR
+/// inequality (Equation 1).
+///
+/// A listener `v` decodes the message of transmitter `u` iff
+/// `(P/d(u,v)^α) / (N + Σ_{w ≠ u} P/d(w,v)^α) ≥ β`. Because `β ≥ 1`
+/// (enforced by [`SinrParams`]), at most one transmitter can clear the
+/// threshold at any listener, so it suffices to test the strongest signal.
+///
+/// # Example
+///
+/// ```
+/// use fading_channel::{Channel, Reception, SinrChannel, SinrParams};
+/// use fading_geom::Point;
+/// use rand::SeedableRng;
+///
+/// let ch = SinrChannel::new(SinrParams::default_single_hop());
+/// let pos = [Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+///
+/// // Both 0 and 2 transmit: the flanked listener 1 is jammed (neither
+/// // signal clears β = 2 against the other's interference).
+/// let rx = ch.resolve(&pos, &[0, 2], &[1], &mut rng);
+/// assert_eq!(rx, vec![Reception::Silence]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SinrChannel {
+    params: SinrParams,
+}
+
+impl SinrChannel {
+    /// Creates a SINR channel with the given (already validated) parameters.
+    #[must_use]
+    pub fn new(params: SinrParams) -> Self {
+        SinrChannel { params }
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &SinrParams {
+        &self.params
+    }
+
+    /// Total interference power at point `at` caused by the given
+    /// transmitters: `Σ_w P / d(w, at)^α`.
+    ///
+    /// Exposed for the analysis crate (Lemmas 3–4 measure exactly this
+    /// quantity at the nodes of `S_i`).
+    #[must_use]
+    pub fn interference_at(&self, positions: &[Point], at: Point, transmitters: &[NodeId]) -> f64 {
+        let p = self.params.power();
+        let alpha = self.params.alpha();
+        transmitters
+            .iter()
+            .map(|&w| p / pow_alpha(positions[w].distance_sq(at), alpha))
+            .sum()
+    }
+
+    /// The exact SINR of link `u → v` when the nodes in `others`
+    /// (excluding `u` and `v` themselves) transmit concurrently.
+    ///
+    /// Returns `f64::INFINITY` when both noise and interference are zero.
+    #[must_use]
+    pub fn sinr(&self, positions: &[Point], u: NodeId, v: NodeId, others: &[NodeId]) -> f64 {
+        let p = self.params.power();
+        let alpha = self.params.alpha();
+        let signal = p / pow_alpha(positions[u].distance_sq(positions[v]), alpha);
+        let interference: f64 = others
+            .iter()
+            .filter(|&&w| w != u && w != v)
+            .map(|&w| p / pow_alpha(positions[w].distance_sq(positions[v]), alpha))
+            .sum();
+        let denom = self.params.noise() + interference;
+        if denom == 0.0 {
+            f64::INFINITY
+        } else {
+            signal / denom
+        }
+    }
+}
+
+impl sealed::Sealed for SinrChannel {}
+
+impl Channel for SinrChannel {
+    fn resolve(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        _rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        let p = self.params.power();
+        let alpha = self.params.alpha();
+        let beta = self.params.beta();
+        let noise = self.params.noise();
+        let mut out = Vec::with_capacity(listeners.len());
+        for &v in listeners {
+            let vp = positions[v];
+            let mut total = 0.0;
+            let mut best_sig = 0.0;
+            let mut best_tx: Option<NodeId> = None;
+            for &u in transmitters {
+                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
+                let sig = p / pow_alpha(positions[u].distance_sq(vp), alpha);
+                total += sig;
+                if sig > best_sig {
+                    best_sig = sig;
+                    best_tx = Some(u);
+                }
+            }
+            let reception = match best_tx {
+                Some(u) if best_sig >= beta * (noise + (total - best_sig)) => {
+                    Reception::Message { from: u }
+                }
+                _ => Reception::Silence,
+            };
+            out.push(reception);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "sinr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0)
+    }
+
+    fn params() -> SinrParams {
+        // P=16, alpha=3, beta=2, noise=1.
+        SinrParams::builder()
+            .power(16.0)
+            .alpha(3.0)
+            .beta(2.0)
+            .noise(1.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pow_alpha_matches_powf() {
+        for &alpha in &[2.0f64, 2.5, 3.0, 3.7, 4.0, 5.1, 6.0] {
+            for &d in &[0.5f64, 1.0, 2.0, 10.0, 123.4] {
+                let want = d.powf(alpha);
+                let got = pow_alpha(d * d, alpha);
+                assert!(
+                    (got - want).abs() <= 1e-9 * want,
+                    "alpha={alpha} d={d} got={got} want={want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solo_transmitter_in_range_is_received() {
+        // d=1: SINR = 16 / 1 = 16 >= 2.
+        let ch = SinrChannel::new(params());
+        let pos = [Point::ORIGIN, Point::new(1.0, 0.0)];
+        let rx = ch.resolve(&pos, &[0], &[1], &mut rng());
+        assert_eq!(rx, vec![Reception::Message { from: 0 }]);
+    }
+
+    #[test]
+    fn solo_transmitter_out_of_range_is_silence() {
+        // d=3: signal = 16/27 < beta*noise = 2.
+        let ch = SinrChannel::new(params());
+        let pos = [Point::ORIGIN, Point::new(3.0, 0.0)];
+        let rx = ch.resolve(&pos, &[0], &[1], &mut rng());
+        assert_eq!(rx, vec![Reception::Silence]);
+    }
+
+    #[test]
+    fn symmetric_interferers_jam_each_other() {
+        // Listener at origin flanked by transmitters at ±1: each has signal
+        // 16, interference 16, SINR = 16/(1+16) < 2.
+        let ch = SinrChannel::new(params());
+        let pos = [Point::new(-1.0, 0.0), Point::ORIGIN, Point::new(1.0, 0.0)];
+        let rx = ch.resolve(&pos, &[0, 2], &[1], &mut rng());
+        assert_eq!(rx, vec![Reception::Silence]);
+    }
+
+    #[test]
+    fn capture_effect_near_transmitter_wins() {
+        // Near transmitter at d=1 (signal 16), far interferer at d=4
+        // (signal 16/64 = 0.25). SINR = 16 / (1 + 0.25) = 12.8 >= 2.
+        let ch = SinrChannel::new(params());
+        let pos = [
+            Point::new(1.0, 0.0),  // near tx
+            Point::ORIGIN,         // listener
+            Point::new(-4.0, 0.0), // far interferer
+        ];
+        let rx = ch.resolve(&pos, &[0, 2], &[1], &mut rng());
+        assert_eq!(rx, vec![Reception::Message { from: 0 }]);
+    }
+
+    #[test]
+    fn spatial_reuse_two_simultaneous_receptions() {
+        // Two well-separated pairs each decode concurrently — the spectrum
+        // reuse that the paper's algorithm exploits.
+        let ch = SinrChannel::new(params());
+        let pos = [
+            Point::new(0.0, 0.0),   // tx A
+            Point::new(1.0, 0.0),   // rx A
+            Point::new(100.0, 0.0), // tx B
+            Point::new(99.0, 0.0),  // rx B
+        ];
+        let rx = ch.resolve(&pos, &[0, 2], &[1, 3], &mut rng());
+        assert_eq!(
+            rx,
+            vec![
+                Reception::Message { from: 0 },
+                Reception::Message { from: 2 }
+            ]
+        );
+    }
+
+    #[test]
+    fn no_transmitters_means_silence() {
+        let ch = SinrChannel::new(params());
+        let pos = [Point::ORIGIN, Point::new(1.0, 0.0)];
+        let rx = ch.resolve(&pos, &[], &[0, 1], &mut rng());
+        assert_eq!(rx, vec![Reception::Silence, Reception::Silence]);
+    }
+
+    #[test]
+    fn interference_at_sums_received_powers() {
+        let ch = SinrChannel::new(params());
+        let pos = [Point::ORIGIN, Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        // At origin: 16/1 + 16/8 = 18.
+        let i = ch.interference_at(&pos, Point::ORIGIN, &[1, 2]);
+        assert!((i - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sinr_helper_matches_resolve_decision() {
+        let ch = SinrChannel::new(params());
+        let pos = [Point::new(1.0, 0.0), Point::ORIGIN, Point::new(-4.0, 0.0)];
+        let s = ch.sinr(&pos, 0, 1, &[2]);
+        assert!((s - 16.0 / 1.25).abs() < 1e-12);
+        assert!(s >= ch.params().beta());
+    }
+
+    #[test]
+    fn sinr_infinite_with_no_noise_no_interference() {
+        let p = SinrParams::builder()
+            .power(16.0)
+            .noise(0.0)
+            .build()
+            .unwrap();
+        let ch = SinrChannel::new(p);
+        let pos = [Point::ORIGIN, Point::new(1.0, 0.0)];
+        assert_eq!(ch.sinr(&pos, 0, 1, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn reception_order_follows_listener_order() {
+        let ch = SinrChannel::new(params());
+        let pos = [Point::ORIGIN, Point::new(1.0, 0.0), Point::new(200.0, 0.0)];
+        let rx = ch.resolve(&pos, &[0], &[2, 1], &mut rng());
+        // Listener 2 is far: signal 16/200^3 << 2. Listener 1 decodes.
+        assert_eq!(rx[0], Reception::Silence);
+        assert_eq!(rx[1], Reception::Message { from: 0 });
+    }
+
+    #[test]
+    fn channel_name_and_cd_flag() {
+        let ch = SinrChannel::new(params());
+        assert_eq!(ch.name(), "sinr");
+        assert!(!ch.supports_collision_detection());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the channel models.
+//!
+//! The key physical invariants: adding interferers can only hurt reception,
+//! reception implies the SINR inequality holds exactly, and at most one
+//! transmitter can be decoded per listener when `β ≥ 1`.
+
+use fading_channel::{Channel, RadioChannel, Reception, SinrChannel, SinrParams};
+use fading_geom::Point;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_params() -> impl Strategy<Value = SinrParams> {
+    (2.1..6.0f64, 1.0..4.0f64, 0.0..2.0f64, 1.0..1e6f64).prop_map(|(alpha, beta, noise, power)| {
+        SinrParams::builder()
+            .alpha(alpha)
+            .beta(beta)
+            .noise(noise)
+            .power(power)
+            .build()
+            .expect("strategy stays in the valid range")
+    })
+}
+
+/// Distinct points on a jittered lattice (guaranteed non-coincident).
+fn arb_positions(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0.0..0.4f64, 0.0..0.4f64), min..=max).prop_map(|jitters| {
+        let side = (jitters.len() as f64).sqrt().ceil() as usize;
+        jitters
+            .iter()
+            .enumerate()
+            .map(|(i, &(jx, jy))| Point::new((i % side) as f64 + jx, (i / side) as f64 + jy))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Monotonicity: if `v` decodes `u` against transmitter set `T`, it also
+    /// decodes `u` against any subset of `T` that contains `u`.
+    #[test]
+    fn removing_interferers_never_hurts(
+        params in arb_params(),
+        positions in arb_positions(3, 20),
+    ) {
+        let ch = SinrChannel::new(params);
+        let n = positions.len();
+        let listener = n - 1;
+        let all_tx: Vec<usize> = (0..n - 1).collect();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let full = ch.resolve(&positions, &all_tx, &[listener], &mut rng)[0];
+        if let Reception::Message { from } = full {
+            // Drop each interferer in turn; reception must persist.
+            for drop in all_tx.iter().copied().filter(|&w| w != from) {
+                let reduced: Vec<usize> =
+                    all_tx.iter().copied().filter(|&w| w != drop).collect();
+                let r = ch.resolve(&positions, &reduced, &[listener], &mut rng)[0];
+                prop_assert_eq!(
+                    r,
+                    Reception::Message { from },
+                    "dropping interferer {} broke reception",
+                    drop
+                );
+            }
+        }
+    }
+
+    /// Any decoded message must satisfy the SINR inequality exactly.
+    #[test]
+    fn decoded_messages_satisfy_equation_one(
+        params in arb_params(),
+        positions in arb_positions(2, 24),
+        tx_mask in prop::collection::vec(any::<bool>(), 24),
+    ) {
+        let ch = SinrChannel::new(params);
+        let n = positions.len();
+        let transmitters: Vec<usize> =
+            (0..n).filter(|&i| tx_mask.get(i).copied().unwrap_or(false)).collect();
+        let listeners: Vec<usize> =
+            (0..n).filter(|&i| !tx_mask.get(i).copied().unwrap_or(false)).collect();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let rx = ch.resolve(&positions, &transmitters, &listeners, &mut rng);
+        for (k, &v) in listeners.iter().enumerate() {
+            match rx[k] {
+                Reception::Message { from } => {
+                    let s = ch.sinr(&positions, from, v, &transmitters);
+                    prop_assert!(
+                        s >= params.beta() * (1.0 - 1e-9),
+                        "decoded link {}→{} has SINR {} < β {}",
+                        from, v, s, params.beta()
+                    );
+                }
+                Reception::Silence => {
+                    // No transmitter may clear the threshold.
+                    for &u in &transmitters {
+                        let s = ch.sinr(&positions, u, v, &transmitters);
+                        prop_assert!(
+                            s < params.beta() * (1.0 + 1e-9),
+                            "silent listener {} would decode {} (SINR {})",
+                            v, u, s
+                        );
+                    }
+                }
+                Reception::Collision => prop_assert!(false, "SINR channel emitted Collision"),
+            }
+        }
+    }
+
+    /// The radio channel's outcome depends only on the transmitter count.
+    #[test]
+    fn radio_depends_only_on_count(
+        positions in arb_positions(2, 16),
+        k in 0usize..16,
+    ) {
+        let n = positions.len();
+        let k = k.min(n.saturating_sub(1));
+        let ch = RadioChannel::new();
+        let transmitters: Vec<usize> = (0..k).collect();
+        let listeners: Vec<usize> = (k..n).collect();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let rx = ch.resolve(&positions, &transmitters, &listeners, &mut rng);
+        for r in rx {
+            match k {
+                1 => prop_assert_eq!(r, Reception::Message { from: 0 }),
+                _ => prop_assert_eq!(r, Reception::Silence),
+            }
+        }
+    }
+
+    /// With β ≥ 1 at most one transmitter can be decodable at any listener
+    /// (checked by scanning all transmitters, not just the strongest).
+    #[test]
+    fn at_most_one_decodable_sender(
+        params in arb_params(),
+        positions in arb_positions(3, 16),
+    ) {
+        let ch = SinrChannel::new(params);
+        let n = positions.len();
+        let listener = 0;
+        let transmitters: Vec<usize> = (1..n).collect();
+        let decodable = transmitters
+            .iter()
+            .filter(|&&u| ch.sinr(&positions, u, listener, &transmitters) >= params.beta())
+            .count();
+        prop_assert!(decodable <= 1, "{decodable} senders decodable at once");
+    }
+}

@@ -1,0 +1,127 @@
+//! Serializable channel configuration.
+
+use serde::{Deserialize, Serialize};
+
+use fading_channel::{
+    Channel, LossySinrChannel, RadioCdChannel, RadioChannel, RayleighSinrChannel, SinrChannel,
+    SinrParams,
+};
+
+/// A serializable description of a channel model, the configuration-level
+/// counterpart of the sealed [`Channel`] trait.
+///
+/// # Example
+///
+/// ```
+/// use fading_cr::ChannelKind;
+/// use fading_channel::SinrParams;
+///
+/// let kind = ChannelKind::Sinr(SinrParams::default_single_hop());
+/// let channel = kind.build();
+/// assert_eq!(channel.name(), "sinr");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ChannelKind {
+    /// The paper's fading channel (Equation 1).
+    Sinr(SinrParams),
+    /// The classical radio network model (collision = silence).
+    Radio,
+    /// The radio network model with receiver collision detection.
+    RadioCd,
+    /// SINR with i.i.d. per-round Rayleigh fading gains.
+    RayleighSinr(SinrParams),
+    /// SINR with i.i.d. per-reception message drops (failure injection).
+    LossySinr {
+        /// The SINR parameters.
+        params: SinrParams,
+        /// Per-reception drop probability, in `[0, 1)`.
+        drop_prob: f64,
+    },
+}
+
+impl ChannelKind {
+    /// Instantiates the channel.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Channel> {
+        match *self {
+            ChannelKind::Sinr(params) => Box::new(SinrChannel::new(params)),
+            ChannelKind::Radio => Box::new(RadioChannel::new()),
+            ChannelKind::RadioCd => Box::new(RadioCdChannel::new()),
+            ChannelKind::RayleighSinr(params) => Box::new(RayleighSinrChannel::new(params)),
+            ChannelKind::LossySinr { params, drop_prob } => Box::new(
+                LossySinrChannel::new(params, drop_prob)
+                    .expect("drop probability validated at configuration time"),
+            ),
+        }
+    }
+
+    /// The SINR parameters, for the kinds that have them.
+    #[must_use]
+    pub fn sinr_params(&self) -> Option<&SinrParams> {
+        match self {
+            ChannelKind::Sinr(p)
+            | ChannelKind::RayleighSinr(p)
+            | ChannelKind::LossySinr { params: p, .. } => Some(p),
+            _ => None,
+        }
+    }
+
+    /// A short stable label for table columns.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChannelKind::Sinr(_) => "sinr",
+            ChannelKind::Radio => "radio",
+            ChannelKind::RadioCd => "radio-cd",
+            ChannelKind::RayleighSinr(_) => "rayleigh",
+            ChannelKind::LossySinr { .. } => "lossy-sinr",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_matches_label() {
+        let kinds = [
+            ChannelKind::Sinr(SinrParams::default_single_hop()),
+            ChannelKind::Radio,
+            ChannelKind::RadioCd,
+            ChannelKind::RayleighSinr(SinrParams::default_single_hop()),
+        ];
+        for k in kinds {
+            let built = k.build();
+            match k {
+                ChannelKind::Sinr(_) => assert_eq!(built.name(), "sinr"),
+                ChannelKind::Radio => assert_eq!(built.name(), "radio"),
+                ChannelKind::RadioCd => {
+                    assert_eq!(built.name(), "radio-cd");
+                    assert!(built.supports_collision_detection());
+                }
+                ChannelKind::RayleighSinr(_) => assert_eq!(built.name(), "rayleigh-sinr"),
+                ChannelKind::LossySinr { .. } => assert_eq!(built.name(), "lossy-sinr"),
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_kind_builds_and_reports() {
+        let k = ChannelKind::LossySinr {
+            params: SinrParams::default_single_hop(),
+            drop_prob: 0.2,
+        };
+        assert_eq!(k.build().name(), "lossy-sinr");
+        assert_eq!(k.label(), "lossy-sinr");
+        assert!(k.sinr_params().is_some());
+    }
+
+    #[test]
+    fn sinr_params_accessor() {
+        let p = SinrParams::default_single_hop();
+        assert_eq!(ChannelKind::Sinr(p).sinr_params(), Some(&p));
+        assert_eq!(ChannelKind::Radio.sinr_params(), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! E1 — Theorem 1's scaling in `n`.
+
+use fading_analysis::stats;
+
+use super::common::{measure, sinr_for, standard_deployment, ExperimentConfig};
+use crate::table::fmt_f64;
+use crate::{theory, Table};
+use fading_protocols::ProtocolKind;
+
+/// E1: FKN's rounds-to-resolution versus `n` on uniform fixed-density
+/// deployments (where `R` is polynomial in `n`).
+///
+/// **Claim (Theorem 1):** `O(log n + log R) = O(log n)` here. The table
+/// reports the distribution per `n` and fits both the `a·log₂n + b` and
+/// `a·log₂²n + b` models; the reproduction succeeds when the linear-in-log
+/// model explains the data (high `R²`) and the per-`log n` ratio is flat.
+#[must_use]
+pub fn e01_rounds_vs_n(cfg: &ExperimentConfig) -> Table {
+    let mut table =
+        Table::new("E1: FKN rounds vs n (uniform density, SINR) — Theorem 1 scaling in n");
+    table.headers([
+        "n",
+        "log2(n)",
+        "success",
+        "mean",
+        "median",
+        "p95",
+        "max",
+        "mean/log2(n)",
+    ]);
+
+    let mut ns = Vec::new();
+    let mut means = Vec::new();
+    for (block, &n) in cfg.n_sweep().iter().enumerate() {
+        let s = measure(
+            cfg,
+            cfg.seed_block(block as u64),
+            move |seed| standard_deployment(n, seed),
+            sinr_for,
+            |_| ProtocolKind::fkn_default(),
+        );
+        let log_n = (n as f64).log2();
+        table.row([
+            n.to_string(),
+            fmt_f64(log_n),
+            fmt_f64(s.success_rate),
+            fmt_f64(s.mean_rounds),
+            fmt_f64(s.median_rounds),
+            fmt_f64(s.p95_rounds),
+            s.max_rounds.to_string(),
+            fmt_f64(s.mean_rounds / log_n),
+        ]);
+        ns.push(n);
+        means.push(s.mean_rounds);
+    }
+
+    if ns.len() >= 2 {
+        let lin = stats::fit_log_n(&ns, &means);
+        let quad = stats::fit_log_squared_n(&ns, &means);
+        table.note(format!(
+            "fit mean ~ a*log2(n)+b: a={} b={} R^2={}",
+            fmt_f64(lin.slope),
+            fmt_f64(lin.intercept),
+            fmt_f64(lin.r_squared)
+        ));
+        table.note(format!(
+            "fit mean ~ a*log2^2(n)+b: a={} b={} R^2={}",
+            fmt_f64(quad.slope),
+            fmt_f64(quad.intercept),
+            fmt_f64(quad.r_squared)
+        ));
+        let n_max = *ns.last().expect("nonempty");
+        table.note(format!(
+            "theory overlay c*(log n + log R) at c={}: predicts {} rounds at n={}",
+            fmt_f64(lin.slope / 2.0),
+            fmt_f64(theory::fkn_rounds(n_max, n_max as f64, lin.slope / 2.0)),
+            n_max
+        ));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_row_per_n_and_fits() {
+        let cfg = ExperimentConfig::smoke();
+        let t = e01_rounds_vs_n(&cfg);
+        assert_eq!(t.num_rows(), cfg.n_sweep().len());
+        assert!(t.notes().len() >= 2);
+        // All trials must resolve in the smoke regime.
+        for row in t.rows() {
+            assert_eq!(row[2], "1.00", "success rate row {row:?}");
+        }
+    }
+
+    #[test]
+    fn mean_rounds_grow_sublinearly() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.max_n_pow2 = 9;
+        cfg.trials = 8;
+        let t = e01_rounds_vs_n(&cfg);
+        let first: f64 = t.rows()[0][3].parse().unwrap();
+        let last: f64 = t.rows().last().unwrap()[3].parse().unwrap();
+        // n grew 32x (16 -> 512); O(log n) rounds must grow far less.
+        assert!(last < first * 8.0, "first {first} last {last}");
+    }
+}

@@ -1,0 +1,114 @@
+//! E2 — Theorem 1's dependence on `R`.
+
+use fading_analysis::stats;
+use fading_geom::generators;
+
+use super::common::{measure, sinr_for, ExperimentConfig};
+use crate::table::fmt_f64;
+use crate::Table;
+use fading_protocols::ProtocolKind;
+
+/// E2: FKN's rounds versus the link ratio `R` at fixed (small) `n`, on
+/// geometric-chain deployments where `log R ≫ log n`.
+///
+/// **Claim probed (Theorem 1):** the upper bound is `O(log n + log R)`, and
+/// the paper notes its algorithm "slows as R increases". The table reports
+/// the measured dependence and the bound ratio.
+///
+/// **Reproduction finding:** the measured dependence on `log R` is *weak* —
+/// a small positive slope, far below the `log R` term of the bound, and the
+/// measured rounds sit at a small fraction of `log n + log R` throughout.
+/// Chains (each link class ≈ one node) do not activate the worst case the
+/// analysis guards against: classes are knocked out concurrently, not in
+/// smallest-to-largest order, so the `log R` term is conservative here.
+/// This is consistent with the theorem (an upper bound), with footnote 3's
+/// sharper `O(log n + l)` form (`l` = occupied classes), and with the
+/// paper's only matching lower bound being `Ω(log n)`.
+#[must_use]
+pub fn e02_rounds_vs_r(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new(
+        "E2: FKN rounds vs R (geometric chain, n fixed, SINR) — Theorem 1 dependence on R",
+    );
+    table.headers([
+        "n",
+        "R",
+        "log2(R)",
+        "success",
+        "mean",
+        "p95",
+        "mean/(log2 n + log2 R)",
+    ]);
+
+    let n = 24;
+    let max_pow = cfg.max_n_pow2 + 6; // push R well past n
+    let r_pows: Vec<u32> = (5..=max_pow).step_by(3).collect();
+    let mut log_rs = Vec::new();
+    let mut means = Vec::new();
+    for (block, &pow) in r_pows.iter().enumerate() {
+        let ratio = (1u64 << pow) as f64;
+        // The chain is deterministic; only the protocol seed varies.
+        let s = measure(
+            cfg,
+            cfg.seed_block(block as u64),
+            move |_seed| generators::geometric_line(n, ratio).expect("ratio >= n-1"),
+            sinr_for,
+            |_| ProtocolKind::fkn_default(),
+        );
+        let log_r = ratio.log2();
+        let log_n = (n as f64).log2();
+        table.row([
+            n.to_string(),
+            format!("2^{pow}"),
+            fmt_f64(log_r),
+            fmt_f64(s.success_rate),
+            fmt_f64(s.mean_rounds),
+            fmt_f64(s.p95_rounds),
+            fmt_f64(s.mean_rounds / (log_n + log_r)),
+        ]);
+        log_rs.push(log_r);
+        means.push(s.mean_rounds);
+    }
+
+    if log_rs.len() >= 2 {
+        let fit = stats::linear_fit(&log_rs, &means);
+        table.note(format!(
+            "fit mean ~ a*log2(R)+b: a={} b={} R^2={}",
+            fmt_f64(fit.slope),
+            fmt_f64(fit.intercept),
+            fmt_f64(fit.r_squared)
+        ));
+    }
+    table.note(format!(
+        "chain deployments with n={n} nodes; R controlled by geometric gap growth"
+    ));
+    table.note("finding: measured slope in log2(R) is far below 1 — the bound's log R term is conservative on chains");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_the_r_sweep_and_fit_is_reported() {
+        let cfg = ExperimentConfig::smoke();
+        let t = e02_rounds_vs_r(&cfg);
+        assert!(t.num_rows() >= 2);
+        assert!(t.notes().iter().any(|n| n.contains("fit")));
+    }
+
+    #[test]
+    fn rounds_stay_far_below_the_bound() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 10;
+        let t = e02_rounds_vs_r(&cfg);
+        for row in t.rows() {
+            let success: f64 = row[3].parse().unwrap();
+            assert_eq!(success, 1.0, "row {row:?}");
+            // mean / (log2 n + log2 R) must be modest: the upper bound holds
+            // with a small constant on chains.
+            let ratio: f64 = row[6].parse().unwrap();
+            assert!(ratio < 3.0, "bound ratio {ratio} in {row:?}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! E6 — the role of the path-loss exponent `α > 2`.
+
+use super::common::{measure, sinr_with_alpha, standard_deployment, ExperimentConfig};
+use crate::table::fmt_f64;
+use crate::Table;
+use fading_protocols::ProtocolKind;
+
+/// E6: FKN's rounds as a function of the path-loss exponent `α`, at fixed
+/// `n`.
+///
+/// **Claim reproduced:** the entire analysis lives in the gap `ε = α/2 − 1`
+/// between quadratic annulus growth and super-quadratic signal decay
+/// (§3.2, "the small but non-trivial gap … in the space created by this
+/// gap"). As `α → 2⁺` the spatial-reuse slack vanishes and resolution
+/// slows; at larger `α` interference localizes and knockouts accelerate,
+/// with diminishing returns.
+#[must_use]
+pub fn e06_alpha_sweep(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new("E6: FKN rounds vs path-loss exponent alpha (n fixed, SINR)");
+    table.headers(["alpha", "epsilon", "success", "mean", "median", "p95"]);
+
+    let n = 1usize << cfg.max_n_pow2.min(9);
+    let alphas = [2.05, 2.1, 2.25, 2.5, 2.75, 3.0, 3.5, 4.0, 5.0, 6.0];
+    for (block, &alpha) in alphas.iter().enumerate() {
+        // Near the alpha -> 2 wall, spatial reuse vanishes and rounds can
+        // grow by orders of magnitude; cap those rows so the sweep
+        // terminates (the success column then reports the degradation).
+        let mut local_cfg = *cfg;
+        if alpha < 2.3 {
+            local_cfg.max_rounds = local_cfg.max_rounds.min(20_000);
+        }
+        let s = measure(
+            &local_cfg,
+            cfg.seed_block(block as u64),
+            move |seed| standard_deployment(n, seed),
+            move |d| sinr_with_alpha(d, alpha),
+            |_| ProtocolKind::fkn_default(),
+        );
+        table.row([
+            fmt_f64(alpha),
+            fmt_f64(alpha / 2.0 - 1.0),
+            fmt_f64(s.success_rate),
+            fmt_f64(s.mean_rounds),
+            fmt_f64(s.median_rounds),
+            fmt_f64(s.p95_rounds),
+        ]);
+    }
+    table.note(format!(
+        "n = {n}; epsilon = alpha/2 - 1 is the paper's spatial-reuse gap"
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_alpha_grid() {
+        let cfg = ExperimentConfig::smoke();
+        let t = e06_alpha_sweep(&cfg);
+        assert_eq!(t.num_rows(), 10);
+    }
+
+    #[test]
+    fn near_quadratic_alpha_is_slower() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 10;
+        cfg.max_n_pow2 = 8;
+        let t = e06_alpha_sweep(&cfg);
+        let near2: f64 = t.rows()[0][3].parse().unwrap(); // alpha = 2.05
+        let at4: f64 = t.rows()[7][3].parse().unwrap(); // alpha = 4.0
+        assert!(
+            near2 > at4,
+            "alpha 2.05 ({near2}) should be slower than alpha 4 ({at4})"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! E7 — Lemma 6: dominant link classes are mostly good.
+
+use fading_analysis::{GoodNodes, LinkClasses};
+use fading_geom::{Deployment, Point};
+
+use super::common::ExperimentConfig;
+use crate::table::fmt_f64;
+use crate::Table;
+
+/// Builds the adversarial Lemma 6 stress deployment: `dom_pairs` pairs at
+/// separation 20 (link class 4) on a sparse super-grid, with the first
+/// `loaded` anchors each crowded by an 11×11 unit-spaced cluster (121
+/// class-0 nodes) placed squarely inside the anchor's `t = 0` annulus
+/// `(16, 32]`.
+fn lemma6_deployment(dom_pairs: usize, loaded: usize) -> Deployment {
+    let spacing = 512.0;
+    let side = (dom_pairs as f64).sqrt().ceil() as usize;
+    let mut points = Vec::new();
+    for k in 0..dom_pairs {
+        let x = (k % side) as f64 * spacing;
+        let y = (k / side) as f64 * spacing;
+        points.push(Point::new(x, y));
+        points.push(Point::new(x + 20.0, y));
+        if k < loaded {
+            // 11×11 cluster centered 24 above the anchor: distances from the
+            // anchor lie in [16.2, 31.8] ⊂ (16, 32].
+            for r in 0..11 {
+                for c in 0..11 {
+                    points.push(Point::new(
+                        x + f64::from(c) - 5.0,
+                        y + 24.0 + f64::from(r) - 5.0,
+                    ));
+                }
+            }
+        }
+    }
+    Deployment::from_points(points).expect("construction avoids coincidences")
+}
+
+/// E7: the good-node fraction of a dominant link class as smaller-class
+/// mass crowds its annuli.
+///
+/// **Claim reproduced (Lemma 6):** if `n_{<i} ≤ δ·n_i` then at least half
+/// of `V_i` is good. The deployment is adversarial — every smaller-class
+/// node is placed inside some dominant node's first annulus — yet the good
+/// fraction stays above ½ until the smaller-class mass exceeds the
+/// dominant class many times over: the lemma's constant `δ` is very
+/// conservative, and the implication itself never fails.
+#[must_use]
+pub fn e07_good_fraction(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new("E7: good-node fraction of the dominant class (Lemma 6)");
+    table.headers([
+        "loaded anchors",
+        "n_i (class 4)",
+        "n_<i",
+        "ratio n_<i/n_i",
+        "good fraction",
+        ">= 1/2",
+    ]);
+
+    let dom_pairs = 16.min(1 << (cfg.max_n_pow2 / 2)).max(4);
+    let loads = [0usize, 1, 2, 4, 8, 12, 16];
+    for &loaded in loads.iter().filter(|&&l| l <= dom_pairs) {
+        let d = lemma6_deployment(dom_pairs, loaded);
+        let active: Vec<usize> = (0..d.len()).collect();
+        let classes = LinkClasses::partition(d.points(), &active, 1.0);
+        let good = GoodNodes::classify(d.points(), &active, &classes, 3.0);
+        let n_i = classes.count(4);
+        let n_below = classes.count_below(4);
+        let frac = good.good_fraction(4);
+        table.row([
+            loaded.to_string(),
+            n_i.to_string(),
+            n_below.to_string(),
+            fmt_f64(n_below as f64 / n_i.max(1) as f64),
+            fmt_f64(frac),
+            if frac >= 0.5 { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    table.note(format!(
+        "{dom_pairs} class-4 pairs; each loaded anchor gains 121 class-0 nodes inside its t=0 annulus"
+    ));
+    table.note("Lemma 6 requires >= 1/2 good whenever n_<i <= delta*n_i; the table locates the empirical breaking ratio");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_class_is_fully_good() {
+        let cfg = ExperimentConfig::smoke();
+        let t = e07_good_fraction(&cfg);
+        let first = &t.rows()[0];
+        assert_eq!(first[0], "0");
+        assert_eq!(first[4], "1.00");
+        assert_eq!(first[5], "yes");
+    }
+
+    #[test]
+    fn loading_reduces_good_fraction_monotonically() {
+        let cfg = ExperimentConfig::smoke();
+        let t = e07_good_fraction(&cfg);
+        let fracs: Vec<f64> = t.rows().iter().map(|r| r[4].parse().unwrap()).collect();
+        for w in fracs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "good fraction increased: {fracs:?}");
+        }
+        assert!(*fracs.last().unwrap() < 1.0, "max load had no effect");
+    }
+
+    #[test]
+    fn deployment_geometry_is_as_designed() {
+        let d = lemma6_deployment(4, 2);
+        assert_eq!(d.len(), 4 * 2 + 2 * 121);
+        let active: Vec<usize> = (0..d.len()).collect();
+        let classes = LinkClasses::partition(d.points(), &active, 1.0);
+        assert_eq!(classes.count(4), 8);
+        assert_eq!(classes.count(0), 242);
+    }
+}

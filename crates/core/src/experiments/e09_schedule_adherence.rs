@@ -1,0 +1,126 @@
+//! E9 — §3.3: executions obey the class-bound schedule.
+
+use fading_analysis::{ClassBoundSchedule, LinkClasses, ScheduleParams};
+use fading_protocols::ProtocolKind;
+use fading_sim::Simulation;
+
+use super::common::{sinr_for, standard_deployment, ExperimentConfig};
+use crate::table::fmt_f64;
+use crate::Table;
+
+/// E9: does a real FKN execution's link-class size trajectory respect the
+/// §3.3 class-bound vectors `q_0, q_1, …`?
+///
+/// **Claim reproduced (Lemma 10 / Theorem 1):** every execution advances
+/// through the bound sequence — each event `r(t)` ("sizes permanently below
+/// `q_t`") occurs, monotonically — and the completion round `r(T)` is
+/// within a constant factor of the horizon `T = Θ(log n + log R)`
+/// (Claim 8), because each step needs only `O(1)` rounds (segments).
+#[must_use]
+pub fn e09_schedule_adherence(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new("E9: class-bound schedule adherence (FKN on SINR)");
+    table.headers([
+        "n",
+        "horizon T",
+        "coverage",
+        "monotone",
+        "mean r(T)",
+        "mean resolved",
+        "rounds/step",
+    ]);
+
+    let trials = cfg.trials.min(20).max(2);
+    for (block, &n) in cfg.n_sweep().iter().enumerate() {
+        let mut coverages = Vec::new();
+        let mut completions = Vec::new();
+        let mut resolved_rounds = Vec::new();
+        let mut horizon = 0u64;
+        let mut all_monotone = true;
+        for trial in 0..trials as u64 {
+            let seed = cfg.seed_block(block as u64) + trial;
+            let d = standard_deployment(n, seed);
+            let unit = d.min_link();
+            let channel = sinr_for(&d).build();
+            let pk = ProtocolKind::fkn_default();
+            let mut sim = Simulation::new(d.clone(), channel, seed, |id| pk.build(id));
+
+            let mut series: Vec<Vec<usize>> = Vec::new();
+            for _ in 0..cfg.max_rounds {
+                let active = sim.active_ids();
+                let classes = LinkClasses::partition(d.points(), &active, unit);
+                series.push(classes.sizes());
+                if sim.resolved_at().is_some() {
+                    break;
+                }
+                sim.step();
+            }
+            let Some(resolved) = sim.resolved_at() else {
+                continue;
+            };
+            let sched = ClassBoundSchedule::new(n, d.num_link_classes(), ScheduleParams::default());
+            horizon = sched.horizon();
+            let adherence = sched.adherence(&series);
+            all_monotone &= adherence.is_monotone();
+            coverages.push(adherence.coverage());
+            if let Some(c) = adherence.completion_round() {
+                completions.push(c as f64);
+            }
+            resolved_rounds.push(resolved as f64);
+        }
+        if coverages.is_empty() {
+            continue;
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let mean_completion = if completions.is_empty() {
+            f64::NAN
+        } else {
+            mean(&completions)
+        };
+        table.row([
+            n.to_string(),
+            horizon.to_string(),
+            fmt_f64(mean(&coverages)),
+            if all_monotone { "yes" } else { "NO" }.to_string(),
+            fmt_f64(mean_completion),
+            fmt_f64(mean(&resolved_rounds)),
+            fmt_f64(mean_completion / horizon as f64),
+        ]);
+    }
+    table.note("schedule params: gamma = 1/2, rho = 1/4 (gamma_slow = 5/6, stagger l = 8)");
+    table.note("coverage = fraction of steps t whose event r(t) occurred; rounds/step = r(T)/T");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adherence_is_complete_and_monotone() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 3;
+        cfg.max_n_pow2 = 8;
+        let t = e09_schedule_adherence(&cfg);
+        assert!(t.num_rows() >= 3);
+        for row in t.rows() {
+            let coverage: f64 = row[2].parse().unwrap();
+            assert!(coverage > 0.99, "coverage {coverage} in row {row:?}");
+            assert_eq!(row[3], "yes");
+        }
+    }
+
+    #[test]
+    fn completion_is_constant_factor_of_horizon() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 3;
+        cfg.max_n_pow2 = 8;
+        let t = e09_schedule_adherence(&cfg);
+        for row in t.rows() {
+            let ratio: f64 = row[6].parse().unwrap();
+            assert!(
+                ratio < 10.0,
+                "rounds/step ratio {ratio} too large ({row:?})"
+            );
+        }
+    }
+}

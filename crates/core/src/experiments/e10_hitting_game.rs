@@ -1,0 +1,153 @@
+//! E10 — §4: the restricted k-hitting game needs `Θ(log k)`.
+
+use fading_hitting::{
+    HalvingPlayer, HittingPlayer, ProtocolPlayer, RestrictedHitting, SingletonPlayer,
+    UniformRandomPlayer,
+};
+use fading_protocols::Fkn;
+
+use super::common::ExperimentConfig;
+use crate::table::fmt_f64;
+use crate::Table;
+
+/// Mean winning round of `make_player` over seeded referees, plus the
+/// estimated rounds needed for success probability `1 − 1/k` (from the
+/// geometric tail implied by the per-round win rate).
+fn measure_player<F>(
+    k: usize,
+    trials: usize,
+    seed_base: u64,
+    max_rounds: u64,
+    mut make_player: F,
+) -> (f64, f64, f64)
+where
+    F: FnMut(u64) -> Box<dyn HittingPlayer>,
+{
+    let mut rounds = Vec::new();
+    let mut worst: u64 = 0;
+    for t in 0..trials as u64 {
+        let seed = seed_base + t;
+        let mut game = RestrictedHitting::new(k, seed).expect("k >= 2");
+        let mut player = make_player(seed);
+        if let Some(r) = game.play(player.as_mut(), max_rounds, seed) {
+            worst = worst.max(r);
+            rounds.push(r as f64);
+        }
+    }
+    if rounds.is_empty() {
+        return (f64::NAN, f64::NAN, f64::NAN);
+    }
+    let mean = rounds.iter().sum::<f64>() / rounds.len() as f64;
+    // Geometric model: per-round win probability p̂ = 1/mean; rounds for
+    // failure probability 1/k: ln(1/k)/ln(1−p̂).
+    let p_hat = (1.0 / mean).min(0.999_999);
+    let whp = (1.0 / k as f64).ln() / (1.0 - p_hat).ln();
+    (mean, whp, worst as f64)
+}
+
+/// E10: winning-round statistics for four hitting-game strategies across
+/// `k`.
+///
+/// **Claims reproduced:**
+///
+/// * Lemma 13's `Ω(log k)`: even the random-half player, which wins in 2
+///   expected rounds, needs `≈ log₂ k` rounds for success probability
+///   `1 − 1/k` — the high-probability regime is where the bound bites.
+/// * The halving player's worst case tracks `⌈log₂ k⌉` exactly (the
+///   matching upper bound).
+/// * Lemma 14's reduction: the FKN protocol, wrapped as a player, wins
+///   with `Θ(log k)`-shaped w.h.p. rounds — consistent with (and
+///   lower-bounded by) the game's difficulty.
+/// * The naive singleton player pays `Θ(k)`: structure matters.
+#[must_use]
+pub fn e10_hitting_game(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new("E10: restricted k-hitting game (Lemmas 13-14)");
+    table.headers([
+        "k",
+        "log2(k)",
+        "halving worst",
+        "random mean",
+        "random whp",
+        "fkn mean",
+        "fkn whp",
+        "singleton mean",
+    ]);
+
+    let k_pows: Vec<u32> = (2..=cfg.max_n_pow2 + 2).step_by(2).collect();
+    for (block, &pow) in k_pows.iter().enumerate() {
+        let k = 1usize << pow;
+        let seed_base = cfg.seed_block(block as u64);
+        let trials = cfg.trials.max(20);
+        let (_, _, halving_worst) = measure_player(k, trials, seed_base, 10_000, |_| {
+            Box::new(HalvingPlayer::new(k))
+        });
+        let (rand_mean, rand_whp, _) = measure_player(k, trials, seed_base, 10_000, |_| {
+            Box::new(UniformRandomPlayer::new(k))
+        });
+        let (fkn_mean, fkn_whp, _) = measure_player(k, trials, seed_base, 100_000, |seed| {
+            Box::new(ProtocolPlayer::new(k, seed, |_| Box::new(Fkn::new())))
+        });
+        let (single_mean, _, _) = measure_player(k, trials, seed_base, 10 * k as u64, |_| {
+            Box::new(SingletonPlayer::new(k))
+        });
+        table.row([
+            k.to_string(),
+            pow.to_string(),
+            fmt_f64(halving_worst),
+            fmt_f64(rand_mean),
+            fmt_f64(rand_whp),
+            fmt_f64(fkn_mean),
+            fmt_f64(fkn_whp),
+            fmt_f64(single_mean),
+        ]);
+    }
+    table.note("whp = estimated rounds for success probability 1 - 1/k (geometric-tail model)");
+    table.note(
+        "Lemma 13: every whp column must grow at least like log2(k); halving matches it exactly",
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whp_columns_grow_with_k() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 30;
+        let t = e10_hitting_game(&cfg);
+        assert!(t.num_rows() >= 3);
+        let first_whp: f64 = t.rows()[0][4].parse().unwrap();
+        let last_whp: f64 = t.rows().last().unwrap()[4].parse().unwrap();
+        assert!(last_whp > first_whp, "{first_whp} -> {last_whp}");
+    }
+
+    #[test]
+    fn halving_worst_is_at_most_log_k() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 30;
+        let t = e10_hitting_game(&cfg);
+        for row in t.rows() {
+            let log_k: f64 = row[1].parse().unwrap();
+            let worst: f64 = row[2].parse().unwrap();
+            assert!(
+                worst <= log_k + 1e-9,
+                "halving worst {worst} > log2 k {log_k}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_pays_linear() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 30;
+        let t = e10_hitting_game(&cfg);
+        let last = t.rows().last().unwrap();
+        let k: f64 = last[0].parse().unwrap();
+        let singleton: f64 = last[7].parse().unwrap();
+        let random: f64 = last[3].parse().unwrap();
+        assert!(singleton > k / 20.0, "singleton {singleton} vs k {k}");
+        assert!(singleton > 4.0 * random);
+    }
+}

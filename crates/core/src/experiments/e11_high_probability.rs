@@ -1,0 +1,119 @@
+//! E11 — quantifying "with high probability".
+
+use fading_protocols::ProtocolKind;
+use fading_sim::{montecarlo, Simulation};
+
+use super::common::{sinr_for, standard_deployment, ExperimentConfig};
+use crate::table::fmt_f64;
+use crate::Table;
+
+/// E11: the fraction of trials resolving within `C·(log₂ n + log₂ R)`
+/// rounds, for several constants `C`, across `n`.
+///
+/// **Claim reproduced (Theorem 1):** the algorithm succeeds within
+/// `O(log n + log R)` rounds *with probability at least `1 − 1/n`*. The
+/// table shows a constant `C` (independent of `n`!) past which the success
+/// fraction exceeds `1 − 1/n`; the last column reports the smallest
+/// per-trial `C` whose quantile at level `1 − 1/n` is achieved.
+#[must_use]
+pub fn e11_high_probability(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new("E11: success within C*(log2 n + log2 R) rounds (FKN on SINR)");
+    table.headers([
+        "n",
+        "mean budget unit",
+        "C=1",
+        "C=2",
+        "C=4",
+        "C=8",
+        "target 1-1/n",
+        "C needed",
+    ]);
+
+    for (block, &n) in cfg.n_sweep().iter().enumerate() {
+        let seed_base = cfg.seed_block(block as u64);
+        let results = montecarlo::run_trials(cfg.trials, cfg.threads, seed_base, |seed| {
+            let d = standard_deployment(n, seed);
+            let ch = sinr_for(&d).build();
+            let pk = ProtocolKind::fkn_default();
+            let mut sim = Simulation::new(d, ch, seed, |id| pk.build(id));
+            sim.run_until_resolved(cfg.max_rounds)
+        });
+        // Per-trial budget units (deployments are deterministic per seed).
+        let units: Vec<f64> = (0..cfg.trials as u64)
+            .map(|t| {
+                let d = standard_deployment(n, seed_base + t);
+                (n as f64).log2() + d.link_ratio().log2()
+            })
+            .collect();
+        let mean_unit = units.iter().sum::<f64>() / units.len() as f64;
+
+        let success_at = |c: f64| -> f64 {
+            results
+                .iter()
+                .zip(&units)
+                .filter(|(r, unit)| {
+                    r.resolved_at()
+                        .is_some_and(|rounds| rounds as f64 <= c * **unit)
+                })
+                .count() as f64
+                / results.len() as f64
+        };
+        // Per-trial achieved C values; the (1 - 1/n) quantile is "C needed".
+        let mut cs: Vec<f64> = results
+            .iter()
+            .zip(&units)
+            .map(|(r, unit)| {
+                r.resolved_at()
+                    .map_or(f64::INFINITY, |rounds| rounds as f64 / unit)
+            })
+            .collect();
+        cs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN budgets"));
+        let target = 1.0 - 1.0 / n as f64;
+        let idx = ((cs.len() as f64 * target).ceil() as usize).min(cs.len()) - 1;
+        let c_needed = cs[idx];
+
+        table.row([
+            n.to_string(),
+            fmt_f64(mean_unit),
+            fmt_f64(success_at(1.0)),
+            fmt_f64(success_at(2.0)),
+            fmt_f64(success_at(4.0)),
+            fmt_f64(success_at(8.0)),
+            fmt_f64(target),
+            fmt_f64(c_needed),
+        ]);
+    }
+    table.note(
+        "budget unit = log2(n) + log2(R) per trial; C needed = (1-1/n)-quantile of achieved C",
+    );
+    table.note("Theorem 1 predicts a bounded 'C needed' column as n grows");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_constants_reach_full_success() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 10;
+        let t = e11_high_probability(&cfg);
+        for row in t.rows() {
+            let at8: f64 = row[5].parse().unwrap();
+            assert!(at8 >= 0.9, "C=8 success {at8} in {row:?}");
+        }
+    }
+
+    #[test]
+    fn c_needed_stays_bounded() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 15;
+        cfg.max_n_pow2 = 9;
+        let t = e11_high_probability(&cfg);
+        for row in t.rows() {
+            let c: f64 = row[7].parse().unwrap();
+            assert!(c.is_finite() && c < 20.0, "C needed {c} in {row:?}");
+        }
+    }
+}

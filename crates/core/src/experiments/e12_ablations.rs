@@ -1,0 +1,241 @@
+//! E12 — ablations: which ingredients actually matter.
+
+use fading_channel::SinrParams;
+use fading_geom::{generators, Deployment};
+use fading_protocols::ProtocolKind;
+
+use super::common::{measure, sinr_for, standard_deployment, ExperimentConfig};
+use crate::table::fmt_f64;
+use crate::{ChannelKind, Table};
+
+/// E12: ablations of the algorithm, the channel, and the deployment shape.
+///
+/// **Claims probed:**
+///
+/// * **Knockout rule.** FKN without deactivation (`fixed-p`) essentially
+///   never resolves — the knockout rule, fed by the fading channel's
+///   spatial reuse, is the entire mechanism. Conversely, bolting the
+///   knockout rule onto Decay makes it FKN-like: the schedule is almost
+///   irrelevant.
+/// * **Stochastic fading.** FKN on a Rayleigh-fading SINR channel behaves
+///   like the deterministic model (the algorithm never looks at the
+///   channel), supporting the model-robustness claim.
+/// * **Failure injection.** Dropping 30% of decoded messages
+///   ([`ChannelKind::LossySinr`]) rescales the knockout rate by a constant
+///   and nothing more — receptions carry no payload the algorithm depends
+///   on.
+/// * **Deployment shape.** Uniform vs clustered barely matters; extreme
+///   chains (huge `R`) slow FKN per Theorem 1 while leaving
+///   Jurdziński–Stachowiak untouched — the paper's stated trade-off
+///   between the two bounds.
+#[must_use]
+pub fn e12_ablations(cfg: &ExperimentConfig) -> Table {
+    let mut table = Table::new("E12: ablations (knockout rule, Rayleigh fading, deployment shape)");
+    table.headers([
+        "deployment",
+        "protocol",
+        "channel",
+        "success",
+        "mean",
+        "p95",
+    ]);
+
+    let n = 1usize << cfg.max_n_pow2.min(8);
+    let chain_n = 24usize;
+    let chain_ratio = 2f64.powi(30);
+
+    type DeployFn = Box<dyn Fn(u64) -> Deployment + Sync>;
+    let uniform: fn(usize) -> DeployFn = |n| Box::new(move |seed| standard_deployment(n, seed));
+    let clustered: DeployFn = Box::new(move |seed| {
+        generators::clustered((n / 16).max(2), 16, 0.8, (n as f64).sqrt() * 8.0, seed)
+            .expect("valid cluster parameters")
+    });
+    let chain: DeployFn = Box::new(move |_seed| {
+        generators::geometric_line(chain_n, chain_ratio).expect("ratio >= n-1")
+    });
+
+    let rayleigh = |d: &Deployment| {
+        ChannelKind::RayleighSinr(SinrParams::default_single_hop().with_power_for(d))
+    };
+
+    struct Row {
+        deployment: &'static str,
+        protocol_label: String,
+        channel_label: &'static str,
+        deploy: DeployFn,
+        channel: Box<dyn Fn(&Deployment) -> ChannelKind + Sync>,
+        protocol: ProtocolKind,
+        max_rounds: Option<u64>,
+    }
+
+    let rows: Vec<Row> = vec![
+        Row {
+            deployment: "uniform",
+            protocol_label: "fkn".into(),
+            channel_label: "sinr",
+            deploy: uniform(n),
+            channel: Box::new(sinr_for),
+            protocol: ProtocolKind::fkn_default(),
+            max_rounds: None,
+        },
+        Row {
+            deployment: "uniform",
+            protocol_label: "fixed-p (no knockout)".into(),
+            channel_label: "sinr",
+            deploy: uniform(n),
+            channel: Box::new(sinr_for),
+            protocol: ProtocolKind::FixedProbability { p: 0.25 },
+            max_rounds: Some(5_000),
+        },
+        Row {
+            deployment: "uniform",
+            protocol_label: "decay + knockout".into(),
+            channel_label: "sinr",
+            deploy: uniform(n),
+            channel: Box::new(sinr_for),
+            protocol: ProtocolKind::Decay,
+            max_rounds: None,
+        },
+        Row {
+            deployment: "uniform",
+            protocol_label: "fkn".into(),
+            channel_label: "rayleigh",
+            deploy: uniform(n),
+            channel: Box::new(rayleigh),
+            protocol: ProtocolKind::fkn_default(),
+            max_rounds: None,
+        },
+        Row {
+            deployment: "uniform",
+            protocol_label: "fkn".into(),
+            channel_label: "lossy-sinr q=0.3",
+            deploy: uniform(n),
+            channel: Box::new(|d: &Deployment| ChannelKind::LossySinr {
+                params: SinrParams::default_single_hop().with_power_for(d),
+                drop_prob: 0.3,
+            }),
+            protocol: ProtocolKind::fkn_default(),
+            max_rounds: None,
+        },
+        Row {
+            deployment: "clustered",
+            protocol_label: "fkn".into(),
+            channel_label: "sinr",
+            deploy: clustered,
+            channel: Box::new(sinr_for),
+            protocol: ProtocolKind::fkn_default(),
+            max_rounds: None,
+        },
+        Row {
+            deployment: "chain R=2^30",
+            protocol_label: "fkn".into(),
+            channel_label: "sinr",
+            deploy: chain,
+            channel: Box::new(sinr_for),
+            protocol: ProtocolKind::fkn_default(),
+            max_rounds: None,
+        },
+        Row {
+            deployment: "chain R=2^30",
+            protocol_label: "js15(N=48)".into(),
+            channel_label: "sinr",
+            deploy: Box::new(move |_seed| {
+                generators::geometric_line(chain_n, chain_ratio).expect("ratio >= n-1")
+            }),
+            channel: Box::new(sinr_for),
+            protocol: ProtocolKind::JurdzinskiStachowiak {
+                n_bound: 2 * chain_n,
+            },
+            max_rounds: None,
+        },
+    ];
+
+    for (block, row) in rows.into_iter().enumerate() {
+        let mut local_cfg = *cfg;
+        if let Some(mr) = row.max_rounds {
+            local_cfg.max_rounds = mr;
+        }
+        let protocol = row.protocol;
+        let s = measure(
+            &local_cfg,
+            cfg.seed_block(block as u64),
+            &row.deploy,
+            &row.channel,
+            move |_| protocol,
+        );
+        table.row([
+            row.deployment.to_string(),
+            row.protocol_label,
+            row.channel_label.to_string(),
+            fmt_f64(s.success_rate),
+            fmt_f64(s.mean_rounds),
+            fmt_f64(s.p95_rounds),
+        ]);
+    }
+    table.note(format!(
+        "uniform/clustered rows use n = {n}; chains use n = {chain_n} with R = 2^30"
+    ));
+    table.note("fixed-p row is budget-capped at 5000 rounds (it would not resolve in any budget)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(t: &Table, row: usize, col: usize) -> f64 {
+        t.rows()[row][col].parse().unwrap()
+    }
+
+    #[test]
+    fn knockout_ablation_fails_and_baseline_succeeds() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 4;
+        let t = e12_ablations(&cfg);
+        assert_eq!(t.num_rows(), 8);
+        // fkn on uniform succeeds.
+        assert_eq!(cell(&t, 0, 3), 1.0);
+        // fixed-p (no knockout) fails.
+        assert!(
+            cell(&t, 1, 3) < 0.5,
+            "no-knockout ablation resolved too often"
+        );
+    }
+
+    #[test]
+    fn rayleigh_behaves_like_deterministic_sinr() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 6;
+        let t = e12_ablations(&cfg);
+        let det = cell(&t, 0, 4);
+        let ray = cell(&t, 3, 4);
+        assert_eq!(cell(&t, 3, 3), 1.0, "rayleigh runs failed");
+        assert!(
+            ray < det * 5.0 + 20.0,
+            "rayleigh mean {ray} wildly exceeds deterministic {det}"
+        );
+    }
+
+    #[test]
+    fn js_is_insensitive_to_r_on_chains() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 6;
+        let t = e12_ablations(&cfg);
+        assert_eq!(cell(&t, 7, 3), 1.0, "js failed on the chain");
+    }
+
+    #[test]
+    fn lossy_channel_slows_but_never_breaks_fkn() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 6;
+        let t = e12_ablations(&cfg);
+        // Row 4: fkn on lossy-sinr with q = 0.3.
+        assert_eq!(cell(&t, 4, 3), 1.0, "lossy runs failed");
+        let clean = cell(&t, 0, 4);
+        let lossy = cell(&t, 4, 4);
+        assert!(
+            lossy < clean * 6.0 + 30.0,
+            "lossy mean {lossy} not a constant factor of clean {clean}"
+        );
+    }
+}

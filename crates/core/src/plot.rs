@@ -1,0 +1,284 @@
+//! Minimal ASCII scatter/line plots for terminal experiment output.
+//!
+//! The experiment harness is terminal-first; these plots let examples and
+//! the `experiments` binary *show* a scaling curve (e.g. rounds vs `log n`)
+//! without any plotting dependency. Rendering is deterministic, so plots
+//! are testable.
+
+use std::fmt;
+
+/// A named data series for an [`AsciiPlot`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    name: String,
+    marker: char,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series with a display `name`, a single-char `marker`, and
+    /// `(x, y)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is non-finite.
+    #[must_use]
+    pub fn new(name: impl Into<String>, marker: char, points: Vec<(f64, f64)>) -> Self {
+        for &(x, y) in &points {
+            assert!(x.is_finite() && y.is_finite(), "non-finite plot point");
+        }
+        Series {
+            name: name.into(),
+            marker,
+            points,
+        }
+    }
+
+    /// The series name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A fixed-size character-grid plot with axes, labels, and a legend.
+///
+/// # Example
+///
+/// ```
+/// use fading_cr::plot::{AsciiPlot, Series};
+///
+/// let measured = Series::new("measured", '*', vec![(4.0, 8.0), (6.0, 12.0), (8.0, 16.0)]);
+/// let theory = Series::new("2·log2 n", '.', vec![(4.0, 8.0), (8.0, 16.0)]);
+/// let plot = AsciiPlot::new("rounds vs log2(n)", 40, 12)
+///     .x_label("log2(n)")
+///     .y_label("rounds")
+///     .series(measured)
+///     .series(theory);
+/// let text = plot.render();
+/// assert!(text.contains("rounds vs log2(n)"));
+/// assert!(text.contains('*'));
+/// assert!(text.contains("legend"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl AsciiPlot {
+    /// Creates a plot with the given title and grid size (columns × rows of
+    /// the data area, excluding axes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width < 8` or `height < 4` (too small to draw anything).
+    #[must_use]
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 8, "plot width must be at least 8");
+        assert!(height >= 4, "plot height must be at least 4");
+        AsciiPlot {
+            title: title.into(),
+            width,
+            height,
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the x-axis label.
+    #[must_use]
+    pub fn x_label(mut self, label: impl Into<String>) -> Self {
+        self.x_label = label.into();
+        self
+    }
+
+    /// Sets the y-axis label.
+    #[must_use]
+    pub fn y_label(mut self, label: impl Into<String>) -> Self {
+        self.y_label = label.into();
+        self
+    }
+
+    /// Adds a data series (drawn in insertion order; later series overdraw
+    /// earlier ones where they collide).
+    #[must_use]
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut it = self.series.iter().flat_map(|s| s.points.iter().copied());
+        let first = it.next()?;
+        let (mut x0, mut y0, mut x1, mut y1) = (first.0, first.1, first.0, first.1);
+        for (x, y) in it {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        // Degenerate ranges get a symmetric pad so everything still draws.
+        if x0 == x1 {
+            x0 -= 1.0;
+            x1 += 1.0;
+        }
+        if y0 == y1 {
+            y0 -= 1.0;
+            y1 += 1.0;
+        }
+        Some((x0, y0, x1, y1))
+    }
+
+    /// Renders the plot as multi-line text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let Some((x0, y0, x1, y1)) = self.bounds() else {
+            out.push_str("  (no data)\n");
+            return out;
+        };
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy; // y grows upward
+                grid[row][cx] = s.marker;
+            }
+        }
+        // y-axis labels on the first and last grid rows.
+        let y_hi = format!("{y1:.1}");
+        let y_lo = format!("{y0:.1}");
+        let label_w = y_hi.len().max(y_lo.len()).max(self.y_label.len());
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                y_hi.as_str()
+            } else if r == self.height - 1 {
+                y_lo.as_str()
+            } else if r == self.height / 2 {
+                self.y_label.as_str()
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "{label:>label_w$} |{}\n",
+                row.iter().collect::<String>()
+            ));
+        }
+        out.push_str(&format!("{:>label_w$} +{}\n", "", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "{:>label_w$}  {:<w$.1}{:>rest$.1}  {}\n",
+            "",
+            x0,
+            x1,
+            self.x_label,
+            w = 8.min(self.width / 2),
+            rest = self.width.saturating_sub(8.min(self.width / 2)),
+        ));
+        if !self.series.is_empty() {
+            let legend = self
+                .series
+                .iter()
+                .map(|s| format!("{} {}", s.marker, s.name))
+                .collect::<Vec<_>>()
+                .join("   ");
+            out.push_str(&format!("  legend: {legend}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for AsciiPlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_plot() -> AsciiPlot {
+        AsciiPlot::new("test", 20, 6).series(Series::new(
+            "line",
+            '*',
+            vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)],
+        ))
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let text = simple_plot().x_label("x").y_label("y").render();
+        assert!(text.contains("## test"));
+        assert!(text.contains("legend: * line"));
+        assert!(text.contains('|'));
+        assert!(text.contains('+'));
+    }
+
+    #[test]
+    fn corners_are_plotted_at_extremes() {
+        let text = simple_plot().render();
+        let lines: Vec<&str> = text.lines().collect();
+        // First grid row (index 1, after the title) holds the max point at
+        // the right edge; the last grid row holds the min at the left edge.
+        let first_grid = lines[1];
+        let last_grid = lines[6];
+        assert!(first_grid.trim_end().ends_with('*'), "{text}");
+        let data_part = last_grid.split('|').nth(1).expect("grid row");
+        assert!(data_part.starts_with('*'), "{text}");
+    }
+
+    #[test]
+    fn empty_plot_says_no_data() {
+        let p = AsciiPlot::new("empty", 20, 6);
+        assert!(p.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn degenerate_ranges_still_render() {
+        let p = AsciiPlot::new("flat", 20, 6).series(Series::new(
+            "flat",
+            'o',
+            vec![(1.0, 5.0), (2.0, 5.0)],
+        ));
+        let text = p.render();
+        assert!(text.contains('o'));
+    }
+
+    #[test]
+    fn later_series_overdraw() {
+        let p = AsciiPlot::new("overlap", 20, 6)
+            .series(Series::new("a", 'a', vec![(0.0, 0.0), (1.0, 1.0)]))
+            .series(Series::new("b", 'b', vec![(0.0, 0.0)]));
+        let text = p.render();
+        // The shared origin cell shows 'b'.
+        let last_grid = text.lines().nth(6).expect("grid row");
+        let data = last_grid.split('|').nth(1).expect("grid");
+        assert!(data.starts_with('b'), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_points() {
+        let _ = Series::new("bad", 'x', vec![(f64::NAN, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn rejects_tiny_plots() {
+        let _ = AsciiPlot::new("tiny", 2, 2);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let p = simple_plot();
+        assert_eq!(p.to_string(), p.render());
+    }
+}

@@ -1,0 +1,148 @@
+//! Multi-table markdown report assembly.
+//!
+//! The `experiments` binary prints tables as it goes; [`Report`] collects
+//! them into a single markdown document with a table of contents and a
+//! configuration preamble — the machine-written core of `EXPERIMENTS.md`.
+
+use std::fmt;
+
+use crate::Table;
+
+/// An ordered collection of experiment tables rendered as one markdown
+/// document.
+///
+/// # Example
+///
+/// ```
+/// use fading_cr::{report::Report, Table};
+///
+/// let mut t = Table::new("E0: demo");
+/// t.headers(["n", "rounds"]).row(["16", "3.1"]);
+/// let doc = Report::new("my run")
+///     .preamble("seed = 1")
+///     .table(t)
+///     .render();
+/// assert!(doc.contains("# my run"));
+/// assert!(doc.contains("- E0: demo"));
+/// assert!(doc.contains("| 16 |"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    title: String,
+    preamble: Vec<String>,
+    tables: Vec<Table>,
+}
+
+impl Report {
+    /// Creates an empty report with a document title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            ..Report::default()
+        }
+    }
+
+    /// Appends a preamble paragraph (configuration, provenance, caveats).
+    #[must_use]
+    pub fn preamble(mut self, text: impl Into<String>) -> Self {
+        self.preamble.push(text.into());
+        self
+    }
+
+    /// Appends a table.
+    #[must_use]
+    pub fn table(mut self, table: Table) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Number of tables collected.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` if no tables have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Renders the full markdown document: title, preamble, a table of
+    /// contents (one bullet per table title), then every table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("# {}\n\n", self.title);
+        for p in &self.preamble {
+            out.push_str(p);
+            out.push_str("\n\n");
+        }
+        if !self.tables.is_empty() {
+            out.push_str("Contents:\n\n");
+            for t in &self.tables {
+                out.push_str(&format!("- {}\n", t.title()));
+            }
+            out.push('\n');
+        }
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(title: &str) -> Table {
+        let mut t = Table::new(title);
+        t.headers(["a"]).row(["1"]);
+        t
+    }
+
+    #[test]
+    fn renders_toc_in_order() {
+        let doc = Report::new("run")
+            .table(table("first"))
+            .table(table("second"))
+            .render();
+        let toc_first = doc.find("- first").expect("toc entry");
+        let toc_second = doc.find("- second").expect("toc entry");
+        let body_first = doc.find("## first").expect("body");
+        assert!(toc_first < toc_second);
+        assert!(toc_second < body_first);
+    }
+
+    #[test]
+    fn preamble_precedes_contents() {
+        let doc = Report::new("run")
+            .preamble("config: quick")
+            .table(table("only"))
+            .render();
+        assert!(doc.find("config: quick").unwrap() < doc.find("Contents:").unwrap());
+    }
+
+    #[test]
+    fn empty_report_has_no_toc() {
+        let r = Report::new("empty");
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(!r.render().contains("Contents:"));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let r = Report::new("run").table(table("t"));
+        assert_eq!(r.to_string(), r.render());
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Plain-text and CSV table rendering for experiment output.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A simple experiment-results table: a title, column headers, string rows,
+/// and free-form footnotes (used for fit statistics and caveats).
+///
+/// # Example
+///
+/// ```
+/// use fading_cr::Table;
+///
+/// let mut t = Table::new("E0: demo");
+/// t.headers(["n", "rounds"]);
+/// t.row(["16", "12.5"]);
+/// t.row(["64", "18.0"]);
+/// t.note("synthetic numbers");
+/// let text = t.render();
+/// assert!(text.contains("E0: demo"));
+/// assert!(text.contains("rounds"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("n,rounds\n"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with a title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Table {
+            title: title.into(),
+            ..Table::default()
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn headers<I, S>(&mut self, headers: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if headers are set and the row width does not match.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            self.headers.is_empty() || row.len() == self.headers.len(),
+            "row width {} does not match header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a footnote line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Access to the raw rows (for assertions in tests).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The footnotes.
+    #[must_use]
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Renders an aligned, boxed plain-text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                line.push_str(&format!(" {cell:>w$} |", w = w));
+            }
+            line.push('\n');
+            line
+        };
+        let separator = {
+            let mut line = String::from("|");
+            for w in &widths {
+                line.push_str(&format!("{}|", "-".repeat(w + 2)));
+            }
+            line.push('\n');
+            line
+        };
+        if !self.headers.is_empty() {
+            out.push_str(&render_row(&self.headers, &widths));
+            out.push_str(&separator);
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-style CSV (headers first; quotes around cells that
+    /// contain commas, quotes, or newlines).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        if !self.headers.is_empty() {
+            out.push_str(
+                &self
+                    .headers
+                    .iter()
+                    .map(|h| escape(h))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with a sensible fixed precision for table cells.
+#[must_use]
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo");
+        t.headers(["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.row(["100", "3"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Title, header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        // All table body lines have equal width.
+        let widths: Vec<usize> = lines[1..].iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{text}");
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new("demo");
+        t.headers(["x", "y"]);
+        t.row(["a,b", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "x,y\n\"a,b\",\"he said \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("demo");
+        t.headers(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn notes_are_rendered() {
+        let mut t = Table::new("demo");
+        t.headers(["a"]);
+        t.row(["1"]);
+        t.note("caveat emptor");
+        assert!(t.render().contains("note: caveat emptor"));
+        assert_eq!(t.notes().len(), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let mut t = Table::new("demo");
+        assert!(t.is_empty());
+        t.headers(["a"]);
+        t.row(["1"]);
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.title(), "demo");
+        assert_eq!(t.rows()[0][0], "1");
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_f64_precision_tiers() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(42.123), "42.1");
+        assert_eq!(fmt_f64(12345.6), "12346");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new("demo");
+        t.headers(["a"]);
+        t.row(["1"]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

@@ -1,0 +1,107 @@
+//! Closed-form round-complexity predictions.
+//!
+//! These are the asymptotic bounds the paper states, instantiated with a
+//! free leading constant so measured data can be overlaid on the predicted
+//! *shape* (the reproduction matches shapes, not testbed constants).
+
+/// Theorem 1: the paper's algorithm resolves contention in
+/// `c·(log₂ n + log₂ R)` rounds w.h.p. on a fading channel.
+///
+/// # Example
+///
+/// ```
+/// use fading_cr::theory::fkn_rounds;
+/// // n = 1024, R = 16: 10 + 4 = 14 units.
+/// assert_eq!(fkn_rounds(1024, 16.0, 1.0), 14.0);
+/// ```
+#[must_use]
+pub fn fkn_rounds(n: usize, link_ratio: f64, c: f64) -> f64 {
+    c * ((n.max(2) as f64).log2() + link_ratio.max(1.0).log2())
+}
+
+/// The radio-network-model bound: high-probability contention resolution
+/// takes `Θ(log² n)` rounds (the "speed limit" the paper's algorithm
+/// beats).
+#[must_use]
+pub fn radio_rounds(n: usize, c: f64) -> f64 {
+    let l = (n.max(2) as f64).log2();
+    c * l * l
+}
+
+/// Jurdziński–Stachowiak PODC'15: `O(log² n / log log n)` on the fading
+/// channel with a known polynomial bound on `n`.
+#[must_use]
+pub fn js_rounds(n: usize, c: f64) -> f64 {
+    let l = (n.max(4) as f64).log2();
+    c * l * l / l.log2().max(1.0)
+}
+
+/// Radio network with collision detection: `Θ(log n)`.
+#[must_use]
+pub fn cd_rounds(n: usize, c: f64) -> f64 {
+    c * (n.max(2) as f64).log2()
+}
+
+/// Lemma 13: any player winning the restricted `k`-hitting game with
+/// probability `1 − 1/k` needs `Ω(log k)` rounds; `c·log₂ k` is the
+/// matching shape (the halving player achieves `c = 1` deterministically).
+#[must_use]
+pub fn hitting_rounds(k: usize, c: f64) -> f64 {
+    c * (k.max(2) as f64).log2()
+}
+
+/// The speedup Theorem 1 claims over the radio-network model:
+/// `log² n / (log n + log R)` — the "square root improvement" when `R` is
+/// polynomial in `n`.
+#[must_use]
+pub fn predicted_speedup(n: usize, link_ratio: f64) -> f64 {
+    radio_rounds(n, 1.0) / fkn_rounds(n, link_ratio, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fkn_is_additive_in_logs() {
+        assert_eq!(fkn_rounds(16, 1.0, 2.0), 8.0);
+        assert_eq!(fkn_rounds(16, 16.0, 1.0), 8.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        assert_eq!(fkn_rounds(0, 0.5, 1.0), 1.0); // log2(2) + log2(1)
+        assert!(radio_rounds(1, 1.0) > 0.0);
+        assert!(hitting_rounds(0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn ordering_of_bounds_at_scale() {
+        // For n = 2^20 and polynomial R = n: CD ≈ FKN < JS < radio.
+        let n = 1 << 20;
+        let r = n as f64;
+        let fkn = fkn_rounds(n, r, 1.0);
+        let js = js_rounds(n, 1.0);
+        let radio = radio_rounds(n, 1.0);
+        let cd = cd_rounds(n, 1.0);
+        assert!(cd < fkn); // log n < 2·log n
+        assert!(fkn < js, "fkn {fkn} vs js {js}");
+        assert!(js < radio, "js {js} vs radio {radio}");
+    }
+
+    #[test]
+    fn speedup_grows_with_n() {
+        let small = predicted_speedup(1 << 8, (1 << 8) as f64);
+        let large = predicted_speedup(1 << 20, (1 << 20) as f64);
+        assert!(large > small);
+        // log²n / (2 log n) = log n / 2.
+        assert!((large - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn js_beats_radio_by_loglog() {
+        let n = 1 << 16;
+        let ratio = radio_rounds(n, 1.0) / js_rounds(n, 1.0);
+        assert!((ratio - 4.0).abs() < 1e-9); // log log 2^16 = 4
+    }
+}

@@ -1,0 +1,79 @@
+//! Contracts every experiment table must satisfy regardless of scale:
+//! consistent shape, parseable cells, and serializability. These guard the
+//! harness itself (the numbers are asserted elsewhere, per experiment).
+
+use fading_cr::experiments::{run_by_id, ExperimentConfig, ALL_IDS};
+
+fn tiny_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.trials = 3;
+    cfg.max_n_pow2 = 6;
+    cfg
+}
+
+#[test]
+fn every_table_has_consistent_row_widths() {
+    let cfg = tiny_config();
+    for id in ALL_IDS {
+        let t = run_by_id(id, &cfg).expect("known id");
+        let width = t.rows()[0].len();
+        for (k, row) in t.rows().iter().enumerate() {
+            assert_eq!(row.len(), width, "{id} row {k} width mismatch");
+        }
+    }
+}
+
+#[test]
+fn every_table_round_trips_through_csv() {
+    let cfg = tiny_config();
+    for id in ALL_IDS {
+        let t = run_by_id(id, &cfg).expect("known id");
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header + one line per row.
+        assert_eq!(lines.len(), t.num_rows() + 1, "{id}");
+        // No cell in these tables needs quoting (keeps downstream parsing
+        // trivial); titles and notes are not part of the CSV.
+        assert!(!csv.contains('"'), "{id} produced quoted CSV cells");
+    }
+}
+
+#[test]
+fn experiments_are_deterministic_given_the_config() {
+    let cfg = tiny_config();
+    for id in ["e1", "e5", "e7", "e10", "e12"] {
+        let a = run_by_id(id, &cfg).expect("known id");
+        let b = run_by_id(id, &cfg).expect("known id");
+        assert_eq!(a, b, "{id} not deterministic");
+    }
+}
+
+#[test]
+fn seed_changes_numbers_but_not_shape() {
+    let cfg_a = tiny_config();
+    let mut cfg_b = tiny_config();
+    cfg_b.seed = 999;
+    let a = run_by_id("e1", &cfg_a).expect("known id");
+    let b = run_by_id("e1", &cfg_b).expect("known id");
+    assert_eq!(a.num_rows(), b.num_rows());
+    // Same n column, (generically) different measurements.
+    let n_col =
+        |t: &fading_cr::Table| -> Vec<String> { t.rows().iter().map(|r| r[0].clone()).collect() };
+    assert_eq!(n_col(&a), n_col(&b));
+    assert_ne!(a, b, "different seeds produced identical tables");
+}
+
+#[test]
+fn success_columns_parse_as_probabilities() {
+    let cfg = tiny_config();
+    // Experiments with an explicit success column and its index.
+    for (id, col) in [("e1", 2usize), ("e2", 3), ("e5", 1), ("e6", 2)] {
+        let t = run_by_id(id, &cfg).expect("known id");
+        for row in t.rows() {
+            let s: f64 = row[col]
+                .parse()
+                .unwrap_or_else(|_| panic!("{id} success cell `{}`", row[col]));
+            assert!((0.0..=1.0).contains(&s), "{id} success {s}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for geometry and deployment construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating geometric structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A deployment requires at least two nodes to define any link.
+    TooFewNodes {
+        /// Number of nodes that were supplied.
+        got: usize,
+    },
+    /// Two nodes were placed at (numerically) identical positions, which
+    /// makes the shortest link zero and the link ratio `R` undefined.
+    CoincidentNodes {
+        /// Index of the first node in the coincident pair.
+        first: usize,
+        /// Index of the second node in the coincident pair.
+        second: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFinitePoint {
+        /// Index of the offending node.
+        index: usize,
+    },
+    /// A generator parameter was out of its documented range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// A CSV deployment file had a malformed line.
+    ParseCsv {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::TooFewNodes { got } => {
+                write!(f, "deployment needs at least 2 nodes, got {got}")
+            }
+            GeomError::CoincidentNodes { first, second } => {
+                write!(f, "nodes {first} and {second} occupy the same position")
+            }
+            GeomError::NonFinitePoint { index } => {
+                write!(f, "node {index} has a non-finite coordinate")
+            }
+            GeomError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            GeomError::ParseCsv { line, reason } => {
+                write!(f, "csv line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            GeomError::TooFewNodes { got: 1 },
+            GeomError::CoincidentNodes {
+                first: 0,
+                second: 3,
+            },
+            GeomError::NonFinitePoint { index: 2 },
+            GeomError::InvalidParameter {
+                name: "n",
+                reason: "must be positive",
+            },
+            GeomError::ParseCsv {
+                line: 3,
+                reason: "x is not a number",
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

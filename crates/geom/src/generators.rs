@@ -1,0 +1,819 @@
+//! Seeded, reproducible deployment generators.
+//!
+//! Each generator covers a workload family used somewhere in the paper's
+//! analysis or in the reproduction experiments:
+//!
+//! * [`uniform_square`] / [`uniform_disk`] / [`uniform_density`] — the
+//!   "typical feasible deployment" for which `R` is polynomial in `n`.
+//! * [`grid_lattice`] — regular placements with optional jitter.
+//! * [`clustered`] — multi-scale densities, stressing many link classes.
+//! * [`exponential_chain`] / [`geometric_line`] — adversarial placements that
+//!   maximize `R` with few nodes (the footnote-1 regime where
+//!   `log R ≫ log n`).
+//! * [`geometric_pairs`] — direct control over the link-class profile
+//!   `n_0, n_1, …`, used to validate Lemma 6.
+//! * [`halton`] / [`poisson_disk`] — quasi-random and blue-noise placements
+//!   with controlled shortest links, isolating density effects from
+//!   link-class effects.
+//! * [`two_nodes`] / [`ring`] — small structured cases.
+//!
+//! All generators take an explicit `seed` where randomness is involved and
+//! are fully deterministic for a given seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Deployment, GeomError, Point};
+
+/// `n` points placed uniformly at random in the axis-aligned square
+/// `[0, side] × [0, side]`.
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if `n < 2` or `side <= 0`, and
+/// propagates validation errors (coincident points are astronomically
+/// unlikely but checked).
+pub fn uniform_square(n: usize, side: f64, seed: u64) -> Result<Deployment, GeomError> {
+    if n < 2 {
+        return Err(GeomError::InvalidParameter {
+            name: "n",
+            reason: "need at least 2 nodes",
+        });
+    }
+    if !(side > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "side",
+            reason: "must be strictly positive",
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    Deployment::from_points(points)
+}
+
+/// `n` points uniformly at random in a disk of the given `radius` centered at
+/// the origin (area-uniform, via the square-root radius trick).
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if `n < 2` or `radius <= 0`.
+pub fn uniform_disk(n: usize, radius: f64, seed: u64) -> Result<Deployment, GeomError> {
+    if n < 2 {
+        return Err(GeomError::InvalidParameter {
+            name: "n",
+            reason: "need at least 2 nodes",
+        });
+    }
+    if !(radius > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "radius",
+            reason: "must be strictly positive",
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let points = (0..n)
+        .map(|_| {
+            let r = radius * rng.gen::<f64>().sqrt();
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            Point::from_polar(r, theta)
+        })
+        .collect();
+    Deployment::from_points(points)
+}
+
+/// `n` points uniformly at random in a square sized so that the expected
+/// density (points per unit area) equals `density`.
+///
+/// Keeping density fixed while growing `n` keeps the local contention profile
+/// stable — the regime of experiment E1 (rounds vs. `n`).
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if `n < 2` or `density <= 0`.
+pub fn uniform_density(n: usize, density: f64, seed: u64) -> Result<Deployment, GeomError> {
+    if !(density > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "density",
+            reason: "must be strictly positive",
+        });
+    }
+    let side = (n as f64 / density).sqrt();
+    uniform_square(n, side, seed)
+}
+
+/// A `cols × rows` lattice with the given `spacing`, each point jittered
+/// uniformly by up to `jitter_frac * spacing` in each coordinate.
+///
+/// With `jitter_frac = 0` the lattice is exact (and deterministic regardless
+/// of seed).
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if the lattice would have fewer
+/// than 2 points, `spacing <= 0`, or `jitter_frac ∉ [0, 0.49]` (larger jitter
+/// could make points coincide or swap cells).
+pub fn grid_lattice(
+    cols: usize,
+    rows: usize,
+    spacing: f64,
+    jitter_frac: f64,
+    seed: u64,
+) -> Result<Deployment, GeomError> {
+    if cols * rows < 2 {
+        return Err(GeomError::InvalidParameter {
+            name: "cols*rows",
+            reason: "need at least 2 lattice points",
+        });
+    }
+    if !(spacing > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "spacing",
+            reason: "must be strictly positive",
+        });
+    }
+    if !(0.0..=0.49).contains(&jitter_frac) {
+        return Err(GeomError::InvalidParameter {
+            name: "jitter_frac",
+            reason: "must lie in [0, 0.49]",
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(cols * rows);
+    let j = jitter_frac * spacing;
+    for r in 0..rows {
+        for c in 0..cols {
+            let jx = if j > 0.0 { rng.gen_range(-j..j) } else { 0.0 };
+            let jy = if j > 0.0 { rng.gen_range(-j..j) } else { 0.0 };
+            points.push(Point::new(c as f64 * spacing + jx, r as f64 * spacing + jy));
+        }
+    }
+    Deployment::from_points(points)
+}
+
+/// `clusters` Gaussian clusters of `per_cluster` points each. Cluster centers
+/// are uniform in `[0, span]²`; members are normally distributed around their
+/// center with standard deviation `sigma` (Box–Muller).
+///
+/// Produces deployments whose nearest-neighbor distances span many link
+/// classes: tight intra-cluster links plus long inter-cluster links.
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] on non-positive dimensions or a
+/// total of fewer than 2 points.
+pub fn clustered(
+    clusters: usize,
+    per_cluster: usize,
+    sigma: f64,
+    span: f64,
+    seed: u64,
+) -> Result<Deployment, GeomError> {
+    if clusters * per_cluster < 2 {
+        return Err(GeomError::InvalidParameter {
+            name: "clusters*per_cluster",
+            reason: "need at least 2 nodes in total",
+        });
+    }
+    if !(sigma > 0.0) || !(span > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "sigma/span",
+            reason: "must be strictly positive",
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(clusters * per_cluster);
+    for _ in 0..clusters {
+        let center = Point::new(rng.gen_range(0.0..span), rng.gen_range(0.0..span));
+        for _ in 0..per_cluster {
+            let (gx, gy) = gaussian_pair(&mut rng);
+            points.push(Point::new(center.x + sigma * gx, center.y + sigma * gy));
+        }
+    }
+    Deployment::from_points(points)
+}
+
+/// A standard normal pair via Box–Muller.
+fn gaussian_pair(rng: &mut SmallRng) -> (f64, f64) {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = std::f64::consts::TAU * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// A deterministic chain of `num_gaps + 1` collinear nodes whose consecutive
+/// gaps double: `1, 2, 4, …, 2^{num_gaps-1}`.
+///
+/// This is the adversarial regime of the paper's footnote 1: with only
+/// `n = num_gaps + 1` nodes the link ratio is `R = 2^{num_gaps} − 1`,
+/// exponential in `n`, and every nonempty link class is occupied.
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if `num_gaps == 0` or if
+/// `num_gaps > 1000` (coordinates would overflow `f64` precision usefully).
+pub fn exponential_chain(num_gaps: usize) -> Result<Deployment, GeomError> {
+    if num_gaps == 0 {
+        return Err(GeomError::InvalidParameter {
+            name: "num_gaps",
+            reason: "need at least 1 gap",
+        });
+    }
+    if num_gaps > 1000 {
+        return Err(GeomError::InvalidParameter {
+            name: "num_gaps",
+            reason: "must be at most 1000",
+        });
+    }
+    let mut points = Vec::with_capacity(num_gaps + 1);
+    let mut x = 0.0;
+    points.push(Point::new(0.0, 0.0));
+    for k in 0..num_gaps {
+        x += 2f64.powi(k as i32);
+        points.push(Point::new(x, 0.0));
+    }
+    Deployment::from_points(points)
+}
+
+/// `n` collinear nodes whose consecutive gaps grow geometrically so that the
+/// deployment's link ratio is (approximately) the requested `ratio`.
+///
+/// The growth factor `q` solving `1 + q + … + q^{n-2} = ratio` is found by
+/// bisection. This gives independent control of `n` and `R`, the knob needed
+/// by experiment E2 (rounds vs. `R` at fixed `n`).
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if `n < 2` or
+/// `ratio < n - 1` (with `n` nodes and unit minimum gap the diameter is at
+/// least `n − 1`).
+///
+/// # Example
+///
+/// ```
+/// use fading_geom::generators::geometric_line;
+/// let d = geometric_line(16, 1024.0)?;
+/// assert_eq!(d.len(), 16);
+/// assert!((d.link_ratio() - 1024.0).abs() / 1024.0 < 1e-6);
+/// # Ok::<(), fading_geom::GeomError>(())
+/// ```
+pub fn geometric_line(n: usize, ratio: f64) -> Result<Deployment, GeomError> {
+    if n < 2 {
+        return Err(GeomError::InvalidParameter {
+            name: "n",
+            reason: "need at least 2 nodes",
+        });
+    }
+    if !(ratio >= (n - 1) as f64) {
+        return Err(GeomError::InvalidParameter {
+            name: "ratio",
+            reason: "must be at least n - 1 for unit minimum gap",
+        });
+    }
+    let gaps = n - 1;
+    // Solve sum_{k=0}^{gaps-1} q^k = ratio for q >= 1 by bisection.
+    let target = ratio;
+    let geom_sum = |q: f64| -> f64 {
+        if (q - 1.0).abs() < 1e-12 {
+            gaps as f64
+        } else {
+            (q.powi(gaps as i32) - 1.0) / (q - 1.0)
+        }
+    };
+    let mut lo = 1.0;
+    let mut hi = target.max(2.0); // geom_sum(hi) >= hi^{gaps-1} >= target for gaps >= 2
+    if gaps == 1 {
+        // Single gap: diameter equals the gap, so R = 1 regardless; only
+        // ratio == 1 is representable.
+        let d = Deployment::from_points(vec![Point::ORIGIN, Point::new(1.0, 0.0)])?;
+        return Ok(d);
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if geom_sum(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let q = 0.5 * (lo + hi);
+    let mut points = Vec::with_capacity(n);
+    let mut x = 0.0;
+    points.push(Point::new(0.0, 0.0));
+    let mut gap = 1.0;
+    for _ in 0..gaps {
+        x += gap;
+        points.push(Point::new(x, 0.0));
+        gap *= q;
+    }
+    Deployment::from_points(points)
+}
+
+/// Direct control over the paper's link-class profile: for each entry
+/// `class_sizes[i] = k`, places `k` *pairs* of nodes separated by
+/// `1.5 · 2^i` (inside class `d_i = [2^i, 2^{i+1})`).
+///
+/// Pairs are laid out on a global super-grid spaced far enough apart
+/// (`8 × 2^{i_max+1}`) that each node's nearest neighbor is always its own
+/// partner, so node counts per class are exactly `2 · class_sizes[i]`.
+/// Pair orientations are randomized with `seed`.
+///
+/// Used by experiment E7 to construct profiles with `n_{<i} ≤ δ · n_i` and
+/// validate Lemma 6 ("at least half of `V_i` is good").
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if every class is empty or more
+/// than 40 classes are requested (coordinates would lose precision).
+pub fn geometric_pairs(class_sizes: &[usize], seed: u64) -> Result<Deployment, GeomError> {
+    let total_pairs: usize = class_sizes.iter().sum();
+    if total_pairs == 0 {
+        return Err(GeomError::InvalidParameter {
+            name: "class_sizes",
+            reason: "at least one class must be nonempty",
+        });
+    }
+    if class_sizes.len() > 40 {
+        return Err(GeomError::InvalidParameter {
+            name: "class_sizes",
+            reason: "at most 40 link classes supported",
+        });
+    }
+    let i_max = class_sizes.len() - 1;
+    let super_spacing = 8.0 * 2f64.powi(i_max as i32 + 1);
+    let grid_side = (total_pairs as f64).sqrt().ceil() as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(2 * total_pairs);
+    let mut slot = 0usize;
+    for (i, &k) in class_sizes.iter().enumerate() {
+        let sep = 1.5 * 2f64.powi(i as i32);
+        for _ in 0..k {
+            let gx = (slot % grid_side) as f64 * super_spacing;
+            let gy = (slot / grid_side) as f64 * super_spacing;
+            slot += 1;
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let anchor = Point::new(gx, gy);
+            points.push(anchor);
+            points.push(anchor + Point::from_polar(sep, theta));
+        }
+    }
+    Deployment::from_points(points)
+}
+
+/// Exactly two nodes at distance `d` (the paper's §4 two-player setting).
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if `d <= 0` or non-finite.
+pub fn two_nodes(d: f64) -> Result<Deployment, GeomError> {
+    if !(d > 0.0) || !d.is_finite() {
+        return Err(GeomError::InvalidParameter {
+            name: "d",
+            reason: "must be strictly positive and finite",
+        });
+    }
+    Deployment::from_points(vec![Point::ORIGIN, Point::new(d, 0.0)])
+}
+
+/// `n` nodes evenly spaced on a circle of the given `radius`.
+///
+/// Every node's nearest-neighbor distance is identical, so all nodes share a
+/// single link class — a maximally symmetric hard case.
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if `n < 2` or `radius <= 0`.
+pub fn ring(n: usize, radius: f64) -> Result<Deployment, GeomError> {
+    if n < 2 {
+        return Err(GeomError::InvalidParameter {
+            name: "n",
+            reason: "need at least 2 nodes",
+        });
+    }
+    if !(radius > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "radius",
+            reason: "must be strictly positive",
+        });
+    }
+    let points = (0..n)
+        .map(|k| Point::from_polar(radius, std::f64::consts::TAU * k as f64 / n as f64))
+        .collect();
+    Deployment::from_points(points)
+}
+
+impl Deployment {
+    /// Convenience constructor: uniform placement in a `side × side` square.
+    /// See [`uniform_square`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (`n < 2`, `side <= 0`) or in the
+    /// astronomically unlikely event of coincident random points. Use
+    /// [`uniform_square`] for a fallible version.
+    #[must_use]
+    pub fn uniform_square(n: usize, side: f64, seed: u64) -> Deployment {
+        uniform_square(n, side, seed).expect("valid uniform_square parameters")
+    }
+
+    /// Convenience constructor: uniform placement at fixed density.
+    /// See [`uniform_density`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters. Use [`uniform_density`] for a fallible
+    /// version.
+    #[must_use]
+    pub fn uniform_density(n: usize, density: f64, seed: u64) -> Deployment {
+        uniform_density(n, density, seed).expect("valid uniform_density parameters")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_square_is_deterministic_per_seed() {
+        let a = uniform_square(50, 10.0, 7).unwrap();
+        let b = uniform_square(50, 10.0, 7).unwrap();
+        let c = uniform_square(50, 10.0, 8).unwrap();
+        assert_eq!(a.points(), b.points());
+        assert_ne!(a.points(), c.points());
+    }
+
+    #[test]
+    fn uniform_square_within_bounds() {
+        let d = uniform_square(200, 25.0, 3).unwrap();
+        for p in d.points() {
+            assert!((0.0..25.0).contains(&p.x));
+            assert!((0.0..25.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn uniform_disk_within_radius() {
+        let d = uniform_disk(200, 5.0, 11).unwrap();
+        for p in d.points() {
+            assert!(p.norm() <= 5.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_density_scales_side() {
+        let d = uniform_density(100, 1.0, 5).unwrap();
+        for p in d.points() {
+            assert!(p.x < 10.0 && p.y < 10.0);
+        }
+    }
+
+    #[test]
+    fn lattice_exact_when_unjittered() {
+        let d = grid_lattice(3, 2, 2.0, 0.0, 99).unwrap();
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.min_link(), 2.0);
+        assert_eq!(d.point(4), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn lattice_jitter_bounds() {
+        let d = grid_lattice(10, 10, 1.0, 0.25, 1).unwrap();
+        for (i, p) in d.points().iter().enumerate() {
+            let c = (i % 10) as f64;
+            let r = (i / 10) as f64;
+            assert!((p.x - c).abs() <= 0.25 + 1e-12);
+            assert!((p.y - r).abs() <= 0.25 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn lattice_rejects_large_jitter() {
+        assert!(grid_lattice(2, 2, 1.0, 0.6, 0).is_err());
+    }
+
+    #[test]
+    fn clustered_has_expected_count() {
+        let d = clustered(4, 25, 0.5, 100.0, 13).unwrap();
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn exponential_chain_ratio() {
+        // gaps 1,2,4: diameter 7, min link 1 => R = 7
+        let d = exponential_chain(3).unwrap();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.min_link(), 1.0);
+        assert_eq!(d.link_ratio(), 7.0);
+    }
+
+    #[test]
+    fn exponential_chain_rejects_zero() {
+        assert!(exponential_chain(0).is_err());
+    }
+
+    #[test]
+    fn geometric_line_hits_target_ratio() {
+        for &(n, ratio) in &[(8usize, 64.0f64), (16, 4096.0), (32, 1e6), (10, 9.0)] {
+            let d = geometric_line(n, ratio).unwrap();
+            assert_eq!(d.len(), n);
+            let rel = (d.link_ratio() - ratio).abs() / ratio;
+            assert!(rel < 1e-6, "n={n} ratio={ratio} got={}", d.link_ratio());
+        }
+    }
+
+    #[test]
+    fn geometric_line_rejects_unreachable_ratio() {
+        assert!(geometric_line(10, 5.0).is_err());
+    }
+
+    #[test]
+    fn geometric_pairs_class_profile() {
+        // 3 pairs in class 0, 2 pairs in class 2.
+        let d = geometric_pairs(&[3, 0, 2], 5).unwrap();
+        assert_eq!(d.len(), 10);
+        // Each node's nearest neighbor must be its pair partner.
+        for pair in 0..5 {
+            let a = 2 * pair;
+            let b = 2 * pair + 1;
+            assert_eq!(d.nearest_neighbor(a), Some(b), "pair {pair}");
+            assert_eq!(d.nearest_neighbor(b), Some(a), "pair {pair}");
+        }
+        // Class membership: nn distance in [2^i, 2^{i+1}).
+        let mut class0 = 0;
+        let mut class2 = 0;
+        for i in 0..d.len() {
+            let nn = d.nn_distance(i).unwrap();
+            if (1.0..2.0).contains(&nn) {
+                class0 += 1;
+            } else if (4.0..8.0).contains(&nn) {
+                class2 += 1;
+            } else {
+                panic!("node {i} has nn distance {nn} outside expected classes");
+            }
+        }
+        assert_eq!(class0, 6);
+        assert_eq!(class2, 4);
+    }
+
+    #[test]
+    fn two_nodes_distance() {
+        let d = two_nodes(3.5).unwrap();
+        assert_eq!(d.min_link(), 3.5);
+        assert!(two_nodes(0.0).is_err());
+        assert!(two_nodes(-1.0).is_err());
+    }
+
+    #[test]
+    fn ring_single_link_class() {
+        let d = ring(12, 10.0).unwrap();
+        assert_eq!(d.len(), 12);
+        let first = d.nn_distance(0).unwrap();
+        for i in 1..12 {
+            assert!((d.nn_distance(i).unwrap() - first).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convenience_constructors_match_free_functions() {
+        let a = Deployment::uniform_square(30, 9.0, 17);
+        let b = uniform_square(30, 9.0, 17).unwrap();
+        assert_eq!(a.points(), b.points());
+    }
+}
+
+/// `n` points of a Halton (2, 3) low-discrepancy sequence scaled to
+/// `[0, side]²`, optionally jittered by up to `jitter` in each coordinate.
+///
+/// Quasi-random placements have near-uniform local density without the
+/// clumping (and the resulting tiny shortest links) of i.i.d. uniform
+/// sampling, so `R` stays `Θ(√n)` — useful for isolating density effects
+/// from link-class effects in the experiments.
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if `n < 2`, `side <= 0`, or
+/// `jitter < 0`.
+pub fn halton(n: usize, side: f64, jitter: f64, seed: u64) -> Result<Deployment, GeomError> {
+    if n < 2 {
+        return Err(GeomError::InvalidParameter {
+            name: "n",
+            reason: "need at least 2 nodes",
+        });
+    }
+    if !(side > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "side",
+            reason: "must be strictly positive",
+        });
+    }
+    if !(jitter >= 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "jitter",
+            reason: "must be non-negative",
+        });
+    }
+    fn radical_inverse(mut index: u64, base: u64) -> f64 {
+        let mut result = 0.0;
+        let mut fraction = 1.0 / base as f64;
+        while index > 0 {
+            result += (index % base) as f64 * fraction;
+            index /= base;
+            fraction /= base as f64;
+        }
+        result
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let points = (1..=n as u64)
+        .map(|i| {
+            let jx = if jitter > 0.0 {
+                rng.gen_range(-jitter..jitter)
+            } else {
+                0.0
+            };
+            let jy = if jitter > 0.0 {
+                rng.gen_range(-jitter..jitter)
+            } else {
+                0.0
+            };
+            Point::new(
+                radical_inverse(i, 2) * side + jx,
+                radical_inverse(i, 3) * side + jy,
+            )
+        })
+        .collect();
+    Deployment::from_points(points)
+}
+
+/// Poisson-disk sampling (Bridson's algorithm): points in `[0, side]²` with
+/// pairwise distance at least `min_dist`, filled to (near) saturation.
+///
+/// The returned deployment has, by construction, `min_link >= min_dist` and
+/// a blue-noise density profile — the "maximally even" random deployment,
+/// in which every node sits in the same link class.
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] if `side <= 0` or
+/// `min_dist <= 0`, or if fewer than 2 points fit.
+pub fn poisson_disk(side: f64, min_dist: f64, seed: u64) -> Result<Deployment, GeomError> {
+    if !(side > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "side",
+            reason: "must be strictly positive",
+        });
+    }
+    if !(min_dist > 0.0) {
+        return Err(GeomError::InvalidParameter {
+            name: "min_dist",
+            reason: "must be strictly positive",
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cell = min_dist / std::f64::consts::SQRT_2;
+    let grid_side = (side / cell).ceil() as usize + 1;
+    let mut grid: Vec<Option<usize>> = vec![None; grid_side * grid_side];
+    let mut points: Vec<Point> = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+
+    let cell_of = |p: Point| -> (usize, usize) {
+        (
+            ((p.x / cell) as usize).min(grid_side - 1),
+            ((p.y / cell) as usize).min(grid_side - 1),
+        )
+    };
+    let insert = |p: Point,
+                  points: &mut Vec<Point>,
+                  grid: &mut Vec<Option<usize>>,
+                  active: &mut Vec<usize>| {
+        let idx = points.len();
+        points.push(p);
+        let (c, r) = cell_of(p);
+        grid[r * grid_side + c] = Some(idx);
+        active.push(idx);
+    };
+    let fits = |p: Point, points: &[Point], grid: &[Option<usize>]| -> bool {
+        if !(0.0..=side).contains(&p.x) || !(0.0..=side).contains(&p.y) {
+            return false;
+        }
+        let (c, r) = cell_of(p);
+        let c0 = c.saturating_sub(2);
+        let r0 = r.saturating_sub(2);
+        let c1 = (c + 2).min(grid_side - 1);
+        let r1 = (r + 2).min(grid_side - 1);
+        for rr in r0..=r1 {
+            for cc in c0..=c1 {
+                if let Some(q) = grid[rr * grid_side + cc] {
+                    if points[q].distance(p) < min_dist {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    };
+
+    let first = Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+    insert(first, &mut points, &mut grid, &mut active);
+    const ATTEMPTS: usize = 30;
+    while let Some(&anchor_idx) = active.last() {
+        let anchor = points[anchor_idx];
+        let mut placed = false;
+        for _ in 0..ATTEMPTS {
+            let radius = rng.gen_range(min_dist..2.0 * min_dist);
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let candidate = anchor + Point::from_polar(radius, angle);
+            if fits(candidate, &points, &grid) {
+                insert(candidate, &mut points, &mut grid, &mut active);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            active.pop();
+        }
+    }
+    Deployment::from_points(points)
+}
+
+#[cfg(test)]
+mod quasi_random_tests {
+    use super::*;
+
+    #[test]
+    fn halton_is_deterministic_and_in_bounds() {
+        let a = halton(100, 20.0, 0.0, 0).unwrap();
+        let b = halton(100, 20.0, 0.0, 99).unwrap(); // no jitter: seed ignored
+        assert_eq!(a.points(), b.points());
+        for p in a.points() {
+            assert!((0.0..=20.0).contains(&p.x));
+            assert!((0.0..=20.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn halton_is_more_even_than_uniform() {
+        // The shortest link of a Halton set is much larger than that of an
+        // i.i.d. uniform set of the same size and area.
+        let h = halton(256, 32.0, 0.0, 0).unwrap();
+        let u = uniform_square(256, 32.0, 0).unwrap();
+        assert!(
+            h.min_link() > 2.0 * u.min_link(),
+            "halton {} vs uniform {}",
+            h.min_link(),
+            u.min_link()
+        );
+    }
+
+    #[test]
+    fn halton_jitter_perturbs() {
+        let a = halton(50, 10.0, 0.0, 3).unwrap();
+        let b = halton(50, 10.0, 0.2, 3).unwrap();
+        assert_ne!(a.points(), b.points());
+    }
+
+    #[test]
+    fn poisson_disk_respects_min_distance() {
+        let d = poisson_disk(30.0, 2.0, 7).unwrap();
+        assert!(d.len() > 50, "too few samples: {}", d.len());
+        assert!(
+            d.min_link() >= 2.0 - 1e-9,
+            "min link {} below the disk radius",
+            d.min_link()
+        );
+        // Saturation: density close to the theoretical packing range.
+        let per_area = d.len() as f64 / (30.0 * 30.0);
+        assert!(per_area > 0.1, "density {per_area} too low for saturation");
+    }
+
+    #[test]
+    fn poisson_disk_single_link_class() {
+        // min gap >= min_dist and saturation keeps nn distances < 2*min_dist:
+        // every node lands in one link class.
+        let d = poisson_disk(40.0, 1.5, 1).unwrap();
+        for i in 0..d.len() {
+            let nn = d.nn_distance(i).unwrap();
+            assert!(
+                (1.5..4.5).contains(&nn),
+                "node {i} nn distance {nn} out of the blue-noise band"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_disk_is_deterministic() {
+        let a = poisson_disk(15.0, 1.0, 5).unwrap();
+        let b = poisson_disk(15.0, 1.0, 5).unwrap();
+        assert_eq!(a.points(), b.points());
+    }
+
+    #[test]
+    fn generators_validate_parameters() {
+        assert!(halton(1, 10.0, 0.0, 0).is_err());
+        assert!(halton(10, 0.0, 0.0, 0).is_err());
+        assert!(halton(10, 1.0, -0.1, 0).is_err());
+        assert!(poisson_disk(0.0, 1.0, 0).is_err());
+        assert!(poisson_disk(10.0, 0.0, 0).is_err());
+    }
+}

@@ -1,0 +1,413 @@
+//! A uniform-grid spatial index.
+
+use crate::{Bbox, Point};
+
+/// A uniform-grid spatial index over a fixed set of points.
+///
+/// The index buckets points into square cells of a fixed size and answers
+/// range, annulus, and nearest-neighbor queries by scanning only nearby
+/// cells. For the deployments used in SINR simulation (up to tens of
+/// thousands of points, reasonably spread) queries are close to `O(1)`
+/// amortized; the worst case degenerates gracefully to a full scan.
+///
+/// The index stores point *indices* into the slice it was built from, so the
+/// caller keeps ownership of the coordinates.
+///
+/// # Example
+///
+/// ```
+/// use fading_geom::{GridIndex, Point};
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(10.0, 10.0),
+/// ];
+/// let index = GridIndex::build(&pts);
+/// assert_eq!(index.nearest(Point::new(0.2, 0.0), None), Some(0));
+/// assert_eq!(index.nearest(Point::new(0.2, 0.0), Some(0)), Some(1));
+///
+/// let mut close = index.within(Point::new(0.0, 0.0), 2.0);
+/// close.sort_unstable();
+/// assert_eq!(close, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bbox: Bbox,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    /// `buckets[row * cols + col]` lists indices of points in that cell.
+    buckets: Vec<Vec<u32>>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Builds an index over `points` with an automatically chosen cell size
+    /// (targeting an average of about one point per cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is non-finite.
+    #[must_use]
+    pub fn build(points: &[Point]) -> Self {
+        let bbox = Bbox::containing(points.iter().copied())
+            .unwrap_or_else(|| Bbox::new(Point::ORIGIN, Point::ORIGIN));
+        let span = bbox.width().max(bbox.height()).max(1e-12);
+        // Aim for ~1 point per cell: sqrt(n) cells per side.
+        let side = (points.len() as f64).sqrt().ceil().max(1.0);
+        let cell = span / side;
+        Self::build_with_cell(points, cell)
+    }
+
+    /// Builds an index with an explicit cell size.
+    ///
+    /// Useful when the query radius is known in advance: choosing
+    /// `cell ≈ radius` makes range queries scan at most 9 cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive and finite, or if any
+    /// coordinate is non-finite.
+    #[must_use]
+    pub fn build_with_cell(points: &[Point], cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "cell size must be positive and finite"
+        );
+        for (i, p) in points.iter().enumerate() {
+            assert!(p.is_finite(), "point {i} has a non-finite coordinate");
+        }
+        let bbox = Bbox::containing(points.iter().copied())
+            .unwrap_or_else(|| Bbox::new(Point::ORIGIN, Point::ORIGIN));
+        let cols = ((bbox.width() / cell).floor() as usize + 1).max(1);
+        let rows = ((bbox.height() / cell).floor() as usize + 1).max(1);
+        let mut buckets = vec![Vec::new(); cols * rows];
+        let mut index = GridIndex {
+            bbox,
+            cell,
+            cols,
+            rows,
+            buckets: Vec::new(),
+            points: points.to_vec(),
+        };
+        for (i, p) in points.iter().enumerate() {
+            let (c, r) = index.cell_of(*p);
+            buckets[r * cols + c].push(i as u32);
+        }
+        index.buckets = buckets;
+        index
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the index contains no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The bounding box of the indexed points.
+    #[must_use]
+    pub fn bbox(&self) -> Bbox {
+        self.bbox
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let c = ((p.x - self.bbox.min().x) / self.cell).floor() as isize;
+        let r = ((p.y - self.bbox.min().y) / self.cell).floor() as isize;
+        (
+            c.clamp(0, self.cols as isize - 1) as usize,
+            r.clamp(0, self.rows as isize - 1) as usize,
+        )
+    }
+
+    /// Indices of all points within Euclidean distance `radius` of `center`
+    /// (boundary inclusive). The query point itself is *not* excluded: if an
+    /// indexed point coincides with `center` it is reported.
+    #[must_use]
+    pub fn within(&self, center: Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |i| out.push(i));
+        out
+    }
+
+    /// Calls `f(i)` for every indexed point `i` within `radius` of `center`.
+    ///
+    /// This is the allocation-free workhorse behind [`GridIndex::within`].
+    pub fn for_each_within<F: FnMut(usize)>(&self, center: Point, radius: f64, mut f: F) {
+        if self.points.is_empty() || radius < 0.0 {
+            return;
+        }
+        let r_sq = radius * radius;
+        let (c0, r0) = self.cell_of(Point::new(center.x - radius, center.y - radius));
+        let (c1, r1) = self.cell_of(Point::new(center.x + radius, center.y + radius));
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                for &i in &self.buckets[row * self.cols + col] {
+                    let i = i as usize;
+                    if self.points[i].distance_sq(center) <= r_sq {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of indexed points `q` with `r_in < distance(center, q) <= r_out`.
+    ///
+    /// This half-open convention matches the paper's exponential annuli
+    /// `A^i_t(u) = B(u, 2^{t+1} 2^i) \ B(u, 2^t 2^i)`.
+    #[must_use]
+    pub fn count_in_annulus(&self, center: Point, r_in: f64, r_out: f64) -> usize {
+        let mut count = 0;
+        let r_in_sq = r_in * r_in;
+        self.for_each_within(center, r_out, |i| {
+            if self.points[i].distance_sq(center) > r_in_sq {
+                count += 1;
+            }
+        });
+        count
+    }
+
+    /// Index of the point nearest to `query`, optionally excluding one index
+    /// (typically the query point itself when it is part of the indexed set).
+    ///
+    /// Returns `None` if the index is empty or contains only the excluded
+    /// point. Ties are broken towards the smaller index.
+    #[must_use]
+    pub fn nearest(&self, query: Point, exclude: Option<usize>) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let (qc, qr) = self.cell_of(query);
+        let mut best: Option<(f64, usize)> = None;
+        // Expanding ring search over cells.
+        let max_ring = self.cols.max(self.rows);
+        for ring in 0..=max_ring {
+            // Once we have a candidate, we can stop after scanning every cell
+            // that could contain something closer: cells at Chebyshev ring
+            // distance `ring` are at least `(ring - 1) * cell` away.
+            if let Some((best_d_sq, _)) = best {
+                let ring_min_dist = (ring as f64 - 1.0).max(0.0) * self.cell;
+                if ring_min_dist * ring_min_dist > best_d_sq {
+                    break;
+                }
+            }
+            let mut scanned_any = false;
+            self.for_each_cell_on_ring(qc, qr, ring, |bucket| {
+                scanned_any = true;
+                for &i in bucket {
+                    let i = i as usize;
+                    if Some(i) == exclude {
+                        continue;
+                    }
+                    let d_sq = self.points[i].distance_sq(query);
+                    let better = match best {
+                        None => true,
+                        Some((bd, bi)) => d_sq < bd || (d_sq == bd && i < bi),
+                    };
+                    if better {
+                        best = Some((d_sq, i));
+                    }
+                }
+            });
+            if !scanned_any && ring > 0 && best.is_some() {
+                break;
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    fn for_each_cell_on_ring<'a, F: FnMut(&'a [u32])>(
+        &'a self,
+        qc: usize,
+        qr: usize,
+        ring: usize,
+        mut f: F,
+    ) {
+        let qc = qc as isize;
+        let qr = qr as isize;
+        let ring = ring as isize;
+        let visit = |c: isize, r: isize, f: &mut F| {
+            if c >= 0 && r >= 0 && (c as usize) < self.cols && (r as usize) < self.rows {
+                f(&self.buckets[r as usize * self.cols + c as usize]);
+            }
+        };
+        if ring == 0 {
+            visit(qc, qr, &mut f);
+            return;
+        }
+        for c in (qc - ring)..=(qc + ring) {
+            visit(c, qr - ring, &mut f);
+            visit(c, qr + ring, &mut f);
+        }
+        for r in (qr - ring + 1)..=(qr + ring - 1) {
+            visit(qc - ring, r, &mut f);
+            visit(qc + ring, r, &mut f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_nearest(points: &[Point], query: Point, exclude: Option<usize>) -> Option<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != exclude)
+            .min_by(|(i, a), (j, b)| {
+                a.distance_sq(query)
+                    .partial_cmp(&b.distance_sq(query))
+                    .unwrap()
+                    .then(i.cmp(j))
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn brute_within(points: &[Point], center: Point, radius: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_sq(center) <= radius * radius)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest(Point::ORIGIN, None), None);
+        assert!(idx.within(Point::ORIGIN, 10.0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let idx = GridIndex::build(&[Point::new(5.0, 5.0)]);
+        assert_eq!(idx.nearest(Point::ORIGIN, None), Some(0));
+        assert_eq!(idx.nearest(Point::ORIGIN, Some(0)), None);
+    }
+
+    #[test]
+    fn within_boundary_inclusive() {
+        let pts = [Point::ORIGIN, Point::new(2.0, 0.0)];
+        let idx = GridIndex::build(&pts);
+        let hits = idx.within(Point::ORIGIN, 2.0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn annulus_excludes_inner_boundary() {
+        // r_in < d <= r_out
+        let pts = [
+            Point::ORIGIN,
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(3.0, 0.0),
+        ];
+        let idx = GridIndex::build(&pts);
+        // annulus (1, 3]: contains points at distance 2 and 3 but not 0, 1.
+        assert_eq!(idx.count_in_annulus(Point::ORIGIN, 1.0, 3.0), 2);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_on_grid_cluster() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push(Point::new(f64::from(i) * 1.3, f64::from(j) * 0.7));
+            }
+        }
+        let idx = GridIndex::build(&pts);
+        for i in 0..pts.len() {
+            let got = idx.nearest(pts[i], Some(i));
+            let want = brute_nearest(&pts, pts[i], Some(i));
+            assert_eq!(
+                got.map(|g| pts[g].distance(pts[i])),
+                want.map(|w| pts[w].distance(pts[i])),
+                "node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let mut pts = Vec::new();
+        // A deterministic pseudo-random cloud.
+        let mut state: u64 = 0x1234_5678;
+        for _ in 0..200 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = ((state >> 33) % 1000) as f64 / 10.0;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let y = ((state >> 33) % 1000) as f64 / 10.0;
+            pts.push(Point::new(x, y));
+        }
+        let idx = GridIndex::build(&pts);
+        for &radius in &[0.0, 1.0, 7.5, 40.0, 500.0] {
+            for &center in &[Point::ORIGIN, Point::new(50.0, 50.0), Point::new(99.0, 1.0)] {
+                let mut got = idx.within(center, radius);
+                got.sort_unstable();
+                let want = brute_within(&pts, center, radius);
+                assert_eq!(got, want, "center {center} radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_cell_size_agrees_with_auto() {
+        let pts: Vec<Point> = (0..50)
+            .map(|i| Point::new(f64::from(i % 7) * 3.0, f64::from(i / 7) * 2.0))
+            .collect();
+        let a = GridIndex::build(&pts);
+        let b = GridIndex::build_with_cell(&pts, 0.5);
+        for i in 0..pts.len() {
+            assert_eq!(
+                a.nearest(pts[i], Some(i)).map(|k| pts[k].distance(pts[i])),
+                b.nearest(pts[i], Some(i)).map(|k| pts[k].distance(pts[i]))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::build_with_cell(&[Point::ORIGIN], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_point_panics() {
+        let _ = GridIndex::build(&[Point::new(f64::NAN, 0.0)]);
+    }
+
+    #[test]
+    fn identical_points_all_reported() {
+        let pts = vec![Point::new(1.0, 1.0); 5];
+        let idx = GridIndex::build(&pts);
+        assert_eq!(idx.within(Point::new(1.0, 1.0), 0.0).len(), 5);
+        // Nearest with exclusion still finds a coincident twin at distance 0.
+        assert!(idx.nearest(pts[0], Some(0)).is_some());
+    }
+
+    #[test]
+    fn collinear_degenerate_bbox() {
+        // All points on a horizontal line: bbox has zero height.
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(f64::from(i), 3.0)).collect();
+        let idx = GridIndex::build(&pts);
+        for i in 0..pts.len() {
+            let n = idx.nearest(pts[i], Some(i)).unwrap();
+            assert!((pts[n].distance(pts[i]) - 1.0).abs() < 1e-12);
+        }
+    }
+}

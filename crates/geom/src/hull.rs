@@ -1,0 +1,210 @@
+//! Convex hull and exact diameter computation.
+//!
+//! The paper's parameter `R` is the ratio of the longest to the shortest
+//! link, and the longest link of a deployment is the diameter of its point
+//! set. Computing the diameter naively is `O(n^2)`; this module provides the
+//! standard `O(n log n)` pipeline: Andrew's monotone-chain convex hull
+//! followed by rotating calipers.
+
+use crate::Point;
+
+/// Twice the signed area of triangle `(o, a, b)`.
+///
+/// Positive when `o -> a -> b` turns counter-clockwise.
+fn cross(o: Point, a: Point, b: Point) -> f64 {
+    (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+}
+
+/// Computes the convex hull of `points` using Andrew's monotone chain.
+///
+/// Returns hull vertices in counter-clockwise order without repeating the
+/// first vertex. Collinear points on hull edges are dropped. Degenerate
+/// inputs are handled: fewer than three distinct points return what exists
+/// (possibly fewer than three vertices).
+///
+/// # Example
+///
+/// ```
+/// use fading_geom::{convex_hull, Point};
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+///     Point::new(1.0, 1.0), // interior
+/// ];
+/// let hull = convex_hull(&pts);
+/// assert_eq!(hull.len(), 4);
+/// ```
+#[must_use]
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // The last point equals the first.
+    hull
+}
+
+/// Computes the exact diameter (longest pairwise distance) of `points` in
+/// `O(n log n)` via convex hull + rotating calipers.
+///
+/// Returns `0.0` for zero or one point.
+///
+/// # Example
+///
+/// ```
+/// use fading_geom::{diameter, Point};
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(3.0, 4.0),
+///     Point::new(1.0, 1.0),
+/// ];
+/// assert_eq!(diameter(&pts), 5.0);
+/// ```
+#[must_use]
+pub fn diameter(points: &[Point]) -> f64 {
+    let hull = convex_hull(points);
+    let m = hull.len();
+    match m {
+        0 | 1 => 0.0,
+        2 => hull[0].distance(hull[1]),
+        _ => {
+            // Rotating calipers over antipodal pairs.
+            let mut best_sq: f64 = 0.0;
+            let mut j = 1;
+            for i in 0..m {
+                let edge_from = hull[i];
+                let edge_to = hull[(i + 1) % m];
+                // Advance j while the triangle area keeps growing.
+                loop {
+                    let next = (j + 1) % m;
+                    let area_now = cross(edge_from, edge_to, hull[j]).abs();
+                    let area_next = cross(edge_from, edge_to, hull[next]).abs();
+                    if area_next > area_now {
+                        j = next;
+                    } else {
+                        break;
+                    }
+                }
+                best_sq = best_sq
+                    .max(edge_from.distance_sq(hull[j]))
+                    .max(edge_to.distance_sq(hull[j]));
+            }
+            best_sq.sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_diameter(points: &[Point]) -> f64 {
+        let mut best: f64 = 0.0;
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                best = best.max(points[i].distance(points[j]));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn hull_of_square_with_interior() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+    }
+
+    #[test]
+    fn hull_drops_collinear_edge_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 1.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 3);
+    }
+
+    #[test]
+    fn hull_degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::ORIGIN]).len(), 1);
+        assert_eq!(convex_hull(&[Point::ORIGIN, Point::new(1.0, 1.0)]).len(), 2);
+        // All collinear.
+        let line: Vec<Point> = (0..10).map(|i| Point::new(f64::from(i), 0.0)).collect();
+        let hull = convex_hull(&line);
+        assert_eq!(hull.len(), 2);
+    }
+
+    #[test]
+    fn diameter_matches_brute_force_on_clouds() {
+        let mut state: u64 = 42;
+        let mut pts = Vec::new();
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let x = ((state >> 33) % 10_000) as f64 / 100.0;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let y = ((state >> 33) % 10_000) as f64 / 100.0;
+            pts.push(Point::new(x, y));
+        }
+        let fast = diameter(&pts);
+        let slow = brute_diameter(&pts);
+        assert!((fast - slow).abs() < 1e-9, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn diameter_of_duplicated_point_is_zero() {
+        let pts = vec![Point::new(3.0, 3.0); 7];
+        assert_eq!(diameter(&pts), 0.0);
+    }
+
+    #[test]
+    fn diameter_of_two_points() {
+        assert_eq!(diameter(&[Point::ORIGIN, Point::new(0.0, 9.0)]), 9.0);
+    }
+
+    #[test]
+    fn diameter_collinear() {
+        let line: Vec<Point> = (0..17)
+            .map(|i| Point::new(f64::from(i) * 2.0, 1.0))
+            .collect();
+        assert_eq!(diameter(&line), 32.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Plain-text (CSV) deployment interchange.
+//!
+//! Real evaluations often start from surveyed node positions. This module
+//! reads and writes deployments as two-column `x,y` CSV — no serialization
+//! framework needed, and the format round-trips losslessly through the
+//! shortest `f64` representation.
+
+use crate::{Deployment, GeomError, Point};
+
+impl Deployment {
+    /// Serializes the node positions as `x,y` CSV with a header line.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fading_geom::{Deployment, Point};
+    /// let d = Deployment::from_points(vec![
+    ///     Point::new(0.0, 0.5),
+    ///     Point::new(2.0, 0.0),
+    /// ]).unwrap();
+    /// assert_eq!(d.to_csv(), "x,y\n0,0.5\n2,0\n");
+    /// ```
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,y\n");
+        for p in self.points() {
+            out.push_str(&format!("{},{}\n", p.x, p.y));
+        }
+        out
+    }
+
+    /// Parses a deployment from `x,y` CSV.
+    ///
+    /// Accepts an optional `x,y` header, blank lines, and `#` comment
+    /// lines; coordinates are parsed as `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::ParseCsv`] on a malformed line and propagates
+    /// the validation errors of [`Deployment::from_points`] (too few
+    /// points, non-finite coordinates, coincident nodes).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fading_geom::Deployment;
+    /// let d = Deployment::from_csv("x,y\n0,0\n# relay\n3,4\n")?;
+    /// assert_eq!(d.len(), 2);
+    /// assert_eq!(d.min_link(), 5.0);
+    /// # Ok::<(), fading_geom::GeomError>(())
+    /// ```
+    pub fn from_csv(text: &str) -> Result<Deployment, GeomError> {
+        let mut points = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if lineno == 0 && line.eq_ignore_ascii_case("x,y") {
+                continue;
+            }
+            let mut cells = line.split(',');
+            let (Some(xs), Some(ys), None) = (cells.next(), cells.next(), cells.next()) else {
+                return Err(GeomError::ParseCsv {
+                    line: lineno + 1,
+                    reason: "expected exactly two comma-separated columns",
+                });
+            };
+            let x: f64 = xs.trim().parse().map_err(|_| GeomError::ParseCsv {
+                line: lineno + 1,
+                reason: "x is not a number",
+            })?;
+            let y: f64 = ys.trim().parse().map_err(|_| GeomError::ParseCsv {
+                line: lineno + 1,
+                reason: "y is not a number",
+            })?;
+            points.push(Point::new(x, y));
+        }
+        Deployment::from_points(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_positions() {
+        let d = crate::generators::uniform_square(40, 17.0, 9).unwrap();
+        let csv = d.to_csv();
+        let back = Deployment::from_csv(&csv).unwrap();
+        assert_eq!(d.points(), back.points());
+        assert_eq!(d.min_link(), back.min_link());
+        assert_eq!(d.max_link(), back.max_link());
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_header() {
+        let d = Deployment::from_csv("x,y\n\n# a comment\n 0 , 0 \n1,1\n").unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let d = Deployment::from_csv("0,0\n1,1\n").unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn reports_malformed_lines_with_numbers() {
+        let err = Deployment::from_csv("x,y\n0,0\nnot-a-point\n").unwrap_err();
+        match err {
+            GeomError::ParseCsv { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = Deployment::from_csv("0,0\n1,banana\n").unwrap_err();
+        assert!(matches!(err, GeomError::ParseCsv { line: 2, .. }));
+        let err = Deployment::from_csv("0,0\n1,2,3\n").unwrap_err();
+        assert!(matches!(err, GeomError::ParseCsv { line: 2, .. }));
+    }
+
+    #[test]
+    fn propagates_deployment_validation() {
+        // A single point is too few.
+        assert!(matches!(
+            Deployment::from_csv("5,5\n"),
+            Err(GeomError::TooFewNodes { got: 1 })
+        ));
+        // Coincident points are rejected.
+        assert!(matches!(
+            Deployment::from_csv("1,1\n1,1\n"),
+            Err(GeomError::CoincidentNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        let d = Deployment::from_csv("0,0\n1e3,2.5e-1\n").unwrap();
+        assert_eq!(d.point(1), Point::new(1000.0, 0.25));
+    }
+}

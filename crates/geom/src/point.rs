@@ -1,0 +1,245 @@
+//! Points in the 2-D Euclidean plane.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point (or vector) in the 2-D Euclidean plane.
+///
+/// All SINR-model geometry in this workspace happens in the plane, following
+/// the model section of the paper ("deployed in the two-dimensional Euclidean
+/// plane").
+///
+/// # Example
+///
+/// ```
+/// use fading_geom::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// assert_eq!((a + b) / 2.0, Point::new(1.5, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    ///
+    /// ```
+    /// use fading_geom::Point;
+    /// let p = Point::new(1.0, -2.5);
+    /// assert_eq!(p.x, 1.0);
+    /// assert_eq!(p.y, -2.5);
+    /// ```
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Creates a point from polar coordinates `(radius, angle)` around the
+    /// origin, with `angle` in radians.
+    ///
+    /// ```
+    /// use fading_geom::Point;
+    /// let p = Point::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((p.x).abs() < 1e-12);
+    /// assert!((p.y - 2.0).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn from_polar(radius: f64, angle: f64) -> Self {
+        Point {
+            x: radius * angle.cos(),
+            y: radius * angle.sin(),
+        }
+    }
+
+    /// Euclidean distance to `other`.
+    ///
+    /// ```
+    /// use fading_geom::Point;
+    /// assert_eq!(Point::new(0.0, 0.0).distance(Point::new(0.0, 2.0)), 2.0);
+    /// ```
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Prefer this over [`Point::distance`] when only comparisons are needed;
+    /// it avoids the square root.
+    #[must_use]
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm (distance to the origin).
+    #[must_use]
+    pub fn norm(self) -> f64 {
+        self.distance(Point::ORIGIN)
+    }
+
+    /// Dot product with `other`, treating both points as vectors.
+    #[must_use]
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Returns the midpoint of the segment from `self` to `other`.
+    #[must_use]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point {
+            x: (self.x + other.x) / 2.0,
+            y: (self.y + other.y) / 2.0,
+        }
+    }
+
+    /// Returns `true` if both coordinates are finite (not NaN or infinite).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.5);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(7.25, -0.5);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn pythagorean_triple() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert!((a.distance_sq(b) - a.distance(b).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_polar_radius_is_norm() {
+        for k in 0..16 {
+            let angle = f64::from(k) * std::f64::consts::PI / 8.0;
+            let p = Point::from_polar(3.5, angle);
+            assert!((p.norm() - 3.5).abs() < 1e-12, "angle {angle}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -4.0);
+        assert_eq!(a + b, Point::new(4.0, -2.0));
+        assert_eq!(a - b, Point::new(-2.0, 6.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -2.0));
+    }
+
+    #[test]
+    fn midpoint_is_equidistant() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 6.0);
+        let m = a.midpoint(b);
+        assert!((m.distance(a) - m.distance(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuple_conversions_round_trip() {
+        let p = Point::new(0.25, 9.0);
+        let t: (f64, f64) = p.into();
+        assert_eq!(Point::from(t), p);
+    }
+
+    #[test]
+    fn finite_detects_nan() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(Point::new(1.0, 2.0).dot(Point::new(3.0, 4.0)), 11.0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1, 2.5)");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests: the spatial index and hull pipeline must agree with
+//! brute force on arbitrary inputs, and deployments must maintain their
+//! cached invariants.
+
+use fading_geom::{convex_hull, diameter, Deployment, GridIndex, Point};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1_000.0..1_000.0f64, -1_000.0..1_000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_points(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(), min..=max)
+}
+
+fn brute_nearest(points: &[Point], q: Point, exclude: usize) -> Option<f64> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != exclude)
+        .map(|(_, p)| p.distance(q))
+        .min_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn grid_nearest_matches_brute_force(points in arb_points(2, 120)) {
+        let idx = GridIndex::build(&points);
+        for i in 0..points.len() {
+            let got = idx
+                .nearest(points[i], Some(i))
+                .map(|j| points[j].distance(points[i]));
+            let want = brute_nearest(&points, points[i], i);
+            match (got, want) {
+                (Some(g), Some(w)) => prop_assert!((g - w).abs() < 1e-9, "i={i} got={g} want={w}"),
+                (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn grid_within_matches_brute_force(
+        points in arb_points(1, 120),
+        center in arb_point(),
+        radius in 0.0..2_000.0f64,
+    ) {
+        let idx = GridIndex::build(&points);
+        let mut got = idx.within(center, radius);
+        got.sort_unstable();
+        let want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_sq(center) <= radius * radius)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn annulus_count_matches_brute_force(
+        points in arb_points(1, 100),
+        center in arb_point(),
+        (r_in, r_out) in (0.0..500.0f64, 0.0..1_500.0f64)
+            .prop_map(|(a, b)| (a.min(b), a.max(b))),
+    ) {
+        let idx = GridIndex::build(&points);
+        let got = idx.count_in_annulus(center, r_in, r_out);
+        let want = points
+            .iter()
+            .filter(|p| {
+                let d = p.distance(center);
+                d > r_in && d <= r_out
+            })
+            .count();
+        // Allow boundary off-by-epsilon differences: recompute with strict
+        // tolerance and require the counts to be sandwiched.
+        let lo = points
+            .iter()
+            .filter(|p| {
+                let d = p.distance(center);
+                d > r_in + 1e-9 && d <= r_out - 1e-9
+            })
+            .count();
+        let hi = points
+            .iter()
+            .filter(|p| {
+                let d = p.distance(center);
+                d > r_in - 1e-9 && d <= r_out + 1e-9
+            })
+            .count();
+        prop_assert!(got >= lo && got <= hi, "got={got} want≈{want} in [{lo},{hi}]");
+    }
+
+    #[test]
+    fn diameter_matches_brute_force(points in arb_points(0, 80)) {
+        let fast = diameter(&points);
+        let mut slow: f64 = 0.0;
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                slow = slow.max(points[i].distance(points[j]));
+            }
+        }
+        prop_assert!((fast - slow).abs() <= 1e-9 * slow.max(1.0), "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn hull_contains_all_points(points in arb_points(3, 60)) {
+        let hull = convex_hull(&points);
+        prop_assume!(hull.len() >= 3);
+        // Every input point must be inside or on the hull: check via the
+        // cross-product sign against every hull edge (hull is CCW).
+        for p in &points {
+            for k in 0..hull.len() {
+                let a = hull[k];
+                let b = hull[(k + 1) % hull.len()];
+                let cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+                prop_assert!(cross >= -1e-6, "point {p} outside hull edge {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn deployment_invariants(points in arb_points(2, 80)) {
+        match Deployment::from_points(points.clone()) {
+            Ok(d) => {
+                // min_link is the smallest nearest-neighbor distance.
+                let min_nn = (0..d.len())
+                    .map(|i| d.nn_distance(i).unwrap())
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!((d.min_link() - min_nn).abs() < 1e-9);
+                // max_link >= every nn distance, and R >= 1.
+                prop_assert!(d.max_link() + 1e-9 >= min_nn);
+                prop_assert!(d.link_ratio() >= 1.0 - 1e-9);
+                // Each node's recorded nearest neighbor is at the recorded distance.
+                for i in 0..d.len() {
+                    let j = d.nearest_neighbor(i).unwrap();
+                    prop_assert!(i != j);
+                    let dist = d.point(i).distance(d.point(j));
+                    prop_assert!((dist - d.nn_distance(i).unwrap()).abs() < 1e-9);
+                }
+            }
+            Err(_) => {
+                // Only coincident points can fail here (the strategy
+                // generates finite coordinates and >= 2 points).
+                let mut coincident = false;
+                'outer: for i in 0..points.len() {
+                    for j in (i + 1)..points.len() {
+                        if points[i].distance_sq(points[j]) == 0.0 {
+                            coincident = true;
+                            break 'outer;
+                        }
+                    }
+                }
+                prop_assert!(coincident);
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_ratio(points in arb_points(2, 50)) {
+        if let Ok(d) = Deployment::from_points(points) {
+            let n = d.normalized();
+            prop_assert!((n.min_link() - 1.0).abs() < 1e-9);
+            prop_assert!((n.link_ratio() - d.link_ratio()).abs() <= 1e-6 * d.link_ratio());
+        }
+    }
+}

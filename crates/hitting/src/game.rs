@@ -1,0 +1,232 @@
+//! The restricted k-hitting game.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::players::HittingPlayer;
+
+/// Errors constructing a hitting game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GameError {
+    /// The universe must have at least two elements to hide a 2-set.
+    UniverseTooSmall {
+        /// The supplied `k`.
+        k: usize,
+    },
+    /// The explicit target was not a valid 2-subset of `{0, …, k−1}`.
+    InvalidTarget {
+        /// The supplied target pair.
+        target: [usize; 2],
+    },
+}
+
+impl std::fmt::Display for GameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GameError::UniverseTooSmall { k } => {
+                write!(f, "universe size {k} too small, need k >= 2")
+            }
+            GameError::InvalidTarget { target } => write!(
+                f,
+                "target {{{}, {}}} is not a 2-subset of the universe",
+                target[0], target[1]
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+/// One instance of the restricted `k`-hitting game.
+///
+/// The referee holds a hidden 2-element target `T ⊆ {0, …, k−1}`. Each round
+/// the player proposes a set `P`; the player **wins** the first round where
+/// `|P ∩ T| = 1`. A losing round conveys no information (the player is told
+/// nothing, matching the paper's definition — this is what makes the game
+/// hard and the `Ω(log k)` bound of Lemma 13 apply).
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct RestrictedHitting {
+    k: usize,
+    target: [usize; 2],
+}
+
+impl RestrictedHitting {
+    /// Creates a game with a referee-chosen (seeded uniform) target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::UniverseTooSmall`] if `k < 2`.
+    pub fn new(k: usize, referee_seed: u64) -> Result<Self, GameError> {
+        if k < 2 {
+            return Err(GameError::UniverseTooSmall { k });
+        }
+        let mut rng = SmallRng::seed_from_u64(referee_seed);
+        let first = rng.gen_range(0..k);
+        let mut second = rng.gen_range(0..k - 1);
+        if second >= first {
+            second += 1;
+        }
+        Ok(RestrictedHitting {
+            k,
+            target: [first.min(second), first.max(second)],
+        })
+    }
+
+    /// Creates a game with an explicit target (useful for adversarial /
+    /// worst-case analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::UniverseTooSmall`] if `k < 2`, or
+    /// [`GameError::InvalidTarget`] if the pair is out of range or equal.
+    pub fn with_target(k: usize, target: [usize; 2]) -> Result<Self, GameError> {
+        if k < 2 {
+            return Err(GameError::UniverseTooSmall { k });
+        }
+        if target[0] == target[1] || target[0] >= k || target[1] >= k {
+            return Err(GameError::InvalidTarget { target });
+        }
+        Ok(RestrictedHitting {
+            k,
+            target: [target[0].min(target[1]), target[0].max(target[1])],
+        })
+    }
+
+    /// The universe size `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The hidden target (exposed for test and measurement harnesses; a
+    /// player must obviously not look).
+    #[must_use]
+    pub fn target(&self) -> [usize; 2] {
+        self.target
+    }
+
+    /// Whether a proposal wins: exactly one target element is covered.
+    #[must_use]
+    pub fn is_winning(&self, proposal: &[usize]) -> bool {
+        let hit0 = proposal.contains(&self.target[0]);
+        let hit1 = proposal.contains(&self.target[1]);
+        hit0 != hit1
+    }
+
+    /// Plays the game: returns the 1-based round of the first winning
+    /// proposal, or `None` if `max_rounds` pass without a win.
+    ///
+    /// `player_seed` seeds the player's RNG stream.
+    pub fn play(
+        &mut self,
+        player: &mut dyn HittingPlayer,
+        max_rounds: u64,
+        player_seed: u64,
+    ) -> Option<u64> {
+        let mut rng = SmallRng::seed_from_u64(player_seed);
+        for round in 1..=max_rounds {
+            let proposal = player.propose(round, &mut rng);
+            debug_assert!(
+                proposal.iter().all(|&x| x < self.k),
+                "proposal out of universe"
+            );
+            if self.is_winning(&proposal) {
+                return Some(round);
+            }
+            // Losing proposals convey no information: nothing to report.
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::players::{HalvingPlayer, SingletonPlayer};
+
+    #[test]
+    fn referee_target_is_valid_and_deterministic() {
+        for seed in 0..50 {
+            let g = RestrictedHitting::new(10, seed).unwrap();
+            let [a, b] = g.target();
+            assert!(a < b && b < 10);
+            let g2 = RestrictedHitting::new(10, seed).unwrap();
+            assert_eq!(g.target(), g2.target());
+        }
+    }
+
+    #[test]
+    fn referee_targets_vary_across_seeds() {
+        let distinct: std::collections::HashSet<[usize; 2]> = (0..100)
+            .map(|s| RestrictedHitting::new(50, s).unwrap().target())
+            .collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(matches!(
+            RestrictedHitting::new(1, 0),
+            Err(GameError::UniverseTooSmall { k: 1 })
+        ));
+        assert!(RestrictedHitting::with_target(4, [0, 0]).is_err());
+        assert!(RestrictedHitting::with_target(4, [0, 4]).is_err());
+        assert!(RestrictedHitting::with_target(4, [3, 1]).is_ok());
+    }
+
+    #[test]
+    fn winning_condition_is_exactly_one() {
+        let g = RestrictedHitting::with_target(8, [2, 5]).unwrap();
+        assert!(!g.is_winning(&[])); // zero hits
+        assert!(!g.is_winning(&[0, 1, 3])); // zero hits
+        assert!(g.is_winning(&[2])); // one hit
+        assert!(g.is_winning(&[5, 7])); // one hit
+        assert!(!g.is_winning(&[2, 5])); // both hit
+        assert!(!g.is_winning(&[0, 2, 5, 7])); // both hit
+    }
+
+    #[test]
+    fn halving_player_wins_within_log_k() {
+        for seed in 0..20 {
+            let mut g = RestrictedHitting::new(64, seed).unwrap();
+            let mut p = HalvingPlayer::new(64);
+            let won = g.play(&mut p, 100, 0).expect("halving always wins");
+            assert!(
+                won <= 6,
+                "took {won} rounds for k=64 (target {:?})",
+                g.target()
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_player_wins_within_k() {
+        let mut g = RestrictedHitting::with_target(16, [0, 9]).unwrap();
+        let mut p = SingletonPlayer::new(16);
+        let won = g.play(&mut p, 16, 0).expect("singleton wins within k");
+        assert_eq!(won, 1); // proposes {0} in round 1, hits element 0
+    }
+
+    #[test]
+    fn play_respects_round_budget() {
+        let mut g = RestrictedHitting::with_target(16, [3, 7]).unwrap();
+        // SingletonPlayer proposes {round-1 mod k}: hits 3 at round 4.
+        let mut p = SingletonPlayer::new(16);
+        assert_eq!(g.play(&mut p, 3, 0), None);
+        let mut p = SingletonPlayer::new(16);
+        assert_eq!(g.play(&mut p, 4, 0), Some(4));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(GameError::UniverseTooSmall { k: 1 }
+            .to_string()
+            .contains("k >= 2"));
+        assert!(GameError::InvalidTarget { target: [1, 1] }
+            .to_string()
+            .contains("2-subset"));
+    }
+}

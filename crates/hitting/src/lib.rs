@@ -1,0 +1,57 @@
+//! # fading-hitting
+//!
+//! The lower-bound machinery of Section 4 of *Contention Resolution on a
+//! Fading Channel* (Fineman, Gilbert, Kuhn, Newport — PODC 2016): the
+//! `Ω(log n)` bound is proved by a chain of reductions
+//!
+//! ```text
+//! restricted k-hitting game  ≤  two-player contention resolution
+//!                            ≤  contention resolution on a fading network
+//! ```
+//!
+//! * [`RestrictedHitting`] — the abstract game (from Newport's earlier
+//!   lower-bound work, reference 20 of the paper): a referee hides a 2-element target
+//!   `T ⊆ {0, …, k−1}`; each round the player proposes a set `P` and wins
+//!   when `|P ∩ T| = 1`; losing proposals yield **no information**.
+//!   By Lemma 13 every player that wins with probability `1 − 1/k` needs
+//!   `Ω(log k)` rounds.
+//! * [`HittingPlayer`] and implementations: [`HalvingPlayer`] (bit-fixing,
+//!   wins *deterministically* in `⌈log₂ k⌉` rounds — the matching upper
+//!   bound), [`UniformRandomPlayer`] (random halves: constant expected
+//!   rounds, `Θ(log k)` for high probability), [`SingletonPlayer`] (the
+//!   naive `Θ(k)` strategy).
+//! * [`ProtocolPlayer`] — the Lemma 14 reduction, executable: any
+//!   contention-resolution [`Protocol`](fading_sim::Protocol) is simulated
+//!   on `k` virtual nodes that all "receive nothing", and its transmit sets
+//!   become hitting-game proposals. The simulation is consistent with a
+//!   two-node execution, so the protocol's round complexity transfers.
+//! * [`TwoPlayerCr`] — two-player contention resolution as a direct game.
+//!
+//! # Example
+//!
+//! ```
+//! use fading_hitting::{HalvingPlayer, RestrictedHitting};
+//!
+//! // The target {3, 5} differs in bit 1: the halving player wins there.
+//! let mut game = RestrictedHitting::with_target(8, [3, 5]).unwrap();
+//! let mut player = HalvingPlayer::new(8);
+//! let won = game.play(&mut player, 10, 42);
+//! assert!(won.is_some());
+//! assert!(won.unwrap() <= 3); // ⌈log₂ 8⌉ rounds suffice
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod game;
+pub mod measure;
+mod players;
+mod reduction;
+mod two_player;
+
+pub use game::{GameError, RestrictedHitting};
+pub use measure::{win_distribution, WinDistribution};
+pub use players::{HalvingPlayer, HittingPlayer, SingletonPlayer, UniformRandomPlayer};
+pub use reduction::ProtocolPlayer;
+pub use two_player::TwoPlayerCr;

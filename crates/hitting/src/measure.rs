@@ -1,0 +1,168 @@
+//! Distribution measurement for hitting-game strategies.
+//!
+//! Lemma 13 is a statement about the *high-probability* regime: even
+//! strategies with constant expected winning time need `Ω(log k)` rounds to
+//! win with probability `1 − 1/k`. These helpers measure win-round
+//! distributions and extract high-probability quantiles so the bound's
+//! shape can be plotted.
+
+use crate::{HittingPlayer, RestrictedHitting};
+
+/// The measured win-round distribution of a player family against seeded
+/// referees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinDistribution {
+    /// Sorted winning rounds of the trials that won.
+    pub rounds: Vec<u64>,
+    /// Trials that failed to win within the budget.
+    pub failures: usize,
+}
+
+impl WinDistribution {
+    /// Number of winning trials.
+    #[must_use]
+    pub fn wins(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Mean winning round (`None` if nothing won).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.rounds.is_empty() {
+            return None;
+        }
+        Some(self.rounds.iter().sum::<u64>() as f64 / self.rounds.len() as f64)
+    }
+
+    /// The empirical `q`-quantile of the winning round (`q ∈ [0, 1]`),
+    /// counting failures as `+∞` (so a quantile that lands in the failure
+    /// mass returns `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.rounds.len() + self.failures;
+        if total == 0 {
+            return None;
+        }
+        let idx = ((total as f64 * q).ceil() as usize).max(1) - 1;
+        self.rounds.get(idx).copied()
+    }
+
+    /// Lemma 13's operating point: the rounds needed for success with
+    /// probability `1 − 1/k` — the `(1 − 1/k)`-quantile.
+    #[must_use]
+    pub fn whp_rounds(&self, k: usize) -> Option<u64> {
+        self.quantile(1.0 - 1.0 / k.max(2) as f64)
+    }
+}
+
+/// Plays `trials` independent seeded games of size `k` (referee seed =
+/// player seed = `seed_base + trial`) and collects the win-round
+/// distribution. `make_player` builds a fresh player per trial.
+pub fn win_distribution<F>(
+    k: usize,
+    trials: usize,
+    seed_base: u64,
+    max_rounds: u64,
+    mut make_player: F,
+) -> WinDistribution
+where
+    F: FnMut(u64) -> Box<dyn HittingPlayer>,
+{
+    let mut rounds = Vec::new();
+    let mut failures = 0;
+    for t in 0..trials as u64 {
+        let seed = seed_base + t;
+        let mut game = RestrictedHitting::new(k, seed).expect("k >= 2");
+        let mut player = make_player(seed);
+        match game.play(player.as_mut(), max_rounds, seed) {
+            Some(r) => rounds.push(r),
+            None => failures += 1,
+        }
+    }
+    rounds.sort_unstable();
+    WinDistribution { rounds, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HalvingPlayer, UniformRandomPlayer};
+
+    #[test]
+    fn distribution_accessors() {
+        let d = WinDistribution {
+            rounds: vec![1, 2, 3, 4],
+            failures: 0,
+        };
+        assert_eq!(d.wins(), 4);
+        assert_eq!(d.mean(), Some(2.5));
+        assert_eq!(d.quantile(0.0), Some(1));
+        assert_eq!(d.quantile(1.0), Some(4));
+        assert_eq!(d.quantile(0.5), Some(2));
+    }
+
+    #[test]
+    fn failures_push_quantiles_to_none() {
+        let d = WinDistribution {
+            rounds: vec![1, 2],
+            failures: 2,
+        };
+        // The 0.9 quantile of 4 trials is index 3: inside the failure mass.
+        assert_eq!(d.quantile(0.9), None);
+        assert_eq!(d.quantile(0.5), Some(2));
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = WinDistribution {
+            rounds: vec![],
+            failures: 0,
+        };
+        assert_eq!(d.mean(), None);
+        assert_eq!(d.quantile(0.5), None);
+        assert_eq!(d.wins(), 0);
+    }
+
+    #[test]
+    fn halving_distribution_is_bounded_by_log_k() {
+        let k = 64;
+        let d = win_distribution(k, 50, 0, 1000, |_| Box::new(HalvingPlayer::new(k)));
+        assert_eq!(d.failures, 0);
+        assert!(d.rounds.iter().all(|&r| r <= 6));
+    }
+
+    #[test]
+    fn random_player_whp_grows_with_k() {
+        let whp = |k: usize| {
+            win_distribution(k, 2000, 0, 100_000, |_| {
+                Box::new(UniformRandomPlayer::new(k))
+            })
+            .whp_rounds(k)
+            .expect("random player always wins eventually")
+        };
+        let small = whp(8);
+        let large = whp(512);
+        assert!(
+            large > small,
+            "whp rounds did not grow: k=8 -> {small}, k=512 -> {large}"
+        );
+        // The theoretical value is log2(k): 3 vs 9. Allow slack.
+        assert!((2..=6).contains(&small), "small {small}");
+        assert!((6..=14).contains(&large), "large {large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be")]
+    fn quantile_range_is_validated() {
+        let d = WinDistribution {
+            rounds: vec![1],
+            failures: 0,
+        };
+        let _ = d.quantile(1.5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Players for the restricted k-hitting game.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A strategy for the restricted k-hitting game.
+///
+/// A player proposes a subset of `{0, …, k−1}` each round. Crucially, the
+/// game delivers **no feedback** on losing rounds, so there is no feedback
+/// method: a player's behavior may depend only on the round number and its
+/// own random choices. (This matches the paper's game; the generality of
+/// the lower bound — no restriction to fixed probability sequences — is
+/// achieved on the *contention-resolution* side of the reduction, where
+/// simulated nodes do receive per-round silence.)
+pub trait HittingPlayer: std::fmt::Debug {
+    /// The universe size `k` this player was built for.
+    fn k(&self) -> usize;
+
+    /// Proposes a set for the given 1-based round.
+    fn propose(&mut self, round: u64, rng: &mut SmallRng) -> Vec<usize>;
+}
+
+/// The deterministic bit-fixing strategy: in round `b` propose every element
+/// whose `b`-th binary digit is 1.
+///
+/// Any two distinct elements differ in some bit among the first
+/// `⌈log₂ k⌉`, so the player wins **with certainty** within `⌈log₂ k⌉`
+/// rounds — the matching upper bound for Lemma 13's `Ω(log k)`.
+#[derive(Debug, Clone)]
+pub struct HalvingPlayer {
+    k: usize,
+}
+
+impl HalvingPlayer {
+    /// Creates the player for universe size `k`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        HalvingPlayer { k }
+    }
+}
+
+impl HittingPlayer for HalvingPlayer {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn propose(&mut self, round: u64, _rng: &mut SmallRng) -> Vec<usize> {
+        let bit = (round - 1) % usize::BITS as u64;
+        (0..self.k).filter(|x| (x >> bit) & 1 == 1).collect()
+    }
+}
+
+/// The random-half strategy: propose each element independently with
+/// probability 1/2 each round.
+///
+/// A round separates the two hidden targets with probability exactly 1/2,
+/// so the player wins in 2 expected rounds — but needs `log₂ k` rounds to
+/// push the failure probability below `1/k`, illustrating that Lemma 13's
+/// bound is about the *high-probability* regime.
+#[derive(Debug, Clone)]
+pub struct UniformRandomPlayer {
+    k: usize,
+}
+
+impl UniformRandomPlayer {
+    /// Creates the player for universe size `k`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        UniformRandomPlayer { k }
+    }
+}
+
+impl HittingPlayer for UniformRandomPlayer {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn propose(&mut self, _round: u64, rng: &mut SmallRng) -> Vec<usize> {
+        (0..self.k).filter(|_| rng.gen_bool(0.5)).collect()
+    }
+}
+
+/// The naive strategy: propose the singleton `{(round−1) mod k}`.
+///
+/// Hits a target element after at most `k` rounds (in expectation `~k/4`
+/// against a uniform referee): the `Θ(k)` baseline showing how much
+/// structure the halving strategy exploits.
+#[derive(Debug, Clone)]
+pub struct SingletonPlayer {
+    k: usize,
+}
+
+impl SingletonPlayer {
+    /// Creates the player for universe size `k`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        SingletonPlayer { k }
+    }
+}
+
+impl HittingPlayer for SingletonPlayer {
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn propose(&mut self, round: u64, _rng: &mut SmallRng) -> Vec<usize> {
+        vec![((round - 1) % self.k as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn halving_round_one_is_odd_elements() {
+        let mut p = HalvingPlayer::new(8);
+        let prop = p.propose(1, &mut rng());
+        assert_eq!(prop, vec![1, 3, 5, 7]);
+        let prop2 = p.propose(2, &mut rng());
+        assert_eq!(prop2, vec![2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn halving_separates_any_pair_within_log_k() {
+        let k = 32;
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let mut p = HalvingPlayer::new(k);
+                let mut separated = false;
+                for round in 1..=5u64 {
+                    let prop = p.propose(round, &mut rng());
+                    if prop.contains(&a) != prop.contains(&b) {
+                        separated = true;
+                        break;
+                    }
+                }
+                assert!(separated, "pair ({a},{b}) never separated");
+            }
+        }
+    }
+
+    #[test]
+    fn random_player_proposes_about_half() {
+        let mut p = UniformRandomPlayer::new(1000);
+        let mut r = rng();
+        let sizes: Vec<usize> = (1..=20)
+            .map(|round| p.propose(round, &mut r).len())
+            .collect();
+        let mean = sizes.iter().sum::<usize>() as f64 / 20.0;
+        assert!((mean - 500.0).abs() < 60.0, "mean {mean}");
+    }
+
+    #[test]
+    fn singleton_cycles() {
+        let mut p = SingletonPlayer::new(3);
+        let mut r = rng();
+        assert_eq!(p.propose(1, &mut r), vec![0]);
+        assert_eq!(p.propose(2, &mut r), vec![1]);
+        assert_eq!(p.propose(3, &mut r), vec![2]);
+        assert_eq!(p.propose(4, &mut r), vec![0]);
+    }
+
+    #[test]
+    fn players_report_k() {
+        assert_eq!(HalvingPlayer::new(7).k(), 7);
+        assert_eq!(UniformRandomPlayer::new(7).k(), 7);
+        assert_eq!(SingletonPlayer::new(7).k(), 7);
+    }
+}

@@ -1,0 +1,156 @@
+//! Lemma 14's reduction, executable: a contention-resolution protocol as a
+//! hitting-game player.
+
+use rand::rngs::SmallRng;
+
+use fading_sim::{node_rng, Action, Protocol, Reception};
+
+use crate::players::HittingPlayer;
+
+/// Wraps any contention-resolution [`Protocol`] as a player for the
+/// restricted k-hitting game — the constructive content of the paper's
+/// Lemma 14.
+///
+/// The player simulates `k` virtual nodes with ids `0, …, k−1`, each running
+/// its own protocol instance with its own derived RNG stream. Every game
+/// round:
+///
+/// 1. each virtual node chooses its action; the set of transmitters becomes
+///    the round's **proposal**;
+/// 2. every listener is fed [`Reception::Silence`] ("receives nothing").
+///
+/// As the paper argues, for the two hidden target nodes `{i, j}` this
+/// simulation is *consistent with a real two-node execution* in every
+/// losing round (either both were silent/transmitting — and two concurrent
+/// transmitters jam each other — or the proposal would already have won).
+/// Hence a protocol solving two-player contention resolution in `f` rounds
+/// wins the hitting game in `f` rounds, and Lemma 13's `Ω(log k)` transfers.
+///
+/// # Example
+///
+/// ```
+/// use fading_hitting::{ProtocolPlayer, RestrictedHitting};
+/// use fading_protocols::Fkn;
+///
+/// let mut player = ProtocolPlayer::new(16, 7, |_| Box::new(Fkn::new()));
+/// let mut game = RestrictedHitting::new(16, 3).unwrap();
+/// let won = game.play(&mut player, 10_000, 7);
+/// assert!(won.is_some());
+/// ```
+#[derive(Debug)]
+pub struct ProtocolPlayer {
+    nodes: Vec<Box<dyn Protocol>>,
+    rngs: Vec<SmallRng>,
+    /// Listener ids of the previous proposal round, awaiting their silence.
+    round_listeners: Vec<usize>,
+}
+
+impl ProtocolPlayer {
+    /// Builds the player: `k` virtual nodes, protocol instances from
+    /// `make_protocol`, RNG streams derived from `seed` exactly as the real
+    /// simulator derives them.
+    pub fn new<F>(k: usize, seed: u64, mut make_protocol: F) -> Self
+    where
+        F: FnMut(usize) -> Box<dyn Protocol>,
+    {
+        ProtocolPlayer {
+            nodes: (0..k).map(&mut make_protocol).collect(),
+            rngs: (0..k).map(|i| node_rng(seed, i)).collect(),
+            round_listeners: Vec::new(),
+        }
+    }
+
+    /// Number of virtual nodes still active in the simulation. (With only
+    /// silence ever delivered, knockout-style protocols never deactivate —
+    /// asserting this catches protocols that would desynchronize the
+    /// reduction by acting on fabricated receptions.)
+    #[must_use]
+    pub fn active_nodes(&self) -> usize {
+        self.nodes.iter().filter(|p| p.is_active()).count()
+    }
+}
+
+impl HittingPlayer for ProtocolPlayer {
+    fn k(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn propose(&mut self, round: u64, _rng: &mut SmallRng) -> Vec<usize> {
+        // Deliver the pending silences from the previous (losing) round.
+        for &v in &self.round_listeners {
+            self.nodes[v].feedback(round.saturating_sub(1), &Reception::Silence);
+        }
+        self.round_listeners.clear();
+
+        let mut proposal = Vec::new();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if !node.is_active() {
+                continue;
+            }
+            match node.act(round, &mut self.rngs[i]) {
+                Action::Transmit => proposal.push(i),
+                Action::Listen => self.round_listeners.push(i),
+            }
+        }
+        proposal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RestrictedHitting;
+    use fading_protocols::{Decay, Fkn};
+    use rand::SeedableRng;
+
+    #[test]
+    fn fkn_player_wins_the_game() {
+        let mut wins = 0;
+        for seed in 0..10 {
+            let mut game = RestrictedHitting::new(32, seed).unwrap();
+            let mut player = ProtocolPlayer::new(32, seed, |_| Box::new(Fkn::new()));
+            if game.play(&mut player, 5_000, seed).is_some() {
+                wins += 1;
+            }
+        }
+        assert_eq!(wins, 10);
+    }
+
+    #[test]
+    fn decay_player_wins_the_game() {
+        let mut game = RestrictedHitting::new(16, 5).unwrap();
+        let mut player = ProtocolPlayer::new(16, 5, |_| Box::new(Decay::without_knockout()));
+        assert!(game.play(&mut player, 50_000, 5).is_some());
+    }
+
+    #[test]
+    fn silence_keeps_all_nodes_active() {
+        // The reduction feeds only silence, so knockout protocols never
+        // deactivate inside the simulation.
+        let mut player = ProtocolPlayer::new(8, 1, |_| Box::new(Fkn::new()));
+        let mut rng = SmallRng::seed_from_u64(0);
+        for round in 1..=100 {
+            let _ = player.propose(round, &mut rng);
+        }
+        assert_eq!(player.active_nodes(), 8);
+    }
+
+    #[test]
+    fn proposals_are_reproducible_per_seed() {
+        let run = |seed: u64| {
+            let mut player = ProtocolPlayer::new(8, seed, |_| Box::new(Fkn::new()));
+            let mut rng = SmallRng::seed_from_u64(0);
+            (1..=20u64)
+                .map(|r| player.propose(r, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn player_reports_k() {
+        let player = ProtocolPlayer::new(12, 0, |_| Box::new(Fkn::new()));
+        assert_eq!(player.k(), 12);
+    }
+}

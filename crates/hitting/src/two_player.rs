@@ -1,0 +1,190 @@
+//! Two-player contention resolution (the middle link of §4's reduction).
+
+use fading_sim::{node_rng, Action, Protocol, Reception};
+
+/// The two-player contention-resolution game: two nodes run a protocol; the
+/// game is won the first round in which exactly one transmits. In every
+/// other round both listeners (if any) receive nothing — with only two
+/// nodes "the fading behavior of the channel does not matter, as there is
+/// no opportunity for spatial reuse" (§4), so no channel model is needed.
+///
+/// Lemma 14 lower-bounds this game by `Ω(log k)` for success probability
+/// `1 − 1/k`; [`TwoPlayerCr`] lets the reproduction measure the matching
+/// distributions for real protocols.
+///
+/// # Example
+///
+/// ```
+/// use fading_hitting::TwoPlayerCr;
+/// use fading_protocols::Fkn;
+///
+/// let game = TwoPlayerCr::new(|_| Box::new(Fkn::new()));
+/// let rounds = game.play(42, 10_000).expect("symmetric coins break eventually");
+/// assert!(rounds >= 1);
+/// ```
+#[derive(Debug)]
+pub struct TwoPlayerCr<F> {
+    make_protocol: F,
+}
+
+impl<F> TwoPlayerCr<F>
+where
+    F: Fn(usize) -> Box<dyn Protocol>,
+{
+    /// Creates the game with a per-node protocol factory (called with node
+    /// ids 0 and 1 at each [`TwoPlayerCr::play`]).
+    pub fn new(make_protocol: F) -> Self {
+        TwoPlayerCr { make_protocol }
+    }
+
+    /// Plays one instance with the given seed: returns the 1-based round in
+    /// which symmetry broke (exactly one transmitted), or `None` within
+    /// `max_rounds`.
+    pub fn play(&self, seed: u64, max_rounds: u64) -> Option<u64> {
+        let mut nodes = [(self.make_protocol)(0), (self.make_protocol)(1)];
+        let mut rngs = [node_rng(seed, 0), node_rng(seed, 1)];
+        for round in 1..=max_rounds {
+            let a = nodes[0].act(round, &mut rngs[0]);
+            let b = nodes[1].act(round, &mut rngs[1]);
+            match (a, b) {
+                (Action::Transmit, Action::Listen) | (Action::Listen, Action::Transmit) => {
+                    return Some(round);
+                }
+                (Action::Listen, Action::Listen) => {
+                    nodes[0].feedback(round, &Reception::Silence);
+                    nodes[1].feedback(round, &Reception::Silence);
+                }
+                (Action::Transmit, Action::Transmit) => {
+                    // Two concurrent transmitters jam each other; neither
+                    // listens, so neither learns anything.
+                }
+            }
+        }
+        None
+    }
+
+    /// Plays `trials` seeded instances and returns the per-trial winning
+    /// rounds (capped trials yield `None`).
+    pub fn play_many(&self, trials: usize, seed_base: u64, max_rounds: u64) -> Vec<Option<u64>> {
+        (0..trials)
+            .map(|i| self.play(seed_base + i as u64, max_rounds))
+            .collect()
+    }
+
+    /// The operational content of Theorem 2 for a concrete algorithm: the
+    /// empirical `(1 − 1/k)`-quantile of the two-player winning round —
+    /// the rounds this algorithm needs to break two-player symmetry *with
+    /// high probability in `k`* (the success level contention resolution
+    /// demands in a `k`-node network containing the pair).
+    ///
+    /// Lemmas 13–14 prove this is `Ω(log k)` for **every** algorithm;
+    /// measuring it for FKN shows the paper's own algorithm sits on the
+    /// lower bound's curve.
+    ///
+    /// Returns `None` if the quantile falls into the unresolved-trials mass.
+    pub fn whp_rounds(&self, k: usize, trials: usize, seed_base: u64) -> Option<u64> {
+        let mut rounds: Vec<u64> = self
+            .play_many(trials, seed_base, 1_000_000)
+            .into_iter()
+            .flatten()
+            .collect();
+        let failures = trials - rounds.len();
+        rounds.sort_unstable();
+        let q = 1.0 - 1.0 / k.max(2) as f64;
+        let idx = ((trials as f64 * q).ceil() as usize).max(1) - 1;
+        if idx >= rounds.len() + failures {
+            return None;
+        }
+        rounds.get(idx).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_protocols::{Decay, Fkn};
+
+    #[test]
+    fn fkn_breaks_symmetry_quickly() {
+        let game = TwoPlayerCr::new(|_| Box::new(Fkn::with_probability(0.25).unwrap()));
+        let rounds: Vec<u64> = game
+            .play_many(200, 0, 100_000)
+            .into_iter()
+            .map(|r| r.expect("fkn always breaks symmetry eventually"))
+            .collect();
+        let mean = rounds.iter().sum::<u64>() as f64 / rounds.len() as f64;
+        // Per round: P(exactly one transmits) = 2·(1/4)·(3/4) = 3/8; the
+        // expected winning round is 8/3 ≈ 2.67.
+        assert!((mean - 8.0 / 3.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn decay_breaks_symmetry() {
+        let game = TwoPlayerCr::new(|_| Box::new(Decay::without_knockout()));
+        let results = game.play_many(50, 100, 100_000);
+        assert!(results.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn tail_decays_geometrically() {
+        // P(not resolved by round r) = (5/8)^r for FKN at p = 1/4: the
+        // empirical 99th percentile should be near log(0.01)/log(5/8) ≈ 10.
+        let game = TwoPlayerCr::new(|_| Box::new(Fkn::with_probability(0.25).unwrap()));
+        let mut rounds: Vec<u64> = game
+            .play_many(1000, 7, 100_000)
+            .into_iter()
+            .flatten()
+            .collect();
+        rounds.sort_unstable();
+        let p99 = rounds[989];
+        assert!((5..=20).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn whp_rounds_grow_logarithmically_in_k() {
+        // Theorem 2's shape, measured on the paper's own algorithm: the
+        // two-player whp cost grows with log k even though the mean is
+        // constant (≈ 1/(2p(1-p)) rounds).
+        let game = TwoPlayerCr::new(|_| Box::new(Fkn::new()));
+        let whp = |k: usize| game.whp_rounds(k, 4000, 0).expect("quantile resolved");
+        let small = whp(16);
+        let medium = whp(256);
+        let large = whp(4096);
+        assert!(small < medium && medium < large, "{small} {medium} {large}");
+        // Geometric tail with per-round success 2p(1-p) ≈ 0.095 at p=0.05:
+        // whp(k) ≈ ln(k)/0.0998; increments per 16x of k are equal.
+        let inc1 = medium - small;
+        let inc2 = large - medium;
+        assert!(
+            inc2 < 3 * inc1.max(5) && inc1 < 3 * inc2.max(5),
+            "increments not log-linear: {inc1} vs {inc2}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let game = TwoPlayerCr::new(|_| Box::new(Fkn::new()));
+        assert_eq!(game.play(5, 1000), game.play(5, 1000));
+    }
+
+    #[test]
+    fn round_budget_respected() {
+        // With an always-transmit protocol the game can never be won.
+        #[derive(Debug)]
+        struct AlwaysTx;
+        impl Protocol for AlwaysTx {
+            fn act(&mut self, _r: u64, _rng: &mut rand::rngs::SmallRng) -> Action {
+                Action::Transmit
+            }
+            fn feedback(&mut self, _r: u64, _rx: &Reception) {}
+            fn is_active(&self) -> bool {
+                true
+            }
+            fn name(&self) -> &'static str {
+                "always"
+            }
+        }
+        let game = TwoPlayerCr::new(|_| Box::new(AlwaysTx) as Box<dyn Protocol>);
+        assert_eq!(game.play(0, 100), None);
+    }
+}

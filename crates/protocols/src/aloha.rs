@@ -1,0 +1,198 @@
+//! ALOHA-style fixed-rate protocols.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use fading_sim::{Action, Protocol, Reception};
+
+use crate::fkn::ProbabilityError;
+
+/// Slotted ALOHA tuned to a **known exact network size** `n`: every node
+/// transmits with probability `1/n` each round, forever.
+///
+/// A solo transmission occurs per round with probability
+/// `n·(1/n)·(1−1/n)^{n−1} → 1/e`, so resolution takes `O(1)` expected rounds
+/// and `O(log n)` rounds w.h.p. — but only because the protocol was handed
+/// `n`, the very information the paper's setting withholds. It serves as the
+/// "omniscient" comparison point in experiment E3.
+///
+/// # Example
+///
+/// ```
+/// use fading_protocols::Aloha;
+/// use fading_sim::Protocol;
+///
+/// let a = Aloha::new(128);
+/// assert_eq!(a.name(), "aloha");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aloha {
+    p: f64,
+    active: bool,
+}
+
+impl Aloha {
+    /// Creates slotted ALOHA for a network of exactly `n ≥ 1` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "network size must be at least 1");
+        Aloha {
+            p: 1.0 / n as f64,
+            active: true,
+        }
+    }
+
+    /// The per-round transmit probability (`1/n`).
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Protocol for Aloha {
+    fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action {
+        if rng.gen_bool(self.p) {
+            Action::Transmit
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn feedback(&mut self, _round: u64, reception: &Reception) {
+        // Classical ALOHA nodes keep contending; on a fading channel a
+        // received message still signals that someone else won locally, so
+        // deactivate for parity with the other SINR protocols.
+        if reception.is_message() {
+            self.active = false;
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn name(&self) -> &'static str {
+        "aloha"
+    }
+}
+
+/// A fixed constant transmit probability with **no knockout rule**: the
+/// ablation of [`Fkn`](crate::Fkn) used by experiment E12 to show that the
+/// deactivate-on-reception rule — not the constant probability alone — is
+/// what resolves contention quickly.
+///
+/// Without knockouts, contention only resolves if, by luck, exactly one of
+/// the `n` nodes transmits in some round: probability
+/// `n·p·(1−p)^{n−1}`, exponentially small in `n` for constant `p`.
+///
+/// # Example
+///
+/// ```
+/// use fading_protocols::FixedProbability;
+/// use fading_sim::Protocol;
+///
+/// let f = FixedProbability::new(0.25)?;
+/// assert_eq!(f.name(), "fixed-p");
+/// # Ok::<(), fading_protocols::ProbabilityError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedProbability {
+    p: f64,
+}
+
+impl FixedProbability {
+    /// Creates the protocol with transmit probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbabilityError`] unless `0 < p < 1`.
+    pub fn new(p: f64) -> Result<Self, ProbabilityError> {
+        if p > 0.0 && p < 1.0 {
+            Ok(FixedProbability { p })
+        } else {
+            Err(ProbabilityError)
+        }
+    }
+
+    /// The per-round transmit probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Protocol for FixedProbability {
+    fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action {
+        if rng.gen_bool(self.p) {
+            Action::Transmit
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn feedback(&mut self, _round: u64, _reception: &Reception) {}
+
+    fn is_active(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed-p"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aloha_probability_is_one_over_n() {
+        assert_eq!(Aloha::new(4).probability(), 0.25);
+        assert_eq!(Aloha::new(1).probability(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn aloha_rejects_zero() {
+        let _ = Aloha::new(0);
+    }
+
+    #[test]
+    fn aloha_knocks_out_on_message() {
+        let mut a = Aloha::new(8);
+        a.feedback(1, &Reception::Silence);
+        assert!(a.is_active());
+        a.feedback(2, &Reception::Message { from: 1 });
+        assert!(!a.is_active());
+    }
+
+    #[test]
+    fn fixed_probability_never_deactivates() {
+        let mut f = FixedProbability::new(0.5).unwrap();
+        f.feedback(1, &Reception::Message { from: 0 });
+        assert!(f.is_active());
+    }
+
+    #[test]
+    fn fixed_probability_validates() {
+        assert!(FixedProbability::new(0.0).is_err());
+        assert!(FixedProbability::new(1.0).is_err());
+        assert!(FixedProbability::new(0.999).is_ok());
+    }
+
+    #[test]
+    fn aloha_transmit_rate() {
+        let mut a = Aloha::new(10);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let transmits = (0..20_000)
+            .filter(|&r| a.act(r, &mut rng).is_transmit())
+            .count();
+        let rate = transmits as f64 / 20_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Leader election with receiver collision detection.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use fading_sim::{Action, Protocol, Reception};
+
+/// The `Θ(log n)` elimination protocol for the radio network model **with
+/// receiver collision detection** (the comparison point cited by the paper
+/// via Willard / Nakano–Olariu).
+///
+/// Every active node flips a fair coin each round: heads → transmit,
+/// tails → listen. A listening node that observes a **collision** knows at
+/// least two nodes transmitted, so the transmitting group is nonempty and
+/// the listener eliminates itself. A listener that observes **silence**
+/// learns the transmitting group was empty and stays. A listener that
+/// decodes a **message** has just witnessed the solo broadcast — the problem
+/// is solved (and the listener deactivates).
+///
+/// Each round with at least two active nodes halves the active set in
+/// expectation (the survivors are the heads-flippers, unless nobody flipped
+/// heads), giving `O(log n)` rounds w.h.p. — but only thanks to the CD bit,
+/// which neither the SINR channel nor the plain radio channel provides.
+///
+/// # Example
+///
+/// ```
+/// use fading_protocols::CdElection;
+/// use fading_sim::Protocol;
+///
+/// let c = CdElection::new();
+/// assert_eq!(c.name(), "cd-election");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CdElection {
+    eliminated: bool,
+}
+
+impl CdElection {
+    /// Creates a fresh (active) instance.
+    #[must_use]
+    pub fn new() -> Self {
+        CdElection { eliminated: false }
+    }
+}
+
+impl Protocol for CdElection {
+    fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action {
+        if rng.gen_bool(0.5) {
+            Action::Transmit
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn feedback(&mut self, _round: u64, reception: &Reception) {
+        match reception {
+            // Collision: the transmitting group is nonempty, defer to it.
+            Reception::Collision => self.eliminated = true,
+            // Solo broadcast observed: contention resolved; stand down.
+            Reception::Message { .. } => self.eliminated = true,
+            // Nobody transmitted: stay in the race.
+            Reception::Silence => {}
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        !self.eliminated
+    }
+
+    fn name(&self) -> &'static str {
+        "cd-election"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn collision_eliminates() {
+        let mut c = CdElection::new();
+        c.feedback(1, &Reception::Collision);
+        assert!(!c.is_active());
+    }
+
+    #[test]
+    fn silence_keeps_active() {
+        let mut c = CdElection::new();
+        for r in 0..50 {
+            c.feedback(r, &Reception::Silence);
+        }
+        assert!(c.is_active());
+    }
+
+    #[test]
+    fn message_stands_down() {
+        let mut c = CdElection::new();
+        c.feedback(1, &Reception::Message { from: 9 });
+        assert!(!c.is_active());
+    }
+
+    #[test]
+    fn coin_is_fair() {
+        let mut c = CdElection::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let heads = (0..10_000)
+            .filter(|&r| c.act(r, &mut rng).is_transmit())
+            .count();
+        let rate = heads as f64 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+    }
+}

@@ -1,0 +1,169 @@
+//! The Decay / wake-up strategy of the classical radio network model.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use fading_sim::{Action, Protocol, Reception};
+
+/// The classical *Decay* strategy (Bar-Yehuda, Goldreich, Itai), in the
+/// uniform-knowledge-free form used for the wake-up problem: the execution
+/// is divided into blocks `b = 1, 2, 3, …`; within block `b` the node
+/// transmits with probability `2^{-j}` in the block's `j`-th round
+/// (`j = 1..b`).
+///
+/// Each block sweeps the probability ladder one rung deeper, so by block
+/// `b ≈ log₂ n` the sweep passes through the "right" probability
+/// `≈ 1/n`, where a solo transmission happens with constant probability.
+/// Achieving success with high probability requires `Θ(log n)` such passes,
+/// for `Θ(log² n)` rounds in total — the radio-network speed limit that the
+/// paper's SINR algorithm beats.
+///
+/// The protocol needs no knowledge of `n`. By default nodes also deactivate
+/// when they receive a message ([`Decay::new`]); construct with
+/// [`Decay::without_knockout`] for the classical non-deactivating variant
+/// (on the radio channel the two are equivalent until resolution, because a
+/// message is received only when contention is already resolved).
+///
+/// # Example
+///
+/// ```
+/// use fading_protocols::Decay;
+/// use fading_sim::Protocol;
+///
+/// let d = Decay::new();
+/// assert_eq!(d.name(), "decay");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Decay {
+    block: u64,
+    pos: u64,
+    knockout: bool,
+    active: bool,
+}
+
+impl Decay {
+    /// Decay with knockout-on-reception (sensible on SINR channels, where
+    /// receptions happen before global resolution).
+    #[must_use]
+    pub fn new() -> Self {
+        Decay {
+            block: 1,
+            pos: 1,
+            knockout: true,
+            active: true,
+        }
+    }
+
+    /// The classical variant: nodes never deactivate.
+    #[must_use]
+    pub fn without_knockout() -> Self {
+        Decay {
+            knockout: false,
+            ..Decay::new()
+        }
+    }
+
+    /// The broadcast probability the *next* call to `act` will use.
+    #[must_use]
+    pub fn current_probability(&self) -> f64 {
+        0.5f64.powi(self.pos.min(1023) as i32)
+    }
+
+    fn advance(&mut self) {
+        if self.pos < self.block {
+            self.pos += 1;
+        } else {
+            self.block += 1;
+            self.pos = 1;
+        }
+    }
+}
+
+impl Default for Decay {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Protocol for Decay {
+    fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action {
+        let p = self.current_probability();
+        self.advance();
+        if rng.gen_bool(p) {
+            Action::Transmit
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn feedback(&mut self, _round: u64, reception: &Reception) {
+        if self.knockout && reception.is_message() {
+            self.active = false;
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn name(&self) -> &'static str {
+        "decay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probability_ladder_shape() {
+        // Blocks: (1/2), (1/2, 1/4), (1/2, 1/4, 1/8), ...
+        let mut d = Decay::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut seen = Vec::new();
+        for r in 0..10 {
+            seen.push(d.current_probability());
+            let _ = d.act(r, &mut rng);
+        }
+        let expected = [
+            0.5, // block 1
+            0.5, 0.25, // block 2
+            0.5, 0.25, 0.125, // block 3
+            0.5, 0.25, 0.125, 0.0625, // block 4
+        ];
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn knockout_variants() {
+        let mut with = Decay::new();
+        with.feedback(1, &Reception::Message { from: 0 });
+        assert!(!with.is_active());
+
+        let mut without = Decay::without_knockout();
+        without.feedback(1, &Reception::Message { from: 0 });
+        assert!(without.is_active());
+    }
+
+    #[test]
+    fn silence_never_deactivates() {
+        let mut d = Decay::new();
+        for r in 0..100 {
+            d.feedback(r, &Reception::Silence);
+        }
+        assert!(d.is_active());
+    }
+
+    #[test]
+    fn deep_rungs_do_not_underflow() {
+        let mut d = Decay::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        // Run enough rounds to reach deep probability rungs.
+        for r in 0..5_000 {
+            let _ = d.act(r, &mut rng);
+        }
+        let p = d.current_probability();
+        assert!(p > 0.0 && p <= 0.5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Round-robin interleaving of two protocols.
+
+use rand::rngs::SmallRng;
+
+use fading_sim::{Action, Protocol, Reception};
+
+/// Runs two protocols in alternating rounds: odd rounds drive `A`, even
+/// rounds drive `B`, each seeing its own contiguous virtual round counter.
+///
+/// This implements the paper's remark for the case where `R` is unknown and
+/// possibly super-polynomial: *"If R is unknown, then our algorithm can be
+/// interleaved with an existing algorithm"* — e.g.
+/// `Interleave::new(Fkn::new(), JurdzinskiStachowiak::new(n_bound))` is
+/// within a factor 2 of the better of `O(log n + log R)` and
+/// `O(log² n / log log n)`, whichever wins on the instance.
+///
+/// The node stands down as soon as **either** component deactivates (a
+/// received message is a knockout signal regardless of which sub-protocol
+/// was listening).
+///
+/// # Example
+///
+/// ```
+/// use fading_protocols::{Decay, Fkn, Interleave};
+/// use fading_sim::Protocol;
+///
+/// let combo = Interleave::new(Fkn::new(), Decay::new());
+/// assert_eq!(combo.name(), "interleave");
+/// ```
+#[derive(Debug)]
+pub struct Interleave<A, B> {
+    a: A,
+    b: B,
+    a_rounds: u64,
+    b_rounds: u64,
+    /// Which component acted in the most recent round (feedback routing).
+    last_was_a: bool,
+}
+
+impl<A: Protocol, B: Protocol> Interleave<A, B> {
+    /// Combines two protocols.
+    #[must_use]
+    pub fn new(a: A, b: B) -> Self {
+        Interleave {
+            a,
+            b,
+            a_rounds: 0,
+            b_rounds: 0,
+            last_was_a: false,
+        }
+    }
+
+    /// The first component.
+    #[must_use]
+    pub fn first(&self) -> &A {
+        &self.a
+    }
+
+    /// The second component.
+    #[must_use]
+    pub fn second(&self) -> &B {
+        &self.b
+    }
+}
+
+impl<A: Protocol, B: Protocol> Protocol for Interleave<A, B> {
+    fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action {
+        if round % 2 == 1 {
+            self.a_rounds += 1;
+            self.last_was_a = true;
+            self.a.act(self.a_rounds, rng)
+        } else {
+            self.b_rounds += 1;
+            self.last_was_a = false;
+            self.b.act(self.b_rounds, rng)
+        }
+    }
+
+    fn feedback(&mut self, _round: u64, reception: &Reception) {
+        if self.last_was_a {
+            self.a.feedback(self.a_rounds, reception);
+        } else {
+            self.b.feedback(self.b_rounds, reception);
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        self.a.is_active() && self.b.is_active()
+    }
+
+    fn name(&self) -> &'static str {
+        "interleave"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decay, Fkn};
+    use rand::SeedableRng;
+
+    /// Records which virtual rounds it saw.
+    #[derive(Debug, Default)]
+    struct Recorder {
+        rounds_seen: Vec<u64>,
+        feedback_seen: Vec<u64>,
+        active: bool,
+    }
+
+    impl Recorder {
+        fn new() -> Self {
+            Recorder {
+                active: true,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Protocol for Recorder {
+        fn act(&mut self, round: u64, _rng: &mut SmallRng) -> Action {
+            self.rounds_seen.push(round);
+            Action::Listen
+        }
+        fn feedback(&mut self, round: u64, reception: &Reception) {
+            self.feedback_seen.push(round);
+            if reception.is_message() {
+                self.active = false;
+            }
+        }
+        fn is_active(&self) -> bool {
+            self.active
+        }
+        fn name(&self) -> &'static str {
+            "recorder"
+        }
+    }
+
+    #[test]
+    fn components_see_contiguous_virtual_rounds() {
+        let mut combo = Interleave::new(Recorder::new(), Recorder::new());
+        let mut rng = SmallRng::seed_from_u64(0);
+        for round in 1..=8 {
+            let _ = combo.act(round, &mut rng);
+            combo.feedback(round, &Reception::Silence);
+        }
+        assert_eq!(combo.first().rounds_seen, vec![1, 2, 3, 4]);
+        assert_eq!(combo.second().rounds_seen, vec![1, 2, 3, 4]);
+        assert_eq!(combo.first().feedback_seen, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn feedback_routes_to_last_actor() {
+        let mut combo = Interleave::new(Recorder::new(), Recorder::new());
+        let mut rng = SmallRng::seed_from_u64(0);
+        // Round 1 drives A; a message arrives: only A is knocked out…
+        let _ = combo.act(1, &mut rng);
+        combo.feedback(1, &Reception::Message { from: 5 });
+        assert!(!combo.first().is_active());
+        assert!(combo.second().is_active());
+        // …but the combined node is now inactive.
+        assert!(!combo.is_active());
+    }
+
+    #[test]
+    fn works_with_real_protocols() {
+        let mut combo = Interleave::new(Fkn::new(), Decay::new());
+        let mut rng = SmallRng::seed_from_u64(3);
+        for round in 1..=20 {
+            let _ = combo.act(round, &mut rng);
+        }
+        assert!(combo.is_active());
+        combo.feedback(21, &Reception::Message { from: 0 });
+        assert!(!combo.is_active());
+    }
+}

@@ -1,0 +1,179 @@
+//! Serializable protocol factory.
+
+use serde::{Deserialize, Serialize};
+
+use fading_sim::{NodeId, Protocol};
+
+use crate::{
+    Aloha, CdElection, CyclicSweep, Decay, FixedProbability, Fkn, Interleave, JurdzinskiStachowiak,
+};
+
+/// A serializable description of a protocol configuration, used by scenario
+/// builders and experiment configs to instantiate one protocol per node.
+///
+/// # Example
+///
+/// ```
+/// use fading_protocols::ProtocolKind;
+///
+/// let kind = ProtocolKind::Fkn { p: 0.25 };
+/// let instance = kind.build(0);
+/// assert_eq!(instance.name(), "fkn");
+/// assert_eq!(kind.label(), "fkn");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ProtocolKind {
+    /// The paper's algorithm with broadcast probability `p`.
+    Fkn {
+        /// Per-round broadcast probability, in `(0, 1)`.
+        p: f64,
+    },
+    /// Classical Decay (knockout-on-reception enabled).
+    Decay,
+    /// Classical Decay without the knockout rule.
+    DecayClassic,
+    /// Slotted ALOHA with exact knowledge of `n`.
+    Aloha {
+        /// The exact network size.
+        n: usize,
+    },
+    /// Probability sweep with a known upper bound `N ≥ n`.
+    CyclicSweep {
+        /// The size upper bound.
+        n_bound: usize,
+    },
+    /// Collision-detection elimination (radio-CD channels).
+    CdElection,
+    /// Jurdziński–Stachowiak-style schedule with a known poly bound `N ≥ n`.
+    JurdzinskiStachowiak {
+        /// The size upper bound.
+        n_bound: usize,
+    },
+    /// Constant probability without knockout (the FKN ablation).
+    FixedProbability {
+        /// Per-round transmit probability, in `(0, 1)`.
+        p: f64,
+    },
+    /// The paper's unknown-`R` remedy: FKN interleaved with the JS baseline.
+    FknInterleavedJs {
+        /// FKN's broadcast probability.
+        p: f64,
+        /// JS's size upper bound.
+        n_bound: usize,
+    },
+}
+
+impl ProtocolKind {
+    /// The paper's algorithm at its default probability.
+    #[must_use]
+    pub fn fkn_default() -> Self {
+        ProtocolKind::Fkn {
+            p: crate::fkn::DEFAULT_BROADCAST_PROBABILITY,
+        }
+    }
+
+    /// Instantiates the protocol for the node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (e.g. `p ∉ (0,1)`,
+    /// `n == 0`) — configurations are expected to be validated at
+    /// experiment-construction time.
+    #[must_use]
+    pub fn build(&self, _node: NodeId) -> Box<dyn Protocol> {
+        match *self {
+            ProtocolKind::Fkn { p } => {
+                Box::new(Fkn::with_probability(p).expect("validated fkn probability"))
+            }
+            ProtocolKind::Decay => Box::new(Decay::new()),
+            ProtocolKind::DecayClassic => Box::new(Decay::without_knockout()),
+            ProtocolKind::Aloha { n } => Box::new(Aloha::new(n)),
+            ProtocolKind::CyclicSweep { n_bound } => Box::new(CyclicSweep::new(n_bound)),
+            ProtocolKind::CdElection => Box::new(CdElection::new()),
+            ProtocolKind::JurdzinskiStachowiak { n_bound } => {
+                Box::new(JurdzinskiStachowiak::new(n_bound))
+            }
+            ProtocolKind::FixedProbability { p } => {
+                Box::new(FixedProbability::new(p).expect("validated fixed probability"))
+            }
+            ProtocolKind::FknInterleavedJs { p, n_bound } => Box::new(Interleave::new(
+                Fkn::with_probability(p).expect("validated fkn probability"),
+                JurdzinskiStachowiak::new(n_bound),
+            )),
+        }
+    }
+
+    /// A short stable label for table columns.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::Fkn { .. } => "fkn",
+            ProtocolKind::Decay => "decay",
+            ProtocolKind::DecayClassic => "decay-classic",
+            ProtocolKind::Aloha { .. } => "aloha",
+            ProtocolKind::CyclicSweep { .. } => "cyclic-sweep",
+            ProtocolKind::CdElection => "cd-election",
+            ProtocolKind::JurdzinskiStachowiak { .. } => "js15",
+            ProtocolKind::FixedProbability { .. } => "fixed-p",
+            ProtocolKind::FknInterleavedJs { .. } => "fkn+js15",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_matching_names() {
+        let cases: Vec<(ProtocolKind, &str)> = vec![
+            (ProtocolKind::fkn_default(), "fkn"),
+            (ProtocolKind::Decay, "decay"),
+            (ProtocolKind::DecayClassic, "decay"),
+            (ProtocolKind::Aloha { n: 8 }, "aloha"),
+            (ProtocolKind::CyclicSweep { n_bound: 64 }, "cyclic-sweep"),
+            (ProtocolKind::CdElection, "cd-election"),
+            (ProtocolKind::JurdzinskiStachowiak { n_bound: 64 }, "js15"),
+            (ProtocolKind::FixedProbability { p: 0.25 }, "fixed-p"),
+            (
+                ProtocolKind::FknInterleavedJs {
+                    p: 0.25,
+                    n_bound: 64,
+                },
+                "interleave",
+            ),
+        ];
+        for (kind, want) in cases {
+            assert_eq!(kind.build(0).name(), want, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let kinds = [
+            ProtocolKind::fkn_default(),
+            ProtocolKind::Decay,
+            ProtocolKind::DecayClassic,
+            ProtocolKind::Aloha { n: 8 },
+            ProtocolKind::CyclicSweep { n_bound: 64 },
+            ProtocolKind::CdElection,
+            ProtocolKind::JurdzinskiStachowiak { n_bound: 64 },
+            ProtocolKind::FixedProbability { p: 0.25 },
+            ProtocolKind::FknInterleavedJs {
+                p: 0.25,
+                n_bound: 64,
+            },
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(ProtocolKind::label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "validated fkn probability")]
+    fn invalid_fkn_probability_panics_at_build() {
+        let _ = ProtocolKind::Fkn { p: 2.0 }.build(0);
+    }
+}

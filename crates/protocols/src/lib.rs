@@ -1,0 +1,65 @@
+//! # fading-protocols
+//!
+//! Contention-resolution protocols for the reproduction of *Contention
+//! Resolution on a Fading Channel* (Fineman, Gilbert, Kuhn, Newport —
+//! PODC 2016).
+//!
+//! The headline algorithm is [`Fkn`] — the paper's maximally simple strategy:
+//! every active node transmits with a constant probability each round, and
+//! deactivates the moment it receives any message. On a SINR channel this
+//! resolves contention in `O(log n + log R)` rounds w.h.p. (Theorem 1).
+//!
+//! Every baseline the paper compares against is implemented too:
+//!
+//! | Protocol | Channel | Bound | Needs `n`? |
+//! |---|---|---|---|
+//! | [`Fkn`] | SINR | `O(log n + log R)` w.h.p. | no |
+//! | [`Decay`] | radio | `Θ(log² n)` w.h.p. | no |
+//! | [`CyclicSweep`] | radio | `O(log N)` expected | upper bound `N` |
+//! | [`CdElection`] | radio + CD | `Θ(log n)` w.h.p. | no |
+//! | [`JurdzinskiStachowiak`] | SINR | `O(log² n / log log n)` w.h.p. | poly bound `N` |
+//! | [`Aloha`] | any | `O(log n)` w.h.p. | exact `n` |
+//! | [`FixedProbability`] | any | — (ablation: FKN without knockout) | no |
+//! | [`Interleave`] | any | best of both components × 2 | per component |
+//!
+//! All protocols implement the [`fading_sim::Protocol`] trait; [`ProtocolKind`]
+//! is a serializable factory used by experiment configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use fading_channel::{SinrChannel, SinrParams};
+//! use fading_geom::Deployment;
+//! use fading_protocols::Fkn;
+//! use fading_sim::Simulation;
+//!
+//! let deployment = Deployment::uniform_square(64, 30.0, 11);
+//! let channel = SinrChannel::new(SinrParams::default_single_hop());
+//! let mut sim = Simulation::new(deployment, Box::new(channel), 42, |_| {
+//!     Box::new(Fkn::new())
+//! });
+//! let result = sim.run_until_resolved(100_000);
+//! assert!(result.resolved());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aloha;
+mod cd;
+mod decay;
+mod fkn;
+mod interleave;
+mod js;
+mod kind;
+mod sweep;
+
+pub use aloha::{Aloha, FixedProbability};
+pub use cd::CdElection;
+pub use decay::Decay;
+pub use fkn::{Fkn, ProbabilityError, DEFAULT_BROADCAST_PROBABILITY};
+pub use interleave::Interleave;
+pub use js::JurdzinskiStachowiak;
+pub use kind::ProtocolKind;
+pub use sweep::CyclicSweep;

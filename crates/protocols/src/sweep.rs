@@ -1,0 +1,131 @@
+//! Probability-sweep protocol with a known size bound (the `O(log N)`
+//! expected-time strategy the paper attributes to Willard-style adaptation).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use fading_sim::{Action, Protocol, Reception};
+
+/// Cyclic probability sweep with a known upper bound `N ≥ n`: round `r`
+/// uses transmit probability `2^{-(1 + (r−1) mod ⌈log₂ N⌉)}`.
+///
+/// One sweep of `⌈log₂ N⌉` rounds passes within a factor of 2 of the ideal
+/// probability `1/n`; in that round a solo transmission occurs with constant
+/// probability, so the strategy resolves contention in `O(log N)` *expected*
+/// rounds (the paper's related-work adaptation of Bar-Yehuda–Goldreich–Itai
+/// given an upper bound `N`). Achieving high-probability guarantees still
+/// costs a `log` factor more — which is precisely the gap the paper's FKN
+/// algorithm closes without knowing `n` at all.
+///
+/// # Example
+///
+/// ```
+/// use fading_protocols::CyclicSweep;
+/// use fading_sim::Protocol;
+///
+/// let s = CyclicSweep::new(1000);
+/// assert_eq!(s.name(), "cyclic-sweep");
+/// assert_eq!(s.ladder_len(), 10); // ceil(log2 1000)
+/// ```
+#[derive(Debug, Clone)]
+pub struct CyclicSweep {
+    ladder_len: u32,
+    step: u32,
+    active: bool,
+}
+
+impl CyclicSweep {
+    /// Creates a sweep for a known size bound `N ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bound < 2`.
+    #[must_use]
+    pub fn new(n_bound: usize) -> Self {
+        assert!(n_bound >= 2, "size bound must be at least 2");
+        let ladder_len = (usize::BITS - (n_bound - 1).leading_zeros()).max(1);
+        CyclicSweep {
+            ladder_len,
+            step: 0,
+            active: true,
+        }
+    }
+
+    /// Number of rungs in one sweep (`⌈log₂ N⌉`).
+    #[must_use]
+    pub fn ladder_len(&self) -> u32 {
+        self.ladder_len
+    }
+
+    /// The probability the next `act` call will use.
+    #[must_use]
+    pub fn current_probability(&self) -> f64 {
+        0.5f64.powi(self.step as i32 + 1)
+    }
+}
+
+impl Protocol for CyclicSweep {
+    fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action {
+        let p = self.current_probability();
+        self.step = (self.step + 1) % self.ladder_len;
+        if rng.gen_bool(p) {
+            Action::Transmit
+        } else {
+            Action::Listen
+        }
+    }
+
+    fn feedback(&mut self, _round: u64, reception: &Reception) {
+        if reception.is_message() {
+            self.active = false;
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn name(&self) -> &'static str {
+        "cyclic-sweep"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ladder_length_is_ceil_log2() {
+        assert_eq!(CyclicSweep::new(2).ladder_len(), 1);
+        assert_eq!(CyclicSweep::new(3).ladder_len(), 2);
+        assert_eq!(CyclicSweep::new(4).ladder_len(), 2);
+        assert_eq!(CyclicSweep::new(1024).ladder_len(), 10);
+        assert_eq!(CyclicSweep::new(1025).ladder_len(), 11);
+    }
+
+    #[test]
+    fn sweep_cycles_through_probabilities() {
+        let mut s = CyclicSweep::new(8); // ladder 1/2, 1/4, 1/8
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut probs = Vec::new();
+        for r in 0..6 {
+            probs.push(s.current_probability());
+            let _ = s.act(r, &mut rng);
+        }
+        assert_eq!(probs, vec![0.5, 0.25, 0.125, 0.5, 0.25, 0.125]);
+    }
+
+    #[test]
+    fn message_knocks_out() {
+        let mut s = CyclicSweep::new(16);
+        s.feedback(1, &Reception::Message { from: 2 });
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_bound() {
+        let _ = CyclicSweep::new(1);
+    }
+}

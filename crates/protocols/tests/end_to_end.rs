@@ -1,0 +1,182 @@
+//! End-to-end: every protocol must actually resolve contention on its
+//! natural channel, and the relative round counts must have the shape the
+//! theory predicts.
+
+use fading_channel::{Channel, RadioCdChannel, RadioChannel, SinrChannel, SinrParams};
+use fading_geom::Deployment;
+use fading_protocols::ProtocolKind;
+use fading_sim::{montecarlo, Simulation};
+
+fn run_on(
+    kind: ProtocolKind,
+    channel: impl Fn() -> Box<dyn Channel> + Sync,
+    n: usize,
+    trials: usize,
+    max_rounds: u64,
+) -> montecarlo::Summary {
+    let results = montecarlo::run_trials(trials, 4, 1000, |seed| {
+        let deployment = Deployment::uniform_square(n, (n as f64).sqrt() * 4.0, seed);
+        let mut sim = Simulation::new(deployment, channel(), seed, |id| kind.build(id));
+        sim.run_until_resolved(max_rounds)
+    });
+    montecarlo::Summary::from_results(&results)
+}
+
+fn sinr() -> Box<dyn Channel> {
+    Box::new(SinrChannel::new(SinrParams::default_single_hop()))
+}
+
+#[test]
+fn fkn_resolves_on_sinr() {
+    let s = run_on(ProtocolKind::fkn_default(), sinr, 128, 20, 50_000);
+    assert_eq!(s.success_rate, 1.0, "{s:?}");
+    assert!(s.mean_rounds < 500.0, "{s:?}");
+}
+
+#[test]
+fn decay_resolves_on_radio() {
+    let s = run_on(
+        ProtocolKind::DecayClassic,
+        || Box::new(RadioChannel::new()),
+        128,
+        20,
+        100_000,
+    );
+    assert_eq!(s.success_rate, 1.0, "{s:?}");
+}
+
+#[test]
+fn cd_election_resolves_on_radio_cd() {
+    let s = run_on(
+        ProtocolKind::CdElection,
+        || Box::new(RadioCdChannel::new()),
+        128,
+        20,
+        10_000,
+    );
+    assert_eq!(s.success_rate, 1.0, "{s:?}");
+    // Θ(log n): should be well under 100 rounds for n = 128.
+    assert!(s.mean_rounds < 100.0, "{s:?}");
+}
+
+#[test]
+fn aloha_with_exact_n_resolves_fast() {
+    let s = run_on(
+        ProtocolKind::Aloha { n: 128 },
+        || Box::new(RadioChannel::new()),
+        128,
+        20,
+        10_000,
+    );
+    assert_eq!(s.success_rate, 1.0, "{s:?}");
+    // Expected ~e rounds; allow generous slack.
+    assert!(s.mean_rounds < 40.0, "{s:?}");
+}
+
+#[test]
+fn cyclic_sweep_resolves_on_radio() {
+    let s = run_on(
+        ProtocolKind::CyclicSweep { n_bound: 256 },
+        || Box::new(RadioChannel::new()),
+        128,
+        20,
+        10_000,
+    );
+    assert_eq!(s.success_rate, 1.0, "{s:?}");
+}
+
+#[test]
+fn js_baseline_resolves_on_sinr() {
+    let s = run_on(
+        ProtocolKind::JurdzinskiStachowiak { n_bound: 256 },
+        sinr,
+        128,
+        20,
+        100_000,
+    );
+    assert_eq!(s.success_rate, 1.0, "{s:?}");
+}
+
+#[test]
+fn interleaved_fkn_js_resolves_on_sinr() {
+    let s = run_on(
+        ProtocolKind::FknInterleavedJs {
+            p: 0.25,
+            n_bound: 256,
+        },
+        sinr,
+        128,
+        20,
+        100_000,
+    );
+    assert_eq!(s.success_rate, 1.0, "{s:?}");
+}
+
+#[test]
+fn fixed_probability_rarely_resolves() {
+    // The ablation: without knockout, constant p = 1/4 on n = 64 nodes needs
+    // a round where exactly one of 64 transmits: prob 64·(1/4)·(3/4)^63 ≈
+    // 2e-7. Within 2000 rounds resolution is essentially impossible.
+    let s = run_on(
+        ProtocolKind::FixedProbability { p: 0.25 },
+        sinr,
+        64,
+        10,
+        2_000,
+    );
+    assert!(
+        s.success_rate < 0.2,
+        "knockout-free fixed-p should not resolve: {s:?}"
+    );
+}
+
+#[test]
+fn fkn_beats_classic_decay_on_sinr_at_scale() {
+    // The headline comparison (experiment E3 in miniature): on a fading
+    // channel FKN (log n) clearly beats the classical non-deactivating
+    // Decay schedule (log²-style), which ignores the extra receptions the
+    // fading channel delivers. (Decay *with* the knockout rule bolted on
+    // behaves like FKN — that ablation is experiment E12.)
+    let fkn = run_on(ProtocolKind::fkn_default(), sinr, 256, 10, 200_000);
+    let decay = run_on(ProtocolKind::DecayClassic, sinr, 256, 10, 200_000);
+    assert_eq!(fkn.success_rate, 1.0);
+    assert_eq!(decay.success_rate, 1.0);
+    assert!(
+        fkn.mean_rounds * 2.0 < decay.mean_rounds,
+        "fkn {} vs decay-classic {}",
+        fkn.mean_rounds,
+        decay.mean_rounds
+    );
+}
+
+#[test]
+fn fkn_round_count_grows_slowly_with_n() {
+    // O(log n): quadrupling n should far less than quadruple the rounds.
+    let small = run_on(ProtocolKind::fkn_default(), sinr, 64, 15, 50_000);
+    let large = run_on(ProtocolKind::fkn_default(), sinr, 256, 15, 50_000);
+    assert_eq!(small.success_rate, 1.0);
+    assert_eq!(large.success_rate, 1.0);
+    assert!(
+        large.mean_rounds < small.mean_rounds * 3.0,
+        "small {} large {}",
+        small.mean_rounds,
+        large.mean_rounds
+    );
+}
+
+#[test]
+fn aloha_degrades_gracefully_with_wrong_estimates() {
+    // ALOHA's advantage is its exact knowledge of n; feeding it a bad
+    // estimate costs real rounds, while FKN (which knows nothing) is
+    // unaffected — the knowledge-sensitivity story behind E3.
+    let exact = run_on(ProtocolKind::Aloha { n: 128 }, sinr, 128, 15, 200_000);
+    let over = run_on(ProtocolKind::Aloha { n: 128 * 16 }, sinr, 128, 15, 200_000);
+    assert_eq!(exact.success_rate, 1.0, "{exact:?}");
+    assert_eq!(over.success_rate, 1.0, "{over:?}");
+    assert!(
+        over.mean_rounds > 1.5 * exact.mean_rounds,
+        "16x overestimate should hurt: exact {} vs over {}",
+        exact.mean_rounds,
+        over.mean_rounds
+    );
+}

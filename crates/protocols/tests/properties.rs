@@ -1,0 +1,135 @@
+//! Property tests on protocol state machines: knockout permanence,
+//! probability-ladder ranges, and interleaving invariants under arbitrary
+//! feedback sequences.
+
+use fading_protocols::{CyclicSweep, Decay, Fkn, Interleave, JurdzinskiStachowiak, ProtocolKind};
+use fading_sim::{Protocol, Reception};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_reception() -> impl Strategy<Value = Reception> {
+    prop_oneof![
+        Just(Reception::Silence),
+        Just(Reception::Collision),
+        (0usize..64).prop_map(|from| Reception::Message { from }),
+    ]
+}
+
+fn arb_feedback_seq() -> impl Strategy<Value = Vec<Reception>> {
+    prop::collection::vec(arb_reception(), 0..50)
+}
+
+proptest! {
+    /// Once any knockout-style protocol hears a message it stays inactive
+    /// through arbitrary subsequent feedback.
+    #[test]
+    fn knockout_is_permanent(seq in arb_feedback_seq()) {
+        let mut protocols: Vec<Box<dyn Protocol>> = vec![
+            Box::new(Fkn::new()),
+            Box::new(Decay::new()),
+            Box::new(CyclicSweep::new(64)),
+            Box::new(JurdzinskiStachowiak::new(64)),
+        ];
+        for p in &mut protocols {
+            let mut dead_since: Option<usize> = None;
+            for (i, rx) in seq.iter().enumerate() {
+                p.feedback(i as u64 + 1, rx);
+                if !p.is_active() && dead_since.is_none() {
+                    dead_since = Some(i);
+                }
+                if dead_since.is_some() {
+                    prop_assert!(!p.is_active(), "{} reactivated", p.name());
+                }
+            }
+            if seq.iter().any(Reception::is_message) {
+                prop_assert!(!p.is_active(), "{} survived a message", p.name());
+            }
+        }
+    }
+
+    /// Ladder probabilities stay within their documented ranges no matter
+    /// how many rounds pass.
+    #[test]
+    fn ladder_probabilities_stay_in_range(rounds in 1u64..3000) {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut decay = Decay::new();
+        let mut sweep = CyclicSweep::new(1024);
+        let mut js = JurdzinskiStachowiak::new(1024);
+        for r in 1..=rounds {
+            let dp = decay.current_probability();
+            prop_assert!(dp > 0.0 && dp <= 0.5, "decay p {dp}");
+            let sp = sweep.current_probability();
+            prop_assert!((0.5f64.powi(10)..=0.5).contains(&sp), "sweep p {sp}");
+            let jp = js.current_probability();
+            prop_assert!(jp > 0.0 && jp <= 0.5, "js p {jp}");
+            let _ = decay.act(r, &mut rng);
+            let _ = sweep.act(r, &mut rng);
+            let _ = js.act(r, &mut rng);
+        }
+    }
+
+    /// Interleave's activity is the conjunction of its components under any
+    /// action/feedback interleaving.
+    #[test]
+    fn interleave_activity_is_conjunction(
+        seq in prop::collection::vec((any::<bool>(), arb_reception()), 1..60),
+    ) {
+        let mut combo = Interleave::new(Fkn::new(), Decay::new());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut round = 0u64;
+        for (do_feedback, rx) in seq {
+            round += 1;
+            if combo.is_active() {
+                let _ = combo.act(round, &mut rng);
+                if do_feedback {
+                    combo.feedback(round, &rx);
+                }
+            }
+            prop_assert_eq!(
+                combo.is_active(),
+                combo.first().is_active() && combo.second().is_active()
+            );
+        }
+    }
+
+    /// Every valid ProtocolKind configuration instantiates without panicking
+    /// and starts active.
+    #[test]
+    fn protocol_kind_builds_for_valid_configs(
+        p in 0.01..0.99f64,
+        n in 4usize..10_000,
+        node in 0usize..64,
+    ) {
+        let kinds = [
+            ProtocolKind::Fkn { p },
+            ProtocolKind::Decay,
+            ProtocolKind::DecayClassic,
+            ProtocolKind::Aloha { n },
+            ProtocolKind::CyclicSweep { n_bound: n },
+            ProtocolKind::CdElection,
+            ProtocolKind::JurdzinskiStachowiak { n_bound: n },
+            ProtocolKind::FixedProbability { p },
+            ProtocolKind::FknInterleavedJs { p, n_bound: n },
+        ];
+        for kind in kinds {
+            let built = kind.build(node);
+            prop_assert!(built.is_active(), "{kind:?} starts inactive");
+        }
+    }
+
+    /// FKN's transmit frequency converges to its configured probability.
+    #[test]
+    fn fkn_transmit_rate_matches_p(p in 0.05..0.95f64, seed in any::<u64>()) {
+        let mut proto = Fkn::with_probability(p).expect("p in range");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rounds = 4_000;
+        let transmits = (1..=rounds)
+            .filter(|&r| proto.act(r, &mut rng).is_transmit())
+            .count();
+        let rate = transmits as f64 / rounds as f64;
+        // 4000 samples: ~3.5 sigma tolerance.
+        let tol = 3.5 * (p * (1.0 - p) / rounds as f64).sqrt();
+        prop_assert!((rate - p).abs() < tol + 0.01, "p={p} rate={rate}");
+    }
+}

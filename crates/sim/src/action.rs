@@ -1,0 +1,36 @@
+//! Per-round node actions.
+
+use serde::{Deserialize, Serialize};
+
+/// What a node does in one synchronous round.
+///
+/// The model is half-duplex with fixed power: a node either transmits (at
+/// the global power `P`) or listens. Message payloads carry no information
+/// relevant to contention resolution (receiving *any* message is the
+/// knockout signal), so actions carry no payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Broadcast at the fixed power.
+    Transmit,
+    /// Stay silent and observe the channel.
+    Listen,
+}
+
+impl Action {
+    /// `true` iff this action is [`Action::Transmit`].
+    #[must_use]
+    pub fn is_transmit(&self) -> bool {
+        matches!(self, Action::Transmit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_transmit() {
+        assert!(Action::Transmit.is_transmit());
+        assert!(!Action::Listen.is_transmit());
+    }
+}

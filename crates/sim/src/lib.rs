@@ -1,0 +1,73 @@
+//! # fading-sim
+//!
+//! A synchronous, round-based wireless network simulator for contention
+//! resolution, driving node-local protocols over the channel models of
+//! [`fading_channel`].
+//!
+//! The model follows Section 2 of *Contention Resolution on a Fading
+//! Channel* (Fineman, Gilbert, Kuhn, Newport — PODC 2016): time is divided
+//! into synchronous rounds; in each round a node either transmits at fixed
+//! power or listens (half-duplex); reception is decided by the channel
+//! model. The **contention resolution problem is solved in the first round
+//! in which exactly one active node transmits**.
+//!
+//! * [`Protocol`] — the node-local state machine interface.
+//! * [`Simulation`] — owns a deployment, a channel, and one protocol
+//!   instance per node; steps rounds until resolution.
+//! * [`RunResult`] / [`Trace`] — what happened, at selectable detail.
+//! * [`montecarlo`] — seeded parallel trial running and summaries.
+//!
+//! Everything is deterministic given the master seed: node RNGs are derived
+//! by SplitMix64 from `(seed, node id)` and the channel RNG from `seed`.
+//!
+//! # Example
+//!
+//! ```
+//! use fading_channel::{SinrChannel, SinrParams};
+//! use fading_geom::Deployment;
+//! use fading_sim::{Action, Protocol, Reception, Simulation};
+//! use rand::{rngs::SmallRng, Rng};
+//!
+//! /// The paper's algorithm in eight lines (the production version lives in
+//! /// `fading-protocols`).
+//! #[derive(Debug)]
+//! struct Simple { active: bool }
+//! impl Protocol for Simple {
+//!     fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action {
+//!         if rng.gen_bool(0.25) { Action::Transmit } else { Action::Listen }
+//!     }
+//!     fn feedback(&mut self, _round: u64, reception: &Reception) {
+//!         if reception.is_message() { self.active = false; }
+//!     }
+//!     fn is_active(&self) -> bool { self.active }
+//!     fn name(&self) -> &'static str { "simple" }
+//! }
+//!
+//! let deployment = Deployment::uniform_square(32, 20.0, 1);
+//! let channel = SinrChannel::new(SinrParams::default_single_hop());
+//! let mut sim = Simulation::new(deployment, Box::new(channel), 99, |_id| {
+//!     Box::new(Simple { active: true })
+//! });
+//! let result = sim.run_until_resolved(10_000);
+//! assert!(result.resolved());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod action;
+pub mod montecarlo;
+mod protocol;
+mod result;
+mod rng;
+mod simulation;
+
+pub use action::Action;
+pub use protocol::Protocol;
+pub use result::{RoundRecord, RunResult, Trace, TraceLevel};
+pub use rng::{channel_rng, node_rng, split_mix64};
+pub use simulation::{Simulation, StepOutcome};
+
+// Re-export the vocabulary types callers always need alongside the simulator.
+pub use fading_channel::{Channel, NodeId, Reception};

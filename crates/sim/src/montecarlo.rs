@@ -1,0 +1,276 @@
+//! Seeded, parallel Monte-Carlo trial running.
+//!
+//! The paper's guarantees are "with high probability"; empirically that
+//! means running many independent seeded trials and summarizing the
+//! distribution of rounds-to-resolution. Trials are embarrassingly
+//! parallel: [`run_trials`] fans seeds out over a crossbeam thread scope
+//! while keeping results in seed order, so parallel and serial execution
+//! produce byte-identical output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::RunResult;
+
+/// Runs `trials` independent trials with seeds `seed_base..seed_base+trials`,
+/// using up to `threads` worker threads (clamped to at least 1), and returns
+/// the results **in seed order**.
+///
+/// `f` maps a seed to a completed [`RunResult`]; it typically builds a fresh
+/// `Simulation` per call. Because every trial derives all randomness from
+/// its seed, the output is independent of the thread count.
+///
+/// # Example
+///
+/// ```
+/// use fading_channel::{SinrChannel, SinrParams};
+/// use fading_geom::Deployment;
+/// use fading_sim::{montecarlo, Action, Protocol, Reception, Simulation};
+/// use rand::{rngs::SmallRng, Rng};
+///
+/// #[derive(Debug)]
+/// struct Simple { active: bool }
+/// impl Protocol for Simple {
+///     fn act(&mut self, _r: u64, rng: &mut SmallRng) -> Action {
+///         if rng.gen_bool(0.25) { Action::Transmit } else { Action::Listen }
+///     }
+///     fn feedback(&mut self, _r: u64, rx: &Reception) {
+///         if rx.is_message() { self.active = false; }
+///     }
+///     fn is_active(&self) -> bool { self.active }
+///     fn name(&self) -> &'static str { "simple" }
+/// }
+///
+/// let results = montecarlo::run_trials(8, 4, 100, |seed| {
+///     let d = Deployment::uniform_square(16, 10.0, seed);
+///     let ch = SinrChannel::new(SinrParams::default_single_hop());
+///     Simulation::new(d, Box::new(ch), seed, |_| Box::new(Simple { active: true }))
+///         .run_until_resolved(10_000)
+/// });
+/// let summary = montecarlo::Summary::from_results(&results);
+/// assert_eq!(summary.trials, 8);
+/// assert!(summary.success_rate > 0.9);
+/// ```
+pub fn run_trials<F>(trials: usize, threads: usize, seed_base: u64, f: F) -> Vec<RunResult>
+where
+    F: Fn(u64) -> RunResult + Sync,
+{
+    let threads = threads.max(1).min(trials.max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; trials]);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let result = f(seed_base + i as u64);
+                results.lock().expect("no panics hold the lock")[i] = Some(result);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|r| r.expect("every index was filled"))
+        .collect()
+}
+
+/// Distribution summary of a batch of trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Total number of trials.
+    pub trials: usize,
+    /// Fraction of trials that resolved within their round budget.
+    pub success_rate: f64,
+    /// Mean rounds-to-resolution over the *resolved* trials.
+    pub mean_rounds: f64,
+    /// Sample standard deviation of rounds over the resolved trials.
+    pub std_rounds: f64,
+    /// Minimum rounds over the resolved trials.
+    pub min_rounds: u64,
+    /// Median rounds over the resolved trials.
+    pub median_rounds: f64,
+    /// 95th-percentile rounds over the resolved trials.
+    pub p95_rounds: f64,
+    /// Maximum rounds over the resolved trials.
+    pub max_rounds: u64,
+    /// Mean total transmissions (energy) per trial, over **all** trials
+    /// (0.0 when summarizing raw round counts via [`Summary::from_rounds`]).
+    pub mean_transmissions: f64,
+}
+
+impl Summary {
+    /// Summarizes a batch. Unresolved trials count against
+    /// [`Summary::success_rate`] but are excluded from the round statistics.
+    ///
+    /// Returns an all-zero summary for an empty batch.
+    #[must_use]
+    pub fn from_results(results: &[RunResult]) -> Self {
+        let rounds: Vec<u64> = results.iter().filter_map(RunResult::resolved_at).collect();
+        let mut summary = Self::from_rounds(&rounds, results.len());
+        if !results.is_empty() {
+            summary.mean_transmissions = results
+                .iter()
+                .map(|r| r.total_transmissions() as f64)
+                .sum::<f64>()
+                / results.len() as f64;
+        }
+        summary
+    }
+
+    /// Summarizes raw per-trial round counts (`rounds` holds only resolved
+    /// trials; `trials` is the total attempted).
+    #[must_use]
+    pub fn from_rounds(rounds: &[u64], trials: usize) -> Self {
+        if rounds.is_empty() {
+            return Summary {
+                trials,
+                success_rate: 0.0,
+                mean_rounds: 0.0,
+                std_rounds: 0.0,
+                min_rounds: 0,
+                median_rounds: 0.0,
+                p95_rounds: 0.0,
+                max_rounds: 0,
+                mean_transmissions: 0.0,
+            };
+        }
+        let mut sorted = rounds.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().map(|&r| r as f64).sum::<f64>() / n;
+        let var = if sorted.len() > 1 {
+            sorted
+                .iter()
+                .map(|&r| (r as f64 - mean).powi(2))
+                .sum::<f64>()
+                / (n - 1.0)
+        } else {
+            0.0
+        };
+        Summary {
+            trials,
+            success_rate: n / trials.max(1) as f64,
+            mean_rounds: mean,
+            std_rounds: var.sqrt(),
+            min_rounds: sorted[0],
+            median_rounds: percentile(&sorted, 50.0),
+            p95_rounds: percentile(&sorted, 95.0),
+            max_rounds: *sorted.last().expect("nonempty"),
+            mean_transmissions: 0.0,
+        }
+    }
+}
+
+/// Linear-interpolated percentile of a **sorted** slice (`q` in `[0, 100]`).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(sorted: &[u64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&q), "q must be in [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0] as f64;
+    }
+    let pos = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::Trace;
+
+    fn result_with_rounds(rounds: Option<u64>) -> RunResult {
+        RunResult::new(
+            rounds,
+            rounds.unwrap_or(100),
+            8,
+            1,
+            None,
+            0,
+            Trace::default(),
+        )
+    }
+
+    #[test]
+    fn run_trials_is_in_seed_order_and_thread_invariant() {
+        let f = |seed: u64| result_with_rounds(Some(seed + 1));
+        let serial = run_trials(16, 1, 0, f);
+        let parallel = run_trials(16, 8, 0, f);
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.resolved_at(), Some(i as u64 + 1));
+            assert_eq!(a.resolved_at(), b.resolved_at());
+        }
+    }
+
+    #[test]
+    fn run_trials_applies_seed_base() {
+        let results = run_trials(3, 2, 100, |seed| result_with_rounds(Some(seed)));
+        let got: Vec<_> = results.iter().map(|r| r.resolved_at().unwrap()).collect();
+        assert_eq!(got, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let results: Vec<RunResult> = [1u64, 2, 3, 4, 100]
+            .iter()
+            .map(|&r| result_with_rounds(Some(r)))
+            .chain(std::iter::once(result_with_rounds(None)))
+            .collect();
+        let s = Summary::from_results(&results);
+        assert_eq!(s.trials, 6);
+        assert!((s.success_rate - 5.0 / 6.0).abs() < 1e-12);
+        assert!((s.mean_rounds - 22.0).abs() < 1e-12);
+        assert_eq!(s.min_rounds, 1);
+        assert_eq!(s.max_rounds, 100);
+        assert_eq!(s.median_rounds, 3.0);
+    }
+
+    #[test]
+    fn summary_of_empty_batch() {
+        let s = Summary::from_results(&[]);
+        assert_eq!(s.trials, 0);
+        assert_eq!(s.success_rate, 0.0);
+        assert_eq!(s.mean_rounds, 0.0);
+    }
+
+    #[test]
+    fn summary_single_trial_has_zero_std() {
+        let s = Summary::from_results(&[result_with_rounds(Some(7))]);
+        assert_eq!(s.std_rounds, 0.0);
+        assert_eq!(s.median_rounds, 7.0);
+        assert_eq!(s.p95_rounds, 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [10u64, 20, 30, 40];
+        assert_eq!(percentile(&sorted, 0.0), 10.0);
+        assert_eq!(percentile(&sorted, 100.0), 40.0);
+        assert_eq!(percentile(&sorted, 50.0), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1], 101.0);
+    }
+}

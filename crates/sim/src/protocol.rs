@@ -1,0 +1,59 @@
+//! The node-local protocol interface.
+
+use rand::rngs::SmallRng;
+
+use fading_channel::Reception;
+
+use crate::Action;
+
+/// A node-local contention-resolution protocol: one instance per node.
+///
+/// The simulator drives each **active** protocol instance through the
+/// synchronous-round loop:
+///
+/// 1. [`Protocol::act`] — choose to transmit or listen this round (using the
+///    node's private, seeded RNG);
+/// 2. the channel resolves receptions;
+/// 3. [`Protocol::feedback`] — listeners learn what they observed
+///    (transmitters receive no feedback: the model gives transmitters no
+///    information about the fate of their transmission);
+/// 4. [`Protocol::is_active`] — a node that reports inactive stops
+///    participating permanently (it is never asked to act again).
+///
+/// Protocols receive **no a-priori information** about the number or
+/// identity of other participants unless a specific algorithm is documented
+/// to require it (e.g. ALOHA's `1/N` rate or Jurdziński–Stachowiak's
+/// polynomial bound on `n`), in which case that knowledge is a constructor
+/// parameter.
+///
+/// Implementations must be deterministic functions of their constructor
+/// arguments, the round numbers, the RNG stream, and the feedback sequence,
+/// so that simulations are reproducible under a fixed master seed.
+pub trait Protocol: Send + std::fmt::Debug {
+    /// Decides this node's action for `round` (1-based).
+    ///
+    /// Called only while [`Protocol::is_active`] returns `true`.
+    fn act(&mut self, round: u64, rng: &mut SmallRng) -> Action;
+
+    /// Delivers what this node observed in `round`. Called only if the node
+    /// listened (transmitters learn nothing).
+    fn feedback(&mut self, round: u64, reception: &Reception);
+
+    /// Whether this node is still contending. Once `false`, the node is
+    /// permanently silent and the simulator stops scheduling it.
+    fn is_active(&self) -> bool;
+
+    /// A short stable name for reports and tables (e.g. `"fkn"`).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_trait_is_object_safe() {
+        fn _takes_dyn(_p: &dyn Protocol) {}
+        fn _takes_boxed(_p: Box<dyn Protocol>) {}
+    }
+}

@@ -1,0 +1,192 @@
+//! Run results and execution traces.
+
+use serde::{Deserialize, Serialize};
+
+use fading_channel::NodeId;
+
+/// How much detail a simulation records per round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// Record nothing (fastest; the default).
+    #[default]
+    None,
+    /// Record per-round aggregate counts ([`RoundRecord`] without ids).
+    Counts,
+    /// Record counts plus the full transmitter id list per round.
+    Full,
+}
+
+/// Aggregate record of one simulated round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: u64,
+    /// Number of active nodes at the *start* of the round.
+    pub active_before: usize,
+    /// Number of nodes that transmitted.
+    pub transmitters: usize,
+    /// Number of nodes knocked out (deactivated) by this round's receptions.
+    pub knocked_out: usize,
+    /// Transmitter ids (only at [`TraceLevel::Full`]).
+    pub transmitter_ids: Option<Vec<NodeId>>,
+}
+
+/// The recorded history of a run, at the requested [`TraceLevel`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    rounds: Vec<RoundRecord>,
+}
+
+impl Trace {
+    pub(crate) fn push(&mut self, record: RoundRecord) {
+        self.rounds.push(record);
+    }
+
+    /// Per-round records, in order.
+    #[must_use]
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// Number of recorded rounds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+}
+
+/// The outcome of [`Simulation::run_until_resolved`].
+///
+/// [`Simulation::run_until_resolved`]: crate::Simulation::run_until_resolved
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    resolved_at: Option<u64>,
+    rounds_executed: u64,
+    initial_nodes: usize,
+    final_active: usize,
+    winner: Option<NodeId>,
+    total_transmissions: u64,
+    trace: Trace,
+}
+
+impl RunResult {
+    pub(crate) fn new(
+        resolved_at: Option<u64>,
+        rounds_executed: u64,
+        initial_nodes: usize,
+        final_active: usize,
+        winner: Option<NodeId>,
+        total_transmissions: u64,
+        trace: Trace,
+    ) -> Self {
+        RunResult {
+            resolved_at,
+            rounds_executed,
+            initial_nodes,
+            final_active,
+            winner,
+            total_transmissions,
+            trace,
+        }
+    }
+
+    /// `true` iff contention was resolved (some round had exactly one active
+    /// transmitter) within the round budget.
+    #[must_use]
+    pub fn resolved(&self) -> bool {
+        self.resolved_at.is_some()
+    }
+
+    /// The 1-based round in which contention was resolved, if it was.
+    #[must_use]
+    pub fn resolved_at(&self) -> Option<u64> {
+        self.resolved_at
+    }
+
+    /// Rounds actually executed (equals `resolved_at` on success, or the
+    /// budget on failure).
+    #[must_use]
+    pub fn rounds_executed(&self) -> u64 {
+        self.rounds_executed
+    }
+
+    /// Number of nodes at the start of the run.
+    #[must_use]
+    pub fn initial_nodes(&self) -> usize {
+        self.initial_nodes
+    }
+
+    /// Number of nodes still active when the run ended.
+    #[must_use]
+    pub fn final_active(&self) -> usize {
+        self.final_active
+    }
+
+    /// The node whose solo transmission resolved contention, if resolved.
+    #[must_use]
+    pub fn winner(&self) -> Option<NodeId> {
+        self.winner
+    }
+
+    /// Total transmissions across all nodes and rounds — the run's energy
+    /// cost in the standard unit-per-broadcast model (always tracked,
+    /// independent of the trace level).
+    #[must_use]
+    pub fn total_transmissions(&self) -> u64 {
+        self.total_transmissions
+    }
+
+    /// The recorded trace (empty at [`TraceLevel::None`]).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let mut trace = Trace::default();
+        trace.push(RoundRecord {
+            round: 1,
+            active_before: 4,
+            transmitters: 2,
+            knocked_out: 1,
+            transmitter_ids: Some(vec![0, 3]),
+        });
+        let r = RunResult::new(Some(5), 5, 4, 2, Some(3), 9, trace.clone());
+        assert!(r.resolved());
+        assert_eq!(r.resolved_at(), Some(5));
+        assert_eq!(r.rounds_executed(), 5);
+        assert_eq!(r.initial_nodes(), 4);
+        assert_eq!(r.final_active(), 2);
+        assert_eq!(r.winner(), Some(3));
+        assert_eq!(r.total_transmissions(), 9);
+        assert_eq!(r.trace(), &trace);
+        assert_eq!(r.trace().len(), 1);
+        assert!(!r.trace().is_empty());
+    }
+
+    #[test]
+    fn unresolved_result() {
+        let r = RunResult::new(None, 100, 10, 7, None, 0, Trace::default());
+        assert!(!r.resolved());
+        assert_eq!(r.resolved_at(), None);
+        assert_eq!(r.winner(), None);
+        assert!(r.trace().is_empty());
+    }
+
+    #[test]
+    fn trace_level_default_is_none() {
+        assert_eq!(TraceLevel::default(), TraceLevel::None);
+    }
+}

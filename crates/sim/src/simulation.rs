@@ -1,0 +1,494 @@
+//! The round-based simulation engine.
+
+use rand::rngs::SmallRng;
+
+use fading_channel::{Channel, NodeId};
+use fading_geom::{Deployment, Point};
+
+use crate::result::{RoundRecord, RunResult, Trace, TraceLevel};
+use crate::rng::{channel_rng, node_rng};
+use crate::{Action, Protocol};
+
+/// What happened in one call to [`Simulation::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Exactly one active node transmitted: contention is resolved.
+    Resolved {
+        /// The solo transmitter.
+        winner: NodeId,
+    },
+    /// Zero or at least two active nodes transmitted.
+    Unresolved {
+        /// Number of transmitters this round.
+        transmitters: usize,
+        /// Number of nodes knocked out by this round's receptions.
+        knocked_out: usize,
+    },
+}
+
+/// A synchronous-round simulation: one deployment, one channel, one protocol
+/// instance per node.
+///
+/// Each round the simulator (1) asks every active node for its action,
+/// (2) resolves receptions for the active listeners through the channel,
+/// (3) delivers feedback to the listeners, and (4) deactivates nodes whose
+/// protocol reports inactive. The run is **resolved** in the first round in
+/// which exactly one active node transmits.
+///
+/// See the [crate-level example](crate) for a complete usage sketch.
+#[derive(Debug)]
+pub struct Simulation {
+    positions: Vec<Point>,
+    channel: Box<dyn Channel>,
+    protocols: Vec<Box<dyn Protocol>>,
+    node_rngs: Vec<SmallRng>,
+    chan_rng: SmallRng,
+    active: Vec<bool>,
+    num_active: usize,
+    round: u64,
+    total_transmissions: u64,
+    resolved_at: Option<u64>,
+    winner: Option<NodeId>,
+    trace_level: TraceLevel,
+    trace: Trace,
+    // Scratch buffers reused across rounds.
+    transmitters: Vec<NodeId>,
+    listeners: Vec<NodeId>,
+}
+
+impl Simulation {
+    /// Creates a simulation over `deployment` with the given channel and
+    /// master `seed`. `make_protocol` is called once per node id to build
+    /// that node's protocol instance.
+    pub fn new<F>(
+        deployment: Deployment,
+        channel: Box<dyn Channel>,
+        seed: u64,
+        mut make_protocol: F,
+    ) -> Self
+    where
+        F: FnMut(NodeId) -> Box<dyn Protocol>,
+    {
+        let n = deployment.len();
+        let protocols: Vec<Box<dyn Protocol>> = (0..n).map(&mut make_protocol).collect();
+        let node_rngs: Vec<SmallRng> = (0..n).map(|i| node_rng(seed, i)).collect();
+        let active: Vec<bool> = protocols.iter().map(|p| p.is_active()).collect();
+        let num_active = active.iter().filter(|&&a| a).count();
+        Simulation {
+            positions: deployment.points().to_vec(),
+            channel,
+            protocols,
+            node_rngs,
+            chan_rng: channel_rng(seed),
+            active,
+            num_active,
+            round: 0,
+            total_transmissions: 0,
+            resolved_at: None,
+            winner: None,
+            trace_level: TraceLevel::None,
+            trace: Trace::default(),
+            transmitters: Vec::new(),
+            listeners: Vec::new(),
+        }
+    }
+
+    /// Selects how much per-round detail to record. Call before stepping.
+    pub fn set_trace_level(&mut self, level: TraceLevel) {
+        self.trace_level = level;
+    }
+
+    /// Number of nodes in the deployment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the deployment is empty (never the case for deployments
+    /// built through `fading-geom`, which require at least two nodes).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The current (1-based) count of completed rounds.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of currently active nodes.
+    #[must_use]
+    pub fn num_active(&self) -> usize {
+        self.num_active
+    }
+
+    /// Whether node `i` is still active.
+    #[must_use]
+    pub fn is_active(&self, i: NodeId) -> bool {
+        self.active.get(i).copied().unwrap_or(false)
+    }
+
+    /// Ids of currently active nodes, in increasing order.
+    #[must_use]
+    pub fn active_ids(&self) -> Vec<NodeId> {
+        (0..self.len()).filter(|&i| self.active[i]).collect()
+    }
+
+    /// Node positions (index = node id).
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// The round in which contention was resolved, if it has been.
+    #[must_use]
+    pub fn resolved_at(&self) -> Option<u64> {
+        self.resolved_at
+    }
+
+    /// Total transmissions so far, across all nodes and rounds (the energy
+    /// cost in the unit-per-broadcast model).
+    #[must_use]
+    pub fn total_transmissions(&self) -> u64 {
+        self.total_transmissions
+    }
+
+    /// Executes one synchronous round and reports the outcome.
+    ///
+    /// Stepping past resolution is allowed (the remaining active nodes keep
+    /// running their protocols); `resolved_at` keeps the *first* resolving
+    /// round.
+    pub fn step(&mut self) -> StepOutcome {
+        self.round += 1;
+        let active_before = self.num_active;
+
+        // Phase 1: collect actions from active nodes.
+        self.transmitters.clear();
+        self.listeners.clear();
+        for i in 0..self.positions.len() {
+            if !self.active[i] {
+                continue;
+            }
+            match self.protocols[i].act(self.round, &mut self.node_rngs[i]) {
+                Action::Transmit => self.transmitters.push(i),
+                Action::Listen => self.listeners.push(i),
+            }
+        }
+
+        self.total_transmissions += self.transmitters.len() as u64;
+
+        // Phase 2: the channel decides what listeners observe.
+        let receptions = self.channel.resolve(
+            &self.positions,
+            &self.transmitters,
+            &self.listeners,
+            &mut self.chan_rng,
+        );
+        debug_assert_eq!(receptions.len(), self.listeners.len());
+
+        // Phase 3: feedback and deactivation.
+        let mut knocked_out = 0;
+        for (k, &v) in self.listeners.iter().enumerate() {
+            self.protocols[v].feedback(self.round, &receptions[k]);
+            if !self.protocols[v].is_active() {
+                self.active[v] = false;
+                self.num_active -= 1;
+                knocked_out += 1;
+            }
+        }
+
+        // Resolution check: exactly one *active* node transmitted.
+        let outcome = if self.transmitters.len() == 1 {
+            let winner = self.transmitters[0];
+            if self.resolved_at.is_none() {
+                self.resolved_at = Some(self.round);
+                self.winner = Some(winner);
+            }
+            StepOutcome::Resolved { winner }
+        } else {
+            StepOutcome::Unresolved {
+                transmitters: self.transmitters.len(),
+                knocked_out,
+            }
+        };
+
+        match self.trace_level {
+            TraceLevel::None => {}
+            TraceLevel::Counts => self.trace.push(RoundRecord {
+                round: self.round,
+                active_before,
+                transmitters: self.transmitters.len(),
+                knocked_out,
+                transmitter_ids: None,
+            }),
+            TraceLevel::Full => self.trace.push(RoundRecord {
+                round: self.round,
+                active_before,
+                transmitters: self.transmitters.len(),
+                knocked_out,
+                transmitter_ids: Some(self.transmitters.clone()),
+            }),
+        }
+
+        outcome
+    }
+
+    /// Runs rounds until contention resolves or `max_rounds` is exhausted,
+    /// then returns the result (consuming nothing; the simulation can be
+    /// inspected or stepped further).
+    pub fn run_until_resolved(&mut self, max_rounds: u64) -> RunResult {
+        self.run_until_resolved_with(max_rounds, |_| {})
+    }
+
+    /// Like [`Simulation::run_until_resolved`], invoking `observe(&self)`
+    /// **before every round** (and once more after the final round), so
+    /// callers can snapshot evolving state — e.g. per-round link-class
+    /// partitions for the §3.3 schedule-adherence analysis — without
+    /// hand-rolling the stepping loop.
+    pub fn run_until_resolved_with<F>(&mut self, max_rounds: u64, mut observe: F) -> RunResult
+    where
+        F: FnMut(&Simulation),
+    {
+        let initial = self.positions.len();
+        while self.resolved_at.is_none() && self.round < max_rounds {
+            observe(self);
+            self.step();
+        }
+        observe(self);
+        RunResult::new(
+            self.resolved_at,
+            self.round,
+            initial,
+            self.num_active,
+            self.winner,
+            self.total_transmissions,
+            std::mem::take(&mut self.trace),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_channel::{RadioChannel, Reception, SinrChannel, SinrParams};
+    use rand::Rng;
+
+    /// Transmits with a fixed probability forever; knocked out on reception.
+    #[derive(Debug)]
+    struct Knockout {
+        p: f64,
+        active: bool,
+    }
+
+    impl Protocol for Knockout {
+        fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action {
+            if rng.gen_bool(self.p) {
+                Action::Transmit
+            } else {
+                Action::Listen
+            }
+        }
+        fn feedback(&mut self, _round: u64, reception: &Reception) {
+            if reception.is_message() {
+                self.active = false;
+            }
+        }
+        fn is_active(&self) -> bool {
+            self.active
+        }
+        fn name(&self) -> &'static str {
+            "test-knockout"
+        }
+    }
+
+    /// Always transmits.
+    #[derive(Debug)]
+    struct AlwaysTx;
+
+    impl Protocol for AlwaysTx {
+        fn act(&mut self, _round: u64, _rng: &mut SmallRng) -> Action {
+            Action::Transmit
+        }
+        fn feedback(&mut self, _round: u64, _reception: &Reception) {}
+        fn is_active(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &'static str {
+            "test-always"
+        }
+    }
+
+    /// Only node 0 transmits; everyone else listens.
+    #[derive(Debug)]
+    struct OnlyNodeZero {
+        id: NodeId,
+    }
+
+    impl Protocol for OnlyNodeZero {
+        fn act(&mut self, _round: u64, _rng: &mut SmallRng) -> Action {
+            if self.id == 0 {
+                Action::Transmit
+            } else {
+                Action::Listen
+            }
+        }
+        fn feedback(&mut self, _round: u64, _reception: &Reception) {}
+        fn is_active(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &'static str {
+            "test-node-zero"
+        }
+    }
+
+    fn line_deployment(n: usize) -> Deployment {
+        Deployment::from_points(
+            (0..n)
+                .map(|i| Point::new(i as f64 * 2.0, 0.0))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solo_transmitter_resolves_in_round_one() {
+        let mut sim = Simulation::new(line_deployment(4), Box::new(RadioChannel::new()), 0, |id| {
+            Box::new(OnlyNodeZero { id })
+        });
+        match sim.step() {
+            StepOutcome::Resolved { winner } => assert_eq!(winner, 0),
+            other => panic!("expected resolution, got {other:?}"),
+        }
+        assert_eq!(sim.resolved_at(), Some(1));
+    }
+
+    #[test]
+    fn everyone_transmitting_never_resolves_on_radio() {
+        let mut sim = Simulation::new(line_deployment(4), Box::new(RadioChannel::new()), 0, |_| {
+            Box::new(AlwaysTx)
+        });
+        let result = sim.run_until_resolved(50);
+        assert!(!result.resolved());
+        assert_eq!(result.rounds_executed(), 50);
+        assert_eq!(result.final_active(), 4);
+    }
+
+    #[test]
+    fn knockout_protocol_resolves_on_sinr() {
+        let deployment = Deployment::uniform_square(24, 15.0, 3);
+        let channel = SinrChannel::new(SinrParams::default_single_hop());
+        let mut sim = Simulation::new(deployment, Box::new(channel), 17, |_| {
+            Box::new(Knockout {
+                p: 0.25,
+                active: true,
+            })
+        });
+        let result = sim.run_until_resolved(5_000);
+        assert!(result.resolved(), "run did not resolve");
+        assert!(result.winner().is_some());
+        assert!(result.final_active() >= 1);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let run = |seed: u64| {
+            let deployment = Deployment::uniform_square(20, 12.0, 5);
+            let channel = SinrChannel::new(SinrParams::default_single_hop());
+            let mut sim = Simulation::new(deployment, Box::new(channel), seed, |_| {
+                Box::new(Knockout {
+                    p: 0.25,
+                    active: true,
+                })
+            });
+            sim.set_trace_level(TraceLevel::Full);
+            sim.run_until_resolved(5_000)
+        };
+        let a = run(123);
+        let b = run(123);
+        let c = run(124);
+        assert_eq!(a.resolved_at(), b.resolved_at());
+        assert_eq!(a.trace(), b.trace());
+        // Different seeds should (generically) differ somewhere.
+        assert!(a.resolved_at() != c.resolved_at() || a.trace() != c.trace());
+    }
+
+    #[test]
+    fn trace_levels_record_expected_detail() {
+        let deployment = line_deployment(6);
+        let channel = RadioChannel::new();
+        let mut sim = Simulation::new(deployment, Box::new(channel.clone()), 1, |_| {
+            Box::new(AlwaysTx)
+        });
+        sim.set_trace_level(TraceLevel::Counts);
+        sim.step();
+        let deployment2 = line_deployment(6);
+        let mut sim2 = Simulation::new(deployment2, Box::new(channel), 1, |_| Box::new(AlwaysTx));
+        sim2.set_trace_level(TraceLevel::Full);
+        sim2.step();
+
+        let r1 = sim.run_until_resolved(1);
+        let r2 = sim2.run_until_resolved(1);
+        assert_eq!(r1.trace().rounds()[0].transmitter_ids, None);
+        assert_eq!(
+            r2.trace().rounds()[0].transmitter_ids,
+            Some(vec![0, 1, 2, 3, 4, 5])
+        );
+        assert_eq!(r1.trace().rounds()[0].transmitters, 6);
+    }
+
+    #[test]
+    fn knocked_out_nodes_stop_acting() {
+        // Two nodes, radio channel: when one transmits alone the other is
+        // knocked out; afterwards num_active == 1.
+        let mut sim = Simulation::new(line_deployment(2), Box::new(RadioChannel::new()), 9, |_| {
+            Box::new(Knockout {
+                p: 0.5,
+                active: true,
+            })
+        });
+        let result = sim.run_until_resolved(10_000);
+        assert!(result.resolved());
+        assert_eq!(sim.num_active(), 1);
+        let survivor = sim.active_ids();
+        assert_eq!(survivor.len(), 1);
+        assert_eq!(Some(survivor[0]), result.winner());
+    }
+
+    #[test]
+    fn transmission_count_matches_trace() {
+        let deployment = Deployment::uniform_square(24, 15.0, 3);
+        let channel = SinrChannel::new(SinrParams::default_single_hop());
+        let mut sim = Simulation::new(deployment, Box::new(channel), 17, |_| {
+            Box::new(Knockout {
+                p: 0.25,
+                active: true,
+            })
+        });
+        sim.set_trace_level(TraceLevel::Counts);
+        let result = sim.run_until_resolved(5_000);
+        let from_trace: u64 = result
+            .trace()
+            .rounds()
+            .iter()
+            .map(|r| r.transmitters as u64)
+            .sum();
+        assert_eq!(result.total_transmissions(), from_trace);
+        assert!(result.total_transmissions() > 0);
+        assert_eq!(sim.total_transmissions(), from_trace);
+    }
+
+    #[test]
+    fn active_ids_track_deactivation() {
+        let mut sim = Simulation::new(line_deployment(3), Box::new(RadioChannel::new()), 0, |id| {
+            Box::new(OnlyNodeZero { id })
+        });
+        assert_eq!(sim.active_ids(), vec![0, 1, 2]);
+        assert_eq!(sim.num_active(), 3);
+        assert!(sim.is_active(2));
+        assert!(!sim.is_active(5));
+        sim.step();
+        // OnlyNodeZero never deactivates anyone.
+        assert_eq!(sim.num_active(), 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! Anatomy of one execution: watch the paper's §3 analysis objects — link
+//! classes, good-node fractions, the separated subsets `S_i`, and the §3.3
+//! class-bound schedule — evolve over a live run of the algorithm.
+//!
+//! ```text
+//! cargo run --release --example link_class_anatomy
+//! ```
+
+use fading::analysis::separated_subset;
+use fading::prelude::*;
+
+fn main() {
+    let n = 384;
+    let deployment = generators::clustered(8, 48, 0.7, 220.0, 4).expect("valid parameters");
+    let unit = deployment.min_link();
+    let params = SinrParams::default_single_hop().with_power_for(&deployment);
+    println!(
+        "n = {}, R = {:.0}, {} potential link classes\n",
+        n,
+        deployment.link_ratio(),
+        deployment.num_link_classes()
+    );
+
+    let mut sim = Simulation::new(
+        deployment.clone(),
+        Box::new(SinrChannel::new(params)),
+        9,
+        |_| Box::new(Fkn::new()),
+    );
+
+    let sched =
+        ClassBoundSchedule::new(n, deployment.num_link_classes(), ScheduleParams::default());
+    println!(
+        "schedule: gamma_slow = {:.3}, stagger l = {}, horizon T = {}\n",
+        sched.gamma_slow(),
+        sched.stagger(),
+        sched.horizon()
+    );
+
+    println!("round | active | class sizes (n_0, n_1, …) | good% smallest | |S_i|");
+    println!("------|--------|----------------------------|----------------|------");
+    let mut series: Vec<Vec<usize>> = Vec::new();
+    for round in 0..10_000u64 {
+        let active = sim.active_ids();
+        let classes = LinkClasses::partition(deployment.points(), &active, unit);
+        series.push(classes.sizes());
+
+        if round % 2 == 0 || sim.resolved_at().is_some() {
+            let (good_pct, s_len) = match classes.smallest_nonempty() {
+                Some(i) => {
+                    let good = GoodNodes::classify(deployment.points(), &active, &classes, 3.0);
+                    let s_i = separated_subset(deployment.points(), &classes, &good, i, 2.0);
+                    (100.0 * good.good_fraction(i), s_i.len())
+                }
+                None => (100.0, 0),
+            };
+            println!(
+                "{:>5} | {:>6} | {:<26} | {:>13.0}% | {:>4}",
+                round,
+                active.len(),
+                format!("{:?}", classes.sizes()),
+                good_pct,
+                s_len
+            );
+        }
+        if sim.resolved_at().is_some() {
+            break;
+        }
+        sim.step();
+    }
+
+    let resolved = sim.resolved_at().expect("run resolves");
+    let adherence = sched.adherence(&series);
+    println!("\nresolved in {resolved} rounds");
+    println!(
+        "schedule adherence: coverage {:.2}, monotone {}, completion round {:?} (horizon {})",
+        adherence.coverage(),
+        adherence.is_monotone(),
+        adherence.completion_round(),
+        sched.horizon()
+    );
+}

@@ -1,0 +1,70 @@
+//! The lower-bound machinery of §4, live: the restricted k-hitting game,
+//! four player strategies, and the Lemma 14 reduction that turns any
+//! contention-resolution protocol into a player.
+//!
+//! ```text
+//! cargo run --release --example lower_bound_game
+//! ```
+
+use fading::prelude::*;
+
+fn mean_rounds<F>(k: usize, trials: usize, mut make: F) -> (f64, u64)
+where
+    F: FnMut(u64) -> Box<dyn HittingPlayer>,
+{
+    let mut total = 0u64;
+    let mut worst = 0u64;
+    let mut wins = 0usize;
+    for seed in 0..trials as u64 {
+        let mut game = RestrictedHitting::new(k, seed).expect("k >= 2");
+        let mut player = make(seed);
+        if let Some(r) = game.play(player.as_mut(), 1_000_000, seed) {
+            total += r;
+            worst = worst.max(r);
+            wins += 1;
+        }
+    }
+    (total as f64 / wins.max(1) as f64, worst)
+}
+
+fn main() {
+    println!("restricted k-hitting game: referee hides a 2-element target;");
+    println!("win by proposing a set covering exactly one element.\n");
+
+    println!("      k | halving mean/worst | random mean | fkn-reduction mean | singleton mean");
+    println!("--------|--------------------|-------------|--------------------|---------------");
+    for pow in [4u32, 8, 12] {
+        let k = 1usize << pow;
+        let trials = 100;
+        let (h_mean, h_worst) = mean_rounds(k, trials, |_| Box::new(HalvingPlayer::new(k)));
+        let (r_mean, _) = mean_rounds(k, trials, |_| Box::new(UniformRandomPlayer::new(k)));
+        let (f_mean, _) = mean_rounds(k, trials, |seed| {
+            Box::new(ProtocolPlayer::new(k, seed, |_| Box::new(Fkn::new())))
+        });
+        let (s_mean, _) = mean_rounds(k, trials, |_| {
+            Box::new(fading::hitting::SingletonPlayer::new(k))
+        });
+        println!(
+            "   2^{pow:<3}| {h_mean:>10.1} / {h_worst:<4} | {r_mean:>11.1} | {f_mean:>18.1} | {s_mean:>13.1}"
+        );
+    }
+
+    println!(
+        "\nLemma 13: winning with probability 1 - 1/k takes Ω(log k) rounds —\n\
+         the halving player's worst case (= ceil(log2 k)) is the matching upper\n\
+         bound. Lemma 14: the fkn-reduction column shows a real contention-\n\
+         resolution protocol playing the game through the simulation argument."
+    );
+
+    // The two-player game the reduction routes through.
+    println!("\ntwo-player contention resolution with FKN (1000 seeds):");
+    let game = TwoPlayerCr::new(|_| Box::new(Fkn::new()));
+    let rounds: Vec<u64> = game
+        .play_many(1000, 0, 100_000)
+        .into_iter()
+        .flatten()
+        .collect();
+    let mean = rounds.iter().sum::<u64>() as f64 / rounds.len() as f64;
+    let max = rounds.iter().max().copied().unwrap_or(0);
+    println!("  mean {mean:.2} rounds (theory 8/3 ≈ 2.67), worst observed {max}");
+}

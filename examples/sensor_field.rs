@@ -1,0 +1,69 @@
+//! A realistic workload from the paper's motivation: a dense sensor field
+//! wakes up after an event, and every sensor wants the channel. Clustered
+//! deployments span many link classes — the hard case the paper's link-class
+//! analysis is built for.
+//!
+//! The example compares the paper's algorithm against the classical radio
+//! network strategy ported unchanged to the same physical channel, plus
+//! size-aware baselines.
+//!
+//! ```text
+//! cargo run --release --example sensor_field
+//! ```
+
+use fading::prelude::*;
+
+fn measure(kind: ProtocolKind, trials: usize) -> montecarlo::Summary {
+    let results = montecarlo::run_trials(trials, 4, 10, |seed| {
+        // 12 clusters of 32 sensors each: tight intra-cluster links (class
+        // ~0) plus long inter-cluster links (classes 6+).
+        let deployment =
+            generators::clustered(12, 32, 0.8, 300.0, seed).expect("valid cluster parameters");
+        let params = SinrParams::default_single_hop().with_power_for(&deployment);
+        let mut sim = Simulation::new(deployment, Box::new(SinrChannel::new(params)), seed, |id| {
+            kind.build(id)
+        });
+        sim.run_until_resolved(1_000_000)
+    });
+    montecarlo::Summary::from_results(&results)
+}
+
+fn main() {
+    let n = 12 * 32;
+    println!("sensor field: {n} sensors in 12 clusters, SINR channel\n");
+
+    // Show the link-class structure of one instance.
+    let d = generators::clustered(12, 32, 0.8, 300.0, 10).expect("valid parameters");
+    let active: Vec<usize> = (0..d.len()).collect();
+    let classes = LinkClasses::partition(d.points(), &active, d.min_link());
+    println!(
+        "link ratio R = {:.0}; occupied link classes: {:?}",
+        d.link_ratio(),
+        classes.sizes()
+    );
+
+    println!("\nprotocol                      | success | mean rounds | p95");
+    println!("------------------------------|---------|-------------|------");
+    let contenders = [
+        ("fkn (paper, knows nothing)", ProtocolKind::fkn_default()),
+        ("decay-classic (radio port)", ProtocolKind::DecayClassic),
+        (
+            "js15 (knows N >= n)",
+            ProtocolKind::JurdzinskiStachowiak { n_bound: 2 * n },
+        ),
+        ("aloha (knows n exactly)", ProtocolKind::Aloha { n }),
+    ];
+    for (label, kind) in contenders {
+        let s = measure(kind, 40);
+        println!(
+            "{label:<30}| {:>7.2} | {:>11.1} | {:>5.1}",
+            s.success_rate, s.mean_rounds, s.p95_rounds
+        );
+    }
+
+    println!(
+        "\nthe paper's point: the first row needs no network knowledge at all,\n\
+         yet lands within a small constant of the omniscient ALOHA row and far\n\
+         ahead of the radio-network-model strategy."
+    );
+}

@@ -1,0 +1,61 @@
+//! The adversarial regime: a chain of relay nodes down a long warehouse
+//! aisle, with link lengths growing geometrically — the footnote-1 world
+//! where `R` is exponential in `n` and the `log R` term dominates
+//! `O(log n + log R)`.
+//!
+//! Here the trade-off between the paper's algorithm (`R`-sensitive) and the
+//! Jurdziński–Stachowiak baseline (`R`-insensitive, but needs a size bound)
+//! flips — and the paper's remedy, interleaving the two, gets the best of
+//! both within a factor of 2.
+//!
+//! ```text
+//! cargo run --release --example warehouse_chain
+//! ```
+
+use fading::prelude::*;
+
+fn measure(kind: ProtocolKind, ratio: f64, trials: usize) -> montecarlo::Summary {
+    let results = montecarlo::run_trials(trials, 4, 20, |seed| {
+        let deployment = generators::geometric_line(24, ratio).expect("ratio >= n-1");
+        let params = SinrParams::default_single_hop().with_power_for(&deployment);
+        let mut sim = Simulation::new(deployment, Box::new(SinrChannel::new(params)), seed, |id| {
+            kind.build(id)
+        });
+        sim.run_until_resolved(1_000_000)
+    });
+    montecarlo::Summary::from_results(&results)
+}
+
+fn main() {
+    let n = 24;
+    println!("warehouse chain: n = {n} relays, link ratio R swept to extremes\n");
+    println!("      R | fkn mean | js15 mean | interleaved mean");
+    println!("--------|----------|-----------|------------------");
+    for pow in [5u32, 10, 20, 30, 40] {
+        let ratio = 2f64.powi(pow as i32);
+        let fkn = measure(ProtocolKind::fkn_default(), ratio, 30);
+        let js = measure(
+            ProtocolKind::JurdzinskiStachowiak { n_bound: 2 * n },
+            ratio,
+            30,
+        );
+        let combo = measure(
+            ProtocolKind::FknInterleavedJs {
+                p: 0.25,
+                n_bound: 2 * n,
+            },
+            ratio,
+            30,
+        );
+        println!(
+            "   2^{pow:<3}| {:>8.1} | {:>9.1} | {:>16.1}",
+            fkn.mean_rounds, js.mean_rounds, combo.mean_rounds
+        );
+    }
+    println!(
+        "\nTheorem 1 allows fkn to slow with log R, but measured it stays flat\n\
+         (chains empty their link classes concurrently — see E2); js15 is flat\n\
+         by design; the interleaved protocol tracks the winner within a factor\n\
+         ~2 — the paper's prescription when R is unknown."
+    );
+}

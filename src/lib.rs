@@ -1,0 +1,29 @@
+//! Facade crate for the `fading-cr` workspace.
+//!
+//! Re-exports the entire public API of [`fading_cr`] so that examples and
+//! integration tests can use a single dependency. Downstream users should
+//! depend on `fading-cr` (and, if they want individual substrates, on the
+//! `fading-*` crates) directly.
+//!
+//! # Example
+//!
+//! ```
+//! use fading::prelude::*;
+//!
+//! let scenario = Scenario::builder()
+//!     .deployment(Deployment::uniform_square(64, 100.0, 7))
+//!     .sinr(SinrParams::default_single_hop())
+//!     .protocol(ProtocolKind::fkn_default())
+//!     .seed(42)
+//!     .build()
+//!     .expect("valid scenario");
+//! let result = scenario.run(10_000);
+//! assert!(result.resolved());
+//! ```
+
+pub use fading_cr::*;
+
+/// The prelude, re-exported from [`fading_cr::prelude`].
+pub mod prelude {
+    pub use fading_cr::prelude::*;
+}
