@@ -32,10 +32,23 @@ fn bench_channels(c: &mut Criterion) {
             b.iter(|| sinr.resolve(&positions, &tx, &rx, &mut rng));
         });
 
+        let cache = sinr
+            .build_gain_cache(&positions)
+            .expect("bench sizes are within the cache guard");
+        group.bench_with_input(BenchmarkId::new("sinr-cached", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(0);
+            b.iter(|| sinr.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng));
+        });
+
         let rayleigh = RayleighSinrChannel::new(params);
         group.bench_with_input(BenchmarkId::new("rayleigh", n), &n, |b, _| {
             let mut rng = SmallRng::seed_from_u64(0);
             b.iter(|| rayleigh.resolve(&positions, &tx, &rx, &mut rng));
+        });
+
+        group.bench_with_input(BenchmarkId::new("rayleigh-cached", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(0);
+            b.iter(|| rayleigh.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng));
         });
 
         let radio = RadioChannel::new();
@@ -44,6 +57,35 @@ fn bench_channels(c: &mut Criterion) {
             b.iter(|| radio.resolve(&positions, &tx, &rx, &mut rng));
         });
     }
+    group.finish();
+}
+
+/// The acceptance workload for the gain cache: n = 2048 with *half* the
+/// nodes transmitting (maximal per-listener interference work). The cached
+/// path must come in at least 2× faster than the uncached one.
+fn bench_cached_vs_uncached(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cached_vs_uncached_n2048_half_tx");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    let n = 2048usize;
+    let d = Deployment::uniform_density(n, 0.25, 7);
+    let positions = d.points().to_vec();
+    let tx: Vec<usize> = (0..n).step_by(2).collect();
+    let rx: Vec<usize> = (1..n).step_by(2).collect();
+    let params = SinrParams::default_single_hop().with_power_for(&d);
+    let sinr = SinrChannel::new(params);
+    let cache = sinr
+        .build_gain_cache(&positions)
+        .expect("n = 2048 is within the cache guard");
+
+    group.bench_function("uncached", |b| {
+        let mut rng = SmallRng::seed_from_u64(0);
+        b.iter(|| sinr.resolve(&positions, &tx, &rx, &mut rng));
+    });
+    group.bench_function("cached", |b| {
+        let mut rng = SmallRng::seed_from_u64(0);
+        b.iter(|| sinr.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng));
+    });
     group.finish();
 }
 
@@ -67,6 +109,6 @@ fn bench_pow_alpha(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().without_plots();
-    targets = bench_channels, bench_pow_alpha
+    targets = bench_channels, bench_cached_vs_uncached, bench_pow_alpha
 }
 criterion_main!(benches);

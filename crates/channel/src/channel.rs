@@ -4,7 +4,7 @@ use rand::rngs::SmallRng;
 
 use fading_geom::Point;
 
-use crate::{NodeId, Reception};
+use crate::{GainCache, NodeId, Reception};
 
 pub(crate) mod sealed {
     /// Prevents downstream implementations so the trait can evolve.
@@ -37,6 +37,42 @@ pub trait Channel: sealed::Sealed + Send + Sync + std::fmt::Debug {
         listeners: &[NodeId],
         rng: &mut SmallRng,
     ) -> Vec<Reception>;
+
+    /// Like [`Channel::resolve`], optionally consulting a precomputed
+    /// [`GainCache`] for the deterministic pairwise gains.
+    ///
+    /// The contract is strict: for any channel, `resolve_cached` with a
+    /// cache built by [`Channel::build_gain_cache`] over the same
+    /// `positions` returns a `Reception` vector **bit-identical** to
+    /// `resolve` (and consumes the `rng` identically). Passing `None`, a
+    /// cache that does not match `positions`, or calling on a channel
+    /// without a cached path falls back to `resolve` outright.
+    ///
+    /// The default implementation ignores the cache; geometry-free models
+    /// (the radio channels) keep it.
+    fn resolve_cached(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        let _ = cache;
+        self.resolve(positions, transmitters, listeners, rng)
+    }
+
+    /// Builds the [`GainCache`] this channel can exploit for `positions`,
+    /// or `None` when the model has no deterministic pairwise gains (the
+    /// radio channels) or the deployment exceeds the cache's size guard.
+    ///
+    /// Exists on the trait (rather than on the concrete types) so
+    /// simulators holding a `Box<dyn Channel>` can build the matching
+    /// cache without knowing the concrete model or its parameters.
+    fn build_gain_cache(&self, positions: &[Point]) -> Option<GainCache> {
+        let _ = positions;
+        None
+    }
 
     /// A short stable name for reports and tables (e.g. `"sinr"`).
     fn name(&self) -> &'static str;

@@ -1,0 +1,414 @@
+//! Precomputed pairwise gain matrix and incremental interference totals.
+//!
+//! Every deterministic SINR quantity in this crate reduces to sums of the
+//! pairwise power gains `G[u][v] = P / d(u,v)^α`. For a static deployment
+//! those gains never change, yet the straightforward
+//! [`Channel::resolve`](crate::Channel::resolve) recomputes a distance,
+//! a [`pow_alpha`] and a division for every (transmitter, listener) pair in
+//! every round. [`GainCache`] hoists that work out of the round loop: the
+//! full `n × n` matrix is computed **once** per deployment, and the cached
+//! resolve paths ([`Channel::resolve_cached`](crate::Channel::resolve_cached))
+//! reduce the per-round inner loop to a table lookup and an add.
+//!
+//! Bit-exactness contract: `GainCache::build` stores *exactly* the value
+//! `P / pow_alpha(d²(u,v), α)` that the uncached resolve computes, and the
+//! cached resolve paths accumulate those values in the same order with the
+//! same expression grouping. Cached and uncached resolution therefore
+//! produce **identical** `Reception` vectors, not merely close ones — the
+//! equivalence test suite in `tests/gain_cache_equivalence.rs` enforces
+//! this bit-for-bit.
+//!
+//! The cache is `O(n²)` memory, so construction is guarded by a node-count
+//! limit ([`DEFAULT_MAX_CACHED_NODES`]); past it, [`GainCache::build`]
+//! returns `None` and callers fall back to on-the-fly computation. The
+//! cache is only valid for fixed positions — mobile deployments must
+//! bypass it (pass `None` to `resolve_cached`).
+//!
+//! [`ActiveInterference`] layers a running per-listener total on top of the
+//! matrix: `T[v] = Σ_{w active, w ≠ v} G[w][v]`, maintained incrementally
+//! as nodes deactivate (`O(n)` per knockout instead of `O(n²)` to re-sum).
+//! The paper's analysis (Lemmas 3–4) bounds exactly this quantity, so the
+//! engine gives the analysis/metrics layer cheap per-round access to it.
+
+use fading_geom::Point;
+
+use crate::sinr::pow_alpha;
+use crate::{NodeId, SinrParams};
+
+/// Default node-count limit for [`GainCache::build`].
+///
+/// `4096` nodes ⇒ `4096² × 8 B = 128 MiB` of gains, the largest matrix the
+/// experiment configurations are expected to touch. Larger deployments
+/// fall back to on-the-fly gain computation.
+pub const DEFAULT_MAX_CACHED_NODES: usize = 4096;
+
+/// Precomputed pairwise power gains for one deployment under one parameter
+/// set: `gain(u, v) = P / d(u,v)^α`, stored as a flat row-major matrix
+/// (one row per *listener*).
+///
+/// Build once per deployment via [`GainCache::build`]; pass to
+/// [`Channel::resolve_cached`](crate::Channel::resolve_cached) each round.
+///
+/// # Example
+///
+/// ```
+/// use fading_channel::{GainCache, SinrParams};
+/// use fading_geom::Point;
+///
+/// let params = SinrParams::builder().power(16.0).alpha(3.0).build()?;
+/// let pos = [Point::new(0.0, 0.0), Point::new(2.0, 0.0)];
+/// let cache = GainCache::build(&pos, &params).expect("within size guard");
+/// assert_eq!(cache.gain(0, 1), 2.0); // 16 / 2³
+/// assert_eq!(cache.gain(1, 0), 2.0); // symmetric
+/// # Ok::<(), fading_channel::ChannelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GainCache {
+    n: usize,
+    power: f64,
+    alpha: f64,
+    /// Row-major: `gains[v * n + u]` is the gain of transmitter `u` at
+    /// listener `v`; the diagonal is 0 (a node never hears itself).
+    gains: Vec<f64>,
+}
+
+impl GainCache {
+    /// Builds the gain matrix for `positions` under `params`, or `None`
+    /// when the deployment is empty or exceeds
+    /// [`DEFAULT_MAX_CACHED_NODES`] (the `O(n²)` size guard).
+    #[must_use]
+    pub fn build(positions: &[Point], params: &SinrParams) -> Option<Self> {
+        Self::build_with_limit(positions, params, DEFAULT_MAX_CACHED_NODES)
+    }
+
+    /// Like [`GainCache::build`] with an explicit node-count limit.
+    #[must_use]
+    pub fn build_with_limit(
+        positions: &[Point],
+        params: &SinrParams,
+        max_nodes: usize,
+    ) -> Option<Self> {
+        let n = positions.len();
+        if n == 0 || n > max_nodes {
+            return None;
+        }
+        let power = params.power();
+        let alpha = params.alpha();
+        let mut gains = vec![0.0; n * n];
+        for (v, &vp) in positions.iter().enumerate() {
+            let row = &mut gains[v * n..(v + 1) * n];
+            for ((u, &up), slot) in positions.iter().enumerate().zip(row.iter_mut()) {
+                if u != v {
+                    // Must match the uncached resolve expression exactly
+                    // (same pow_alpha fast path, same division) so cached
+                    // resolution is bit-identical.
+                    *slot = power / pow_alpha(up.distance_sq(vp), alpha);
+                }
+            }
+        }
+        Some(GainCache {
+            n,
+            power,
+            alpha,
+            gains,
+        })
+    }
+
+    /// Number of nodes the cache was built for.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` only for a cache over zero nodes (never produced by `build`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Cheap consistency check: does this cache plausibly belong to
+    /// `positions` under `params`?
+    ///
+    /// Compares the node count and the gain-determining parameters (`P`,
+    /// `α`); it does **not** re-verify every position (that would cost as
+    /// much as the lookups it guards). Callers that move nodes must drop
+    /// the cache themselves.
+    #[must_use]
+    pub fn matches(&self, positions: &[Point], params: &SinrParams) -> bool {
+        self.n == positions.len() && self.power == params.power() && self.alpha == params.alpha()
+    }
+
+    /// The cached gain `P / d(u,v)^α` of transmitter `u` at listener `v`
+    /// (0 on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn gain(&self, u: NodeId, v: NodeId) -> f64 {
+        assert!(u < self.n && v < self.n, "node id out of range");
+        self.gains[v * self.n + u]
+    }
+
+    /// Listener `v`'s full gain row: `row(v)[u] == gain(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, v: NodeId) -> &[f64] {
+        &self.gains[v * self.n..(v + 1) * self.n]
+    }
+
+    /// Total interference at node `v` from the given transmitters:
+    /// `Σ_w gain(w, v)`, accumulated in `transmitters` order (so it is
+    /// bit-identical to the uncached sum over the same order).
+    #[must_use]
+    pub fn interference_at_node(&self, transmitters: &[NodeId], v: NodeId) -> f64 {
+        let row = self.row(v);
+        transmitters.iter().map(|&w| row[w]).sum()
+    }
+}
+
+/// Running total interference per listener over the **active** node set,
+/// updated incrementally as nodes deactivate.
+///
+/// Maintains `total_at(v) = Σ_{w active, w ≠ v} gain(w, v)` — the worst-case
+/// interference at `v` if every still-active node transmitted at once (the
+/// quantity the paper's Lemmas 3–4 bound). A knockout is `O(n)`
+/// (one subtraction per listener) instead of the `O(n²)` full re-sum.
+///
+/// Incremental subtraction accumulates floating-point error on the order of
+/// an ulp per update; [`ActiveInterference::recompute_at`] re-sums exactly
+/// for callers (and tests) that need a fresh value.
+///
+/// # Example
+///
+/// ```
+/// use fading_channel::{ActiveInterference, GainCache, SinrParams};
+/// use fading_geom::Point;
+///
+/// let params = SinrParams::builder().power(16.0).alpha(3.0).build()?;
+/// let pos = [Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(4.0, 0.0)];
+/// let cache = GainCache::build(&pos, &params).unwrap();
+/// let mut ai = ActiveInterference::new(&cache);
+/// let before = ai.total_at(0);
+/// ai.deactivate(&cache, 1);
+/// assert!(ai.total_at(0) < before);
+/// # Ok::<(), fading_channel::ChannelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActiveInterference {
+    totals: Vec<f64>,
+    active: Vec<bool>,
+    num_active: usize,
+}
+
+impl ActiveInterference {
+    /// Starts with every node active: `total_at(v)` sums `v`'s whole gain
+    /// row (the diagonal contributes 0).
+    #[must_use]
+    pub fn new(cache: &GainCache) -> Self {
+        let n = cache.len();
+        let totals = (0..n).map(|v| cache.row(v).iter().sum()).collect();
+        ActiveInterference {
+            totals,
+            active: vec![true; n],
+            num_active: n,
+        }
+    }
+
+    /// Marks `w` inactive and subtracts its gain contribution from every
+    /// other node's total. Idempotent: deactivating an already-inactive
+    /// node is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range or `cache` has a different node count.
+    pub fn deactivate(&mut self, cache: &GainCache, w: NodeId) {
+        assert_eq!(cache.len(), self.totals.len(), "cache/engine size mismatch");
+        assert!(w < self.totals.len(), "node id out of range");
+        if !self.active[w] {
+            return;
+        }
+        self.active[w] = false;
+        self.num_active -= 1;
+        for (v, total) in self.totals.iter_mut().enumerate() {
+            if v != w {
+                *total -= cache.gain(w, v);
+            }
+        }
+    }
+
+    /// The running total interference at `v` from all active nodes other
+    /// than `v` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn total_at(&self, v: NodeId) -> f64 {
+        self.totals[v]
+    }
+
+    /// Whether node `w` is still counted as active.
+    #[must_use]
+    pub fn is_active(&self, w: NodeId) -> bool {
+        self.active.get(w).copied().unwrap_or(false)
+    }
+
+    /// Number of nodes still active.
+    #[must_use]
+    pub fn num_active(&self) -> usize {
+        self.num_active
+    }
+
+    /// Re-sums `total_at(v)` from scratch over the current active set —
+    /// the drift-free reference value for the incremental total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `cache` has a different node count.
+    #[must_use]
+    pub fn recompute_at(&self, cache: &GainCache, v: NodeId) -> f64 {
+        assert_eq!(cache.len(), self.totals.len(), "cache/engine size mismatch");
+        let row = cache.row(v);
+        (0..self.totals.len())
+            .filter(|&w| w != v && self.active[w])
+            .map(|w| row[w])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SinrParams {
+        SinrParams::builder()
+            .power(16.0)
+            .alpha(3.0)
+            .beta(2.0)
+            .noise(1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn line(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64 * 2.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn gains_match_direct_formula() {
+        let pos = line(5);
+        let cache = GainCache::build(&pos, &params()).unwrap();
+        for v in 0..5 {
+            for u in 0..5 {
+                let want = if u == v {
+                    0.0
+                } else {
+                    16.0 / pow_alpha(pos[u].distance_sq(pos[v]), 3.0)
+                };
+                assert_eq!(cache.gain(u, v), want, "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_alias_the_matrix() {
+        let pos = line(4);
+        let cache = GainCache::build(&pos, &params()).unwrap();
+        for v in 0..4 {
+            let row = cache.row(v);
+            assert_eq!(row.len(), 4);
+            for (u, &g) in row.iter().enumerate() {
+                assert_eq!(g, cache.gain(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_for_symmetric_distance() {
+        let pos = vec![
+            Point::new(0.3, -1.7),
+            Point::new(2.9, 4.1),
+            Point::new(-5.0, 0.2),
+        ];
+        let cache = GainCache::build(&pos, &params()).unwrap();
+        for v in 0..3 {
+            for u in 0..3 {
+                assert_eq!(cache.gain(u, v), cache.gain(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn size_guard_rejects_large_deployments() {
+        let pos = line(9);
+        assert!(GainCache::build_with_limit(&pos, &params(), 8).is_none());
+        assert!(GainCache::build_with_limit(&pos, &params(), 9).is_some());
+        assert!(GainCache::build(&[], &params()).is_none());
+    }
+
+    #[test]
+    fn matches_checks_count_and_params() {
+        let pos = line(4);
+        let cache = GainCache::build(&pos, &params()).unwrap();
+        assert!(cache.matches(&pos, &params()));
+        assert!(!cache.matches(&pos[..3], &params()));
+        let other = SinrParams::builder().power(32.0).alpha(3.0).build().unwrap();
+        assert!(!cache.matches(&pos, &other));
+    }
+
+    #[test]
+    fn interference_at_node_sums_in_order() {
+        let pos = line(4);
+        let cache = GainCache::build(&pos, &params()).unwrap();
+        let tx = [0usize, 2, 3];
+        let direct: f64 = tx.iter().map(|&w| cache.gain(w, 1)).sum();
+        assert_eq!(cache.interference_at_node(&tx, 1), direct);
+    }
+
+    #[test]
+    fn active_interference_tracks_knockouts() {
+        let pos = line(6);
+        let cache = GainCache::build(&pos, &params()).unwrap();
+        let mut ai = ActiveInterference::new(&cache);
+        assert_eq!(ai.num_active(), 6);
+        assert_eq!(ai.total_at(2), cache.row(2).iter().sum::<f64>());
+
+        ai.deactivate(&cache, 4);
+        assert!(!ai.is_active(4));
+        assert_eq!(ai.num_active(), 5);
+        // Idempotent.
+        ai.deactivate(&cache, 4);
+        assert_eq!(ai.num_active(), 5);
+
+        for v in 0..6 {
+            let exact = ai.recompute_at(&cache, v);
+            let incr = ai.total_at(v);
+            assert!(
+                (incr - exact).abs() <= 1e-9 * exact.abs().max(1.0),
+                "v={v} incremental={incr} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn deactivating_everyone_zeroes_totals() {
+        let pos = line(4);
+        let cache = GainCache::build(&pos, &params()).unwrap();
+        let mut ai = ActiveInterference::new(&cache);
+        for w in 0..4 {
+            ai.deactivate(&cache, w);
+        }
+        assert_eq!(ai.num_active(), 0);
+        for v in 0..4 {
+            assert_eq!(ai.recompute_at(&cache, v), 0.0);
+            assert!(ai.total_at(v).abs() <= 1e-9);
+        }
+    }
+}

@@ -34,6 +34,12 @@
 //! All channels implement the sealed [`Channel`] trait and can be driven by
 //! the `fading-sim` simulator.
 //!
+//! For static deployments, [`GainCache`] precomputes the `n × n` pairwise
+//! gain matrix once and [`Channel::resolve_cached`] resolves rounds against
+//! it with results bit-identical to [`Channel::resolve`]; see the
+//! [`gain_cache`](GainCache) module docs for the exactness contract and
+//! the size guard.
+//!
 //! # Example
 //!
 //! ```
@@ -59,6 +65,7 @@
 
 mod channel;
 mod error;
+mod gain_cache;
 mod lossy;
 mod params;
 mod radio;
@@ -68,6 +75,7 @@ mod sinr;
 
 pub use channel::Channel;
 pub use error::ChannelError;
+pub use gain_cache::{ActiveInterference, GainCache, DEFAULT_MAX_CACHED_NODES};
 pub use lossy::LossySinrChannel;
 pub use params::{SinrParams, SinrParamsBuilder, DEFAULT_SINGLE_HOP_MARGIN};
 pub use radio::{RadioCdChannel, RadioChannel};

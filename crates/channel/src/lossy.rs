@@ -6,7 +6,7 @@ use rand::Rng;
 use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
-use crate::{NodeId, Reception, SinrChannel, SinrParams};
+use crate::{GainCache, NodeId, Reception, SinrChannel, SinrParams};
 
 /// A SINR channel in which every successfully decoded message is
 /// additionally **dropped** with a fixed probability, independently per
@@ -96,6 +96,33 @@ impl Channel for LossySinrChannel {
             }
         }
         receptions
+    }
+
+    fn resolve_cached(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        // Reuse the inner SINR cached path; the drop pass afterwards draws
+        // from the rng in the same order as the uncached resolve.
+        let mut receptions = self
+            .inner
+            .resolve_cached(positions, transmitters, listeners, cache, rng);
+        if self.drop_prob > 0.0 {
+            for r in &mut receptions {
+                if r.is_message() && rng.gen_bool(self.drop_prob) {
+                    *r = Reception::Silence;
+                }
+            }
+        }
+        receptions
+    }
+
+    fn build_gain_cache(&self, positions: &[Point]) -> Option<GainCache> {
+        self.inner.build_gain_cache(positions)
     }
 
     fn name(&self) -> &'static str {

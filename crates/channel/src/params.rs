@@ -216,28 +216,28 @@ impl SinrParamsBuilder {
     /// Returns [`ChannelError::InvalidParameter`] if any constraint is
     /// violated (`P > 0`, `α > 2`, `β ≥ 1`, `N ≥ 0`, all finite).
     pub fn build(&self) -> Result<SinrParams, ChannelError> {
-        if !(self.power > 0.0) || !self.power.is_finite() {
+        if !self.power.is_finite() || self.power <= 0.0 {
             return Err(ChannelError::InvalidParameter {
                 name: "power",
                 reason: "must be strictly positive and finite",
                 value: self.power,
             });
         }
-        if !(self.alpha > 2.0) || !self.alpha.is_finite() {
+        if !self.alpha.is_finite() || self.alpha <= 2.0 {
             return Err(ChannelError::InvalidParameter {
                 name: "alpha",
                 reason: "the fading model requires alpha > 2",
                 value: self.alpha,
             });
         }
-        if !(self.beta >= 1.0) || !self.beta.is_finite() {
+        if !self.beta.is_finite() || self.beta < 1.0 {
             return Err(ChannelError::InvalidParameter {
                 name: "beta",
                 reason: "must be at least 1",
                 value: self.beta,
             });
         }
-        if !(self.noise >= 0.0) || !self.noise.is_finite() {
+        if !self.noise.is_finite() || self.noise < 0.0 {
             return Err(ChannelError::InvalidParameter {
                 name: "noise",
                 reason: "must be non-negative and finite",

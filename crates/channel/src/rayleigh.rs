@@ -7,7 +7,7 @@ use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
 use crate::sinr::pow_alpha;
-use crate::{NodeId, Reception, SinrParams};
+use crate::{GainCache, NodeId, Reception, SinrParams};
 
 /// A SINR channel with Rayleigh fading: every transmitter–listener power
 /// gain is multiplied by an independent `Exp(1)` coefficient, redrawn each
@@ -84,8 +84,12 @@ impl Channel for RayleighSinrChannel {
             let mut best_tx: Option<NodeId> = None;
             for &u in transmitters {
                 debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
-                let gain = exp1(rng);
-                let sig = gain * p / pow_alpha(positions[u].distance_sq(vp), alpha);
+                let fade = exp1(rng);
+                // Grouped as fade × (P/d^α) — the deterministic factor is
+                // exactly what GainCache stores, so the cached path below
+                // is bit-identical.
+                let det = p / pow_alpha(positions[u].distance_sq(vp), alpha);
+                let sig = fade * det;
                 total += sig;
                 if sig > best_sig {
                     best_sig = sig;
@@ -101,6 +105,54 @@ impl Channel for RayleighSinrChannel {
             out.push(reception);
         }
         out
+    }
+
+    fn resolve_cached(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        let cache = match cache {
+            Some(c) if c.matches(positions, &self.params) => c,
+            _ => return self.resolve(positions, transmitters, listeners, rng),
+        };
+        let beta = self.params.beta();
+        let noise = self.params.noise();
+        let mut out = Vec::with_capacity(listeners.len());
+        for &v in listeners {
+            // One fade per (listener, transmitter) in the same order as
+            // the uncached loop, so the rng stream is consumed
+            // identically and the result is bit-identical.
+            let row = cache.row(v);
+            let mut total = 0.0;
+            let mut best_sig = 0.0;
+            let mut best_tx: Option<NodeId> = None;
+            for &u in transmitters {
+                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
+                let fade = exp1(rng);
+                let sig = fade * row[u];
+                total += sig;
+                if sig > best_sig {
+                    best_sig = sig;
+                    best_tx = Some(u);
+                }
+            }
+            let reception = match best_tx {
+                Some(u) if best_sig >= beta * (noise + (total - best_sig)) => {
+                    Reception::Message { from: u }
+                }
+                _ => Reception::Silence,
+            };
+            out.push(reception);
+        }
+        out
+    }
+
+    fn build_gain_cache(&self, positions: &[Point]) -> Option<GainCache> {
+        GainCache::build(positions, &self.params)
     }
 
     fn name(&self) -> &'static str {

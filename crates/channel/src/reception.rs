@@ -12,9 +12,10 @@ use crate::NodeId;
 /// receiver can distinguish "two or more transmitters" from "none".
 ///
 /// [`RadioCdChannel`]: crate::RadioCdChannel
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Reception {
     /// Nothing decodable was heard, and (on CD channels) no energy detected.
+    #[default]
     Silence,
     /// A message from node `from` was successfully decoded.
     Message {
@@ -39,12 +40,6 @@ impl Reception {
             Reception::Message { from } => Some(*from),
             _ => None,
         }
-    }
-}
-
-impl Default for Reception {
-    fn default() -> Self {
-        Reception::Silence
     }
 }
 

@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
-use crate::{NodeId, Reception, SinrParams};
+use crate::{GainCache, NodeId, Reception, SinrParams};
 
 /// Computes `d^alpha` given the *squared* distance `d_sq = d²`.
 ///
@@ -156,6 +156,53 @@ impl Channel for SinrChannel {
             out.push(reception);
         }
         out
+    }
+
+    fn resolve_cached(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        let cache = match cache {
+            Some(c) if c.matches(positions, &self.params) => c,
+            _ => return self.resolve(positions, transmitters, listeners, rng),
+        };
+        let beta = self.params.beta();
+        let noise = self.params.noise();
+        let mut out = Vec::with_capacity(listeners.len());
+        for &v in listeners {
+            // Same accumulation order and expression grouping as the
+            // uncached loop, with the gain read from the cache row —
+            // keeps the result bit-identical to `resolve`.
+            let row = cache.row(v);
+            let mut total = 0.0;
+            let mut best_sig = 0.0;
+            let mut best_tx: Option<NodeId> = None;
+            for &u in transmitters {
+                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
+                let sig = row[u];
+                total += sig;
+                if sig > best_sig {
+                    best_sig = sig;
+                    best_tx = Some(u);
+                }
+            }
+            let reception = match best_tx {
+                Some(u) if best_sig >= beta * (noise + (total - best_sig)) => {
+                    Reception::Message { from: u }
+                }
+                _ => Reception::Silence,
+            };
+            out.push(reception);
+        }
+        out
+    }
+
+    fn build_gain_cache(&self, positions: &[Point]) -> Option<GainCache> {
+        GainCache::build(positions, &self.params)
     }
 
     fn name(&self) -> &'static str {

@@ -146,3 +146,30 @@ proptest! {
         prop_assert!(decodable <= 1, "{decodable} senders decodable at once");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The `pow_alpha` fast paths (α ∈ {2, 3, 4, 6}) agree with the
+    /// generic `powf` path to 1e-9 relative error across the full dynamic
+    /// range of squared distances the simulator can produce.
+    #[test]
+    fn pow_alpha_fast_paths_match_generic_powf(
+        // Sample d² log-uniformly over (0, 1e12) so tiny and huge
+        // distances are exercised equally.
+        exponent in -30.0..12.0f64,
+        mantissa in 1.0..10.0f64,
+    ) {
+        use fading_channel::pow_alpha;
+        let d_sq = mantissa * 10f64.powf(exponent);
+        prop_assert!(d_sq > 0.0 && d_sq < 1e13);
+        for &alpha in &[2.0f64, 3.0, 4.0, 6.0] {
+            let fast = pow_alpha(d_sq, alpha);
+            let generic = d_sq.powf(alpha * 0.5);
+            prop_assert!(
+                (fast - generic).abs() <= 1e-9 * generic.abs(),
+                "alpha={} d_sq={} fast={} generic={}", alpha, d_sq, fast, generic
+            );
+        }
+    }
+}

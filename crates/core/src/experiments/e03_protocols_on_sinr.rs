@@ -5,6 +5,9 @@ use crate::table::fmt_f64;
 use crate::Table;
 use fading_protocols::ProtocolKind;
 
+/// A protocol family: display name plus a per-`n` kind constructor.
+type ProtocolFamily = (&'static str, Box<dyn Fn(usize) -> ProtocolKind + Sync>);
+
 /// E3: every contention-resolution protocol on the *same* fading channel,
 /// across `n`.
 ///
@@ -27,7 +30,7 @@ pub fn e03_protocols_on_sinr(cfg: &ExperimentConfig) -> Table {
         "fkn+js15",
     ]);
 
-    let protocols: Vec<(&str, Box<dyn Fn(usize) -> ProtocolKind + Sync>)> = vec![
+    let protocols: Vec<ProtocolFamily> = vec![
         ("fkn", Box::new(|_n| ProtocolKind::fkn_default())),
         ("aloha", Box::new(|n| ProtocolKind::Aloha { n })),
         ("decay-classic", Box::new(|_n| ProtocolKind::DecayClassic)),

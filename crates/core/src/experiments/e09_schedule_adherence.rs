@@ -29,7 +29,7 @@ pub fn e09_schedule_adherence(cfg: &ExperimentConfig) -> Table {
         "rounds/step",
     ]);
 
-    let trials = cfg.trials.min(20).max(2);
+    let trials = cfg.trials.clamp(2, 20);
     for (block, &n) in cfg.n_sweep().iter().enumerate() {
         let mut coverages = Vec::new();
         let mut completions = Vec::new();

@@ -268,7 +268,7 @@ mod tests {
     #[test]
     fn fmt_f64_precision_tiers() {
         assert_eq!(fmt_f64(0.0), "0");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(3.24159), "3.24");
         assert_eq!(fmt_f64(42.123), "42.1");
         assert_eq!(fmt_f64(12345.6), "12346");
     }

@@ -40,7 +40,7 @@ pub fn uniform_square(n: usize, side: f64, seed: u64) -> Result<Deployment, Geom
             reason: "need at least 2 nodes",
         });
     }
-    if !(side > 0.0) {
+    if side.is_nan() || side <= 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "side",
             reason: "must be strictly positive",
@@ -66,7 +66,7 @@ pub fn uniform_disk(n: usize, radius: f64, seed: u64) -> Result<Deployment, Geom
             reason: "need at least 2 nodes",
         });
     }
-    if !(radius > 0.0) {
+    if radius.is_nan() || radius <= 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "radius",
             reason: "must be strictly positive",
@@ -93,7 +93,7 @@ pub fn uniform_disk(n: usize, radius: f64, seed: u64) -> Result<Deployment, Geom
 ///
 /// Returns [`GeomError::InvalidParameter`] if `n < 2` or `density <= 0`.
 pub fn uniform_density(n: usize, density: f64, seed: u64) -> Result<Deployment, GeomError> {
-    if !(density > 0.0) {
+    if density.is_nan() || density <= 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "density",
             reason: "must be strictly positive",
@@ -127,7 +127,7 @@ pub fn grid_lattice(
             reason: "need at least 2 lattice points",
         });
     }
-    if !(spacing > 0.0) {
+    if spacing.is_nan() || spacing <= 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "spacing",
             reason: "must be strictly positive",
@@ -176,7 +176,7 @@ pub fn clustered(
             reason: "need at least 2 nodes in total",
         });
     }
-    if !(sigma > 0.0) || !(span > 0.0) {
+    if sigma.is_nan() || sigma <= 0.0 || span.is_nan() || span <= 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "sigma/span",
             reason: "must be strictly positive",
@@ -266,7 +266,7 @@ pub fn geometric_line(n: usize, ratio: f64) -> Result<Deployment, GeomError> {
             reason: "need at least 2 nodes",
         });
     }
-    if !(ratio >= (n - 1) as f64) {
+    if ratio.is_nan() || ratio < (n - 1) as f64 {
         return Err(GeomError::InvalidParameter {
             name: "ratio",
             reason: "must be at least n - 1 for unit minimum gap",
@@ -368,7 +368,7 @@ pub fn geometric_pairs(class_sizes: &[usize], seed: u64) -> Result<Deployment, G
 ///
 /// Returns [`GeomError::InvalidParameter`] if `d <= 0` or non-finite.
 pub fn two_nodes(d: f64) -> Result<Deployment, GeomError> {
-    if !(d > 0.0) || !d.is_finite() {
+    if !d.is_finite() || d <= 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "d",
             reason: "must be strictly positive and finite",
@@ -392,7 +392,7 @@ pub fn ring(n: usize, radius: f64) -> Result<Deployment, GeomError> {
             reason: "need at least 2 nodes",
         });
     }
-    if !(radius > 0.0) {
+    if radius.is_nan() || radius <= 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "radius",
             reason: "must be strictly positive",
@@ -602,13 +602,13 @@ pub fn halton(n: usize, side: f64, jitter: f64, seed: u64) -> Result<Deployment,
             reason: "need at least 2 nodes",
         });
     }
-    if !(side > 0.0) {
+    if side.is_nan() || side <= 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "side",
             reason: "must be strictly positive",
         });
     }
-    if !(jitter >= 0.0) {
+    if jitter.is_nan() || jitter < 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "jitter",
             reason: "must be non-negative",
@@ -658,13 +658,13 @@ pub fn halton(n: usize, side: f64, jitter: f64, seed: u64) -> Result<Deployment,
 /// Returns [`GeomError::InvalidParameter`] if `side <= 0` or
 /// `min_dist <= 0`, or if fewer than 2 points fit.
 pub fn poisson_disk(side: f64, min_dist: f64, seed: u64) -> Result<Deployment, GeomError> {
-    if !(side > 0.0) {
+    if side.is_nan() || side <= 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "side",
             reason: "must be strictly positive",
         });
     }
-    if !(min_dist > 0.0) {
+    if min_dist.is_nan() || min_dist <= 0.0 {
         return Err(GeomError::InvalidParameter {
             name: "min_dist",
             reason: "must be strictly positive",

@@ -70,4 +70,4 @@ pub use rng::{channel_rng, node_rng, split_mix64};
 pub use simulation::{Simulation, StepOutcome};
 
 // Re-export the vocabulary types callers always need alongside the simulator.
-pub use fading_channel::{Channel, NodeId, Reception};
+pub use fading_channel::{ActiveInterference, Channel, GainCache, NodeId, Reception};

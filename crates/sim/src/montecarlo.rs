@@ -3,7 +3,7 @@
 //! The paper's guarantees are "with high probability"; empirically that
 //! means running many independent seeded trials and summarizing the
 //! distribution of rounds-to-resolution. Trials are embarrassingly
-//! parallel: [`run_trials`] fans seeds out over a crossbeam thread scope
+//! parallel: [`run_trials`] fans seeds out over a `std::thread::scope`
 //! while keeping results in seed order, so parallel and serial execution
 //! produce byte-identical output.
 
@@ -60,9 +60,9 @@ where
     let threads = threads.max(1).min(trials.max(1));
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; trials]);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= trials {
                     break;
@@ -71,8 +71,7 @@ where
                 results.lock().expect("no panics hold the lock")[i] = Some(result);
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     results
         .into_inner()
         .expect("scope joined all workers")
@@ -252,6 +251,79 @@ mod tests {
         assert_eq!(s.std_rounds, 0.0);
         assert_eq!(s.median_rounds, 7.0);
         assert_eq!(s.p95_rounds, 7.0);
+    }
+
+    fn result_with_transmissions(rounds: Option<u64>, transmissions: u64) -> RunResult {
+        RunResult::new(
+            rounds,
+            rounds.unwrap_or(100),
+            8,
+            1,
+            None,
+            transmissions,
+            Trace::default(),
+        )
+    }
+
+    #[test]
+    fn all_unresolved_batch_has_zero_success_but_counts_trials() {
+        let results: Vec<RunResult> = (0..4).map(|_| result_with_rounds(None)).collect();
+        let s = Summary::from_results(&results);
+        assert_eq!(s.trials, 4);
+        assert_eq!(s.success_rate, 0.0);
+        // No resolved trials: every round statistic is the zero sentinel.
+        assert_eq!(s.mean_rounds, 0.0);
+        assert_eq!(s.std_rounds, 0.0);
+        assert_eq!(s.min_rounds, 0);
+        assert_eq!(s.median_rounds, 0.0);
+        assert_eq!(s.p95_rounds, 0.0);
+        assert_eq!(s.max_rounds, 0);
+    }
+
+    #[test]
+    fn all_unresolved_batch_still_averages_transmissions() {
+        // Energy is spent whether or not the run resolves, so
+        // mean_transmissions covers *all* trials — including a batch with
+        // zero successes.
+        let results = vec![
+            result_with_transmissions(None, 10),
+            result_with_transmissions(None, 30),
+        ];
+        let s = Summary::from_results(&results);
+        assert_eq!(s.success_rate, 0.0);
+        assert!((s.mean_transmissions - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p95_on_two_element_slice_interpolates() {
+        // pos = 0.95 · (2 − 1): 5% of the low value, 95% of the high one.
+        assert!((percentile(&[10, 20], 95.0) - 19.5).abs() < 1e-12);
+        let s = Summary::from_rounds(&[10, 20], 2);
+        assert!((s.p95_rounds - 19.5).abs() < 1e-12);
+        assert!((s.median_rounds - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_transmissions_over_mixed_resolved_and_unresolved() {
+        // Round statistics come from resolved trials only;
+        // mean_transmissions averages over the whole batch.
+        let results = vec![
+            result_with_transmissions(Some(5), 12),
+            result_with_transmissions(None, 40),
+            result_with_transmissions(Some(7), 8),
+        ];
+        let s = Summary::from_results(&results);
+        assert_eq!(s.trials, 3);
+        assert!((s.success_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_rounds - 6.0).abs() < 1e-12);
+        assert!((s.mean_transmissions - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_rounds_leaves_transmissions_zero() {
+        let s = Summary::from_rounds(&[3, 4, 5], 3);
+        assert_eq!(s.mean_transmissions, 0.0);
+        assert_eq!(s.success_rate, 1.0);
     }
 
     #[test]

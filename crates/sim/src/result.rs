@@ -64,7 +64,7 @@ impl Trace {
 /// The outcome of [`Simulation::run_until_resolved`].
 ///
 /// [`Simulation::run_until_resolved`]: crate::Simulation::run_until_resolved
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
     resolved_at: Option<u64>,
     rounds_executed: u64,

@@ -2,7 +2,7 @@
 
 use rand::rngs::SmallRng;
 
-use fading_channel::{Channel, NodeId};
+use fading_channel::{ActiveInterference, Channel, GainCache, NodeId};
 use fading_geom::{Deployment, Point};
 
 use crate::result::{RoundRecord, RunResult, Trace, TraceLevel};
@@ -51,6 +51,12 @@ pub struct Simulation {
     winner: Option<NodeId>,
     trace_level: TraceLevel,
     trace: Trace,
+    // Precomputed pairwise gains (None when the channel has no
+    // deterministic gains or the deployment exceeds the size guard), and
+    // the incremental interference totals maintained on top of them.
+    gain_cache: Option<GainCache>,
+    cache_enabled: bool,
+    active_interference: Option<ActiveInterference>,
     // Scratch buffers reused across rounds.
     transmitters: Vec<NodeId>,
     listeners: Vec<NodeId>,
@@ -74,8 +80,18 @@ impl Simulation {
         let node_rngs: Vec<SmallRng> = (0..n).map(|i| node_rng(seed, i)).collect();
         let active: Vec<bool> = protocols.iter().map(|p| p.is_active()).collect();
         let num_active = active.iter().filter(|&&a| a).count();
+        let positions = deployment.points().to_vec();
+        let gain_cache = channel.build_gain_cache(&positions);
+        let mut active_interference = gain_cache.as_ref().map(ActiveInterference::new);
+        if let (Some(engine), Some(cache)) = (&mut active_interference, &gain_cache) {
+            for (i, &is_active) in active.iter().enumerate() {
+                if !is_active {
+                    engine.deactivate(cache, i);
+                }
+            }
+        }
         Simulation {
-            positions: deployment.points().to_vec(),
+            positions,
             channel,
             protocols,
             node_rngs,
@@ -88,9 +104,47 @@ impl Simulation {
             winner: None,
             trace_level: TraceLevel::None,
             trace: Trace::default(),
+            gain_cache,
+            cache_enabled: true,
+            active_interference,
             transmitters: Vec::new(),
             listeners: Vec::new(),
         }
+    }
+
+    /// Enables or disables the gain cache for subsequent rounds.
+    ///
+    /// The cache is on by default whenever the channel built one. Because
+    /// cached resolution is bit-identical to uncached, toggling this never
+    /// changes a run's outcome — only its speed. Exposed so equivalence
+    /// and determinism tests can compare both paths.
+    pub fn set_gain_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+    }
+
+    /// Whether rounds currently resolve through a gain cache (a cache
+    /// exists **and** caching is enabled).
+    #[must_use]
+    pub fn gain_cache_active(&self) -> bool {
+        self.cache_enabled && self.gain_cache.is_some()
+    }
+
+    /// The precomputed gain cache, when the channel built one.
+    #[must_use]
+    pub fn gain_cache(&self) -> Option<&GainCache> {
+        self.gain_cache.as_ref()
+    }
+
+    /// The running total interference at node `v` from all still-active
+    /// nodes (`Σ_{w active, w ≠ v} P / d(w,v)^α`), maintained
+    /// incrementally as nodes knock out. `None` when no gain cache exists
+    /// or `v` is out of range.
+    #[must_use]
+    pub fn active_interference_at(&self, v: NodeId) -> Option<f64> {
+        if v >= self.positions.len() {
+            return None;
+        }
+        self.active_interference.as_ref().map(|ai| ai.total_at(v))
     }
 
     /// Selects how much per-round detail to record. Call before stepping.
@@ -178,11 +232,19 @@ impl Simulation {
 
         self.total_transmissions += self.transmitters.len() as u64;
 
-        // Phase 2: the channel decides what listeners observe.
-        let receptions = self.channel.resolve(
+        // Phase 2: the channel decides what listeners observe. The cached
+        // path is bit-identical to the uncached one, so which branch runs
+        // never affects the outcome.
+        let cache = if self.cache_enabled {
+            self.gain_cache.as_ref()
+        } else {
+            None
+        };
+        let receptions = self.channel.resolve_cached(
             &self.positions,
             &self.transmitters,
             &self.listeners,
+            cache,
             &mut self.chan_rng,
         );
         debug_assert_eq!(receptions.len(), self.listeners.len());
@@ -195,6 +257,11 @@ impl Simulation {
                 self.active[v] = false;
                 self.num_active -= 1;
                 knocked_out += 1;
+                if let (Some(engine), Some(cache)) =
+                    (&mut self.active_interference, &self.gain_cache)
+                {
+                    engine.deactivate(cache, v);
+                }
             }
         }
 
@@ -417,9 +484,7 @@ mod tests {
     fn trace_levels_record_expected_detail() {
         let deployment = line_deployment(6);
         let channel = RadioChannel::new();
-        let mut sim = Simulation::new(deployment, Box::new(channel.clone()), 1, |_| {
-            Box::new(AlwaysTx)
-        });
+        let mut sim = Simulation::new(deployment, Box::new(channel), 1, |_| Box::new(AlwaysTx));
         sim.set_trace_level(TraceLevel::Counts);
         sim.step();
         let deployment2 = line_deployment(6);

@@ -1,0 +1,181 @@
+//! Determinism harness: the gain cache must be invisible to results.
+//!
+//! [`montecarlo::run_trials`] batches over seeded simulations; this suite
+//! asserts the batch output is **byte-identical** (full [`RunResult`]
+//! equality, traces included) regardless of (a) whether the simulation
+//! resolves rounds through the gain cache and (b) how many worker threads
+//! run the batch — the cached-resolve contract and the seed-ordered
+//! fan-out contract, checked end to end.
+
+use fading_channel::{
+    Channel, LossySinrChannel, RayleighSinrChannel, Reception, SinrChannel, SinrParams,
+};
+use fading_geom::Deployment;
+use fading_sim::{montecarlo, Action, Protocol, RunResult, Simulation, TraceLevel};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Transmits with fixed probability; knocked out on any reception.
+#[derive(Debug)]
+struct Knockout {
+    p: f64,
+    active: bool,
+}
+
+impl Protocol for Knockout {
+    fn act(&mut self, _round: u64, rng: &mut SmallRng) -> Action {
+        if rng.gen_bool(self.p) {
+            Action::Transmit
+        } else {
+            Action::Listen
+        }
+    }
+    fn feedback(&mut self, _round: u64, reception: &Reception) {
+        if reception.is_message() {
+            self.active = false;
+        }
+    }
+    fn is_active(&self) -> bool {
+        self.active
+    }
+    fn name(&self) -> &'static str {
+        "test-knockout"
+    }
+}
+
+/// Runs one full trial batch: `trials` seeded runs of a 24-node knockout
+/// protocol on the channel built by `make_channel`, with the gain cache
+/// forced on or off.
+fn run_batch<F>(make_channel: &F, cached: bool, threads: usize, trials: usize) -> Vec<RunResult>
+where
+    F: Fn() -> Box<dyn Channel> + Sync,
+{
+    montecarlo::run_trials(trials, threads, 1000, |seed| {
+        let deployment = Deployment::uniform_square(24, 15.0, seed);
+        let mut sim = Simulation::new(deployment, make_channel(), seed, |_| {
+            Box::new(Knockout {
+                p: 0.25,
+                active: true,
+            })
+        });
+        sim.set_gain_cache_enabled(cached);
+        sim.set_trace_level(TraceLevel::Full);
+        sim.run_until_resolved(20_000)
+    })
+}
+
+/// The cross-product check for one channel: cache {on, off} × threads
+/// {1, 8} must all produce the same `Vec<RunResult>`.
+fn assert_cache_and_threads_invariant<F>(make_channel: F)
+where
+    F: Fn() -> Box<dyn Channel> + Sync,
+{
+    let trials = 12;
+    let reference = run_batch(&make_channel, true, 1, trials);
+    assert!(
+        reference.iter().any(|r| r.resolved()),
+        "batch never resolved; the scenario is too hard to be a useful oracle"
+    );
+    for &cached in &[true, false] {
+        for &threads in &[1usize, 8] {
+            let got = run_batch(&make_channel, cached, threads, trials);
+            assert_eq!(
+                got, reference,
+                "results diverged at cached={cached}, threads={threads}"
+            );
+        }
+    }
+}
+
+fn params() -> SinrParams {
+    SinrParams::default_single_hop()
+}
+
+#[test]
+fn sinr_results_invariant_under_cache_and_thread_count() {
+    assert_cache_and_threads_invariant(|| Box::new(SinrChannel::new(params())));
+}
+
+#[test]
+fn rayleigh_results_invariant_under_cache_and_thread_count() {
+    assert_cache_and_threads_invariant(|| Box::new(RayleighSinrChannel::new(params())));
+}
+
+#[test]
+fn lossy_results_invariant_under_cache_and_thread_count() {
+    assert_cache_and_threads_invariant(|| {
+        Box::new(LossySinrChannel::new(params(), 0.2).expect("valid drop_prob"))
+    });
+}
+
+#[test]
+fn simulation_exposes_cache_state() {
+    let deployment = Deployment::uniform_square(16, 10.0, 7);
+    let channel = SinrChannel::new(params());
+    let mut sim = Simulation::new(deployment, Box::new(channel), 7, |_| {
+        Box::new(Knockout {
+            p: 0.25,
+            active: true,
+        })
+    });
+    assert!(sim.gain_cache_active(), "SINR channel should build a cache");
+    assert_eq!(sim.gain_cache().map(|c| c.len()), Some(16));
+    sim.set_gain_cache_enabled(false);
+    assert!(!sim.gain_cache_active());
+    assert!(sim.gain_cache().is_some(), "disabling keeps the cache built");
+}
+
+#[test]
+fn active_interference_shrinks_as_nodes_knock_out() {
+    let deployment = Deployment::uniform_square(24, 15.0, 3);
+    let channel = SinrChannel::new(params());
+    let mut sim = Simulation::new(deployment, Box::new(channel), 17, |_| {
+        Box::new(Knockout {
+            p: 0.25,
+            active: true,
+        })
+    });
+    let initial: Vec<f64> = (0..sim.len())
+        .map(|v| sim.active_interference_at(v).expect("cache exists"))
+        .collect();
+    assert!(initial.iter().all(|&t| t > 0.0));
+
+    let result = sim.run_until_resolved(20_000);
+    assert!(result.resolved());
+    assert!(sim.num_active() < sim.len(), "someone must knock out");
+    for (v, &was) in initial.iter().enumerate() {
+        let now = sim.active_interference_at(v).expect("cache exists");
+        assert!(now <= was, "interference at {v} grew: {now} > {was}");
+    }
+    assert_eq!(sim.active_interference_at(usize::MAX), None);
+}
+
+#[test]
+fn radio_channel_has_no_cache_but_runs_identically() {
+    use fading_channel::RadioChannel;
+    let run = |cached: bool| {
+        let deployment = Deployment::uniform_square(12, 10.0, 5);
+        let mut sim = Simulation::new(deployment, Box::new(RadioChannel::new()), 5, |_| {
+            Box::new(Knockout {
+                p: 0.25,
+                active: true,
+            })
+        });
+        sim.set_gain_cache_enabled(cached);
+        sim.set_trace_level(TraceLevel::Full);
+        sim.run_until_resolved(20_000)
+    };
+    let a = run(true);
+    let b = run(false);
+    assert_eq!(a, b);
+
+    let deployment = Deployment::uniform_square(12, 10.0, 5);
+    let sim = Simulation::new(deployment, Box::new(RadioChannel::new()), 5, |_| {
+        Box::new(Knockout {
+            p: 0.25,
+            active: true,
+        })
+    });
+    assert!(!sim.gain_cache_active());
+    assert_eq!(sim.active_interference_at(0), None);
+}

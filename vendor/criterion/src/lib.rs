@@ -1,0 +1,305 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmarking API subset this workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — as a plain wall-clock harness with no
+//! dependencies.
+//!
+//! Compared to the real crate there is no statistical analysis, HTML
+//! reporting, or outlier rejection: each benchmark warms up for the
+//! configured duration, then measures batches until the measurement window
+//! elapses and reports the mean time per iteration to stdout as
+//!
+//! ```text
+//! bench group/id ... 123.4 ns/iter (n iterations)
+//! ```
+//!
+//! which is sufficient for the relative (cached vs. uncached, model vs.
+//! model) comparisons the workspace records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Harness configuration and entry point (stand-in for `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility; this harness never produces plots.
+    #[must_use]
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(None, &id, self.warm_up, self.measurement, &mut routine);
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for compatibility; this harness sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(
+            Some(&self.name),
+            &id,
+            self.warm_up,
+            self.measurement,
+            &mut routine,
+        );
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_bench(Some(&self.name), &id, self.warm_up, self.measurement, &mut |b| {
+            routine(b, input)
+        });
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    warm_up: Duration,
+    measurement: Duration,
+    routine: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        warm_up,
+        measurement,
+        report: None,
+    };
+    routine(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match bencher.report {
+        Some((per_iter_ns, iters)) => {
+            println!("bench {label} ... {} ({iters} iterations)", format_ns(per_iter_ns));
+        }
+        None => println!("bench {label} ... no measurement (Bencher::iter never called)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Passed to benchmark routines; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    report: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`: warms up, then runs batches until the measurement window
+    /// elapses, recording the mean wall-clock time per iteration.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up, also calibrating a batch size targeting ~1 ms per batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((1e-3 / per_iter) as u64).clamp(1, 1_000_000);
+
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                hint::black_box(f());
+            }
+            total_iters += batch;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        let per_iter_ns = start.elapsed().as_nanos() as f64 / total_iters as f64;
+        self.report = Some((per_iter_ns, total_iters));
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.warm_up_time(Duration::from_millis(10));
+        group.measurement_time(Duration::from_millis(20));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(3.5).to_string(), "3.5");
+    }
+}

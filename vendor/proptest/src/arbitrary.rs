@@ -1,0 +1,22 @@
+//! The `any::<T>()` entry point.
+
+use std::marker::PhantomData;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleStandard};
+
+use crate::strategy::{Any, Strategy};
+
+/// Strategy over the full uniform domain of `T` (primitives only).
+#[must_use]
+pub fn any<T: SampleStandard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: SampleStandard> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        rng.gen::<T>()
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the property-testing API subset this workspace uses —
+//! [`proptest!`], strategies over ranges/tuples/collections, `prop_map`,
+//! `prop_oneof!`, `Just`, `any`, and `prop_assert*` — on top of the vendored
+//! `rand` crate, with no other dependencies.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs via
+//!   the assertion message; cases are deterministic per (test name, case
+//!   index), so failures reproduce exactly by re-running the test.
+//! * **Deterministic by default.** The real proptest derives its seed from
+//!   the OS; this stand-in seeds from the test name, so CI runs are
+//!   reproducible (a `PROPTEST_RNG_SEED` env var perturbs the base seed for
+//!   exploratory fuzzing).
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   returning `Err`, which is equivalent under "no shrinking".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Mirrors the real prelude's `prop` module path (`prop::collection::…`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($argpat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..config.cases {
+                let mut __rng = $crate::test_runner::case_rng(stringify!($name), __case);
+                $(let $argpat = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Skips the current generated case when its precondition does not hold.
+///
+/// Expands to a `continue` of the case loop, so it is only valid directly
+/// inside a `proptest!` test body (not inside a nested loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -1.0..1.0f64) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0u64..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn prop_map_applies(mut doubled in (0u32..100).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            doubled += 2; // exercise `mut` argument patterns
+            prop_assert_eq!(doubled % 2, 0);
+        }
+
+        #[test]
+        fn oneof_covers_all_branches(x in prop_oneof![Just(1u8), Just(2u8), 3u8..5]) {
+            prop_assert!((1..5).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_any(t in (any::<bool>(), any::<u64>(), 0.0..1.0f64)) {
+            let (_b, _u, f) = t;
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..10)
+            .map(|i| s.generate(&mut crate::test_runner::case_rng("det", i)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|i| s.generate(&mut crate::test_runner::case_rng("det", i)))
+            .collect();
+        assert_eq!(a, b);
+        // A different test name yields a different stream.
+        let c: Vec<u64> = (0..10)
+            .map(|i| s.generate(&mut crate::test_runner::case_rng("other", i)))
+            .collect();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,45 @@
+//! Test-run configuration and per-case RNG derivation.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, matching the real proptest's default.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Derives the deterministic RNG for one test case.
+///
+/// The seed mixes an FNV-1a hash of the test name with the case index, so
+/// every test function explores an independent deterministic stream. Set
+/// `PROPTEST_RNG_SEED=<u64>` to perturb the base seed for exploratory runs.
+#[must_use]
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let env_seed = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    SmallRng::seed_from_u64(h ^ env_seed ^ (u64::from(case) << 32))
+}

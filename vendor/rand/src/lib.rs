@@ -1,0 +1,318 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in network-isolated environments where crates.io is
+//! unreachable, so the external `rand` dependency is replaced by this
+//! vendored implementation of exactly the API subset the workspace uses:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, seedable PRNG (xoshiro256++, the
+//!   same algorithm the real `rand 0.8` uses for its 64-bit `SmallRng`).
+//! * [`SeedableRng`] with `seed_from_u64` (SplitMix64 seed expansion, as in
+//!   the real crate).
+//! * [`Rng`] with `gen`, `gen_bool`, and `gen_range` over integer and float
+//!   ranges.
+//!
+//! The generator is deterministic per seed and of standard statistical
+//! quality, but its output stream is **not** bit-compatible with the real
+//! `rand 0.8`: tests must assert distributional properties under fixed
+//! seeds, never exact values of the upstream crate's stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: uniformly distributed raw words.
+pub trait RngCore {
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with uniformly distributed bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator that can be constructed deterministically from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, spreading it over the full
+    /// seed with the SplitMix64 permutation (like the real `rand`).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = split_mix64_next(&mut sm).to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&word[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Advances a SplitMix64 state and returns the next output.
+fn split_mix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types that can be sampled from a generator's raw uniform output (the
+/// stand-in for the real crate's `Standard` distribution).
+pub trait SampleStandard {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleStandard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+/// Range types that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty float range");
+                let u: $t = SampleStandard::sample(rng);
+                let v = self.start + (self.end - self.start) * u;
+                // Guard the half-open upper bound against rounding.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty float range");
+                let u: $t = SampleStandard::sample(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = sample_below(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range: empty integer range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span == 0 {
+                    // Full-width inclusive range: any word is valid.
+                    return rng.next_u64() as $t;
+                }
+                let v = sample_below(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform in `[0, span)` via unbiased rejection sampling (Lemire's method).
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u64 {
+    debug_assert!(span > 0 && span <= u128::from(u64::MAX) + 1);
+    if span == u128::from(u64::MAX) + 1 {
+        return rng.next_u64();
+    }
+    let span = span as u64;
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(span);
+        let low = m as u64;
+        if low >= span || low >= (u64::MAX - span + 1) % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Convenience extension methods over [`RngCore`] (the user-facing trait).
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T` (floats in `[0, 1)`).
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        let u: f64 = self.gen();
+        u < p
+    }
+
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, U>(&mut self, range: U) -> T
+    where
+        U: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a: u64 = SmallRng::seed_from_u64(1).gen();
+        let b: u64 = SmallRng::seed_from_u64(2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f64_samples_lie_in_unit_interval_and_spread() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / f64::from(n);
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn int_range_is_uniform_and_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        let n = 50_000;
+        for _ in 0..n {
+            let v: usize = rng.gen_range(0..10);
+            counts[v] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 0.1).abs() < 0.01, "bucket {i}: {freq}");
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn negative_integer_ranges_work() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn avalanche_between_adjacent_seeds() {
+        // seed_from_u64 must spread adjacent seeds far apart.
+        let a: u64 = SmallRng::seed_from_u64(100).gen();
+        let b: u64 = SmallRng::seed_from_u64(101).gen();
+        let differing = (a ^ b).count_ones();
+        assert!(differing > 8, "adjacent seeds too close: {differing} bits");
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros from the
+//! vendored `serde_derive`, so `#[derive(Serialize, Deserialize)]`
+//! annotations across the workspace compile in network-isolated builds.
+//! See the `serde_derive` stand-in for the rationale.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
