@@ -89,6 +89,84 @@ fn bench_cached_vs_uncached(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fault-injection overhead check at n = 2048: a simulation round with
+/// an **empty** fault plan must track the plain resolve within a few
+/// percent (the acceptance target is < 10%), and the perturbed path with an
+/// active jammer shows the true cost of fault evaluation.
+fn bench_faulted_vs_unfaulted(c: &mut Criterion) {
+    use fading_cr::channel::ChannelPerturbation;
+    use fading_cr::sim::faults::{FaultPlan, Jammer};
+
+    let mut group = c.benchmark_group("faulted_vs_unfaulted_n2048");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(3));
+    let n = 2048usize;
+    let d = Deployment::uniform_density(n, 0.25, 7);
+    let positions = d.points().to_vec();
+    let (tx, rx) = split(n);
+    let params = SinrParams::default_single_hop().with_power_for(&d);
+    let sinr = SinrChannel::new(params);
+    let cache = sinr
+        .build_gain_cache(&positions)
+        .expect("n = 2048 is within the cache guard");
+
+    // Channel layer: the neutral perturbation must cost nothing beyond a
+    // branch; a jamming perturbation adds one add per listener.
+    group.bench_function("resolve-cached", |b| {
+        let mut rng = SmallRng::seed_from_u64(0);
+        b.iter(|| sinr.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng));
+    });
+    group.bench_function("resolve-perturbed-neutral", |b| {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let neutral = ChannelPerturbation::neutral();
+        b.iter(|| sinr.resolve_perturbed(&positions, &tx, &rx, Some(&cache), &neutral, &mut rng));
+    });
+    let jam: Vec<f64> = positions
+        .iter()
+        .map(|&p| sinr.interferer_gain(Point::new(0.0, 0.0), p, params.power() * 16.0))
+        .collect();
+    group.bench_function("resolve-perturbed-jammed", |b| {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let perturbation = ChannelPerturbation::new(2.0, &jam);
+        b.iter(|| {
+            sinr.resolve_perturbed(&positions, &tx, &rx, Some(&cache), &perturbation, &mut rng)
+        });
+    });
+
+    // Simulation layer: a full round with no plan vs. an empty plan vs. an
+    // active jammer — the empty-plan delta is the acceptance number. The
+    // no-knockout protocol keeps all n nodes contending forever, so every
+    // measured step does full-contention work (FKN would resolve within a
+    // few rounds and leave the iteration loop timing near-empty steps).
+    let make_sim = |plan: Option<FaultPlan>| {
+        let d = Deployment::uniform_density(n, 0.25, 7);
+        let params = SinrParams::default_single_hop().with_power_for(&d);
+        let mut sim = Simulation::new(d, Box::new(SinrChannel::new(params)), 1, |id| {
+            fading_cr::protocols::ProtocolKind::FixedProbability { p: 0.25 }.build(id)
+        });
+        if let Some(p) = plan {
+            sim.set_fault_plan(p).expect("plan fits");
+        }
+        sim
+    };
+    group.bench_function("sim-step-no-plan", |b| {
+        let mut sim = make_sim(None);
+        b.iter(|| sim.step());
+    });
+    group.bench_function("sim-step-empty-plan", |b| {
+        let mut sim = make_sim(Some(FaultPlan::new()));
+        b.iter(|| sim.step());
+    });
+    group.bench_function("sim-step-jammed", |b| {
+        let power = SinrParams::default_single_hop().power() * 1e6;
+        let plan = FaultPlan::new()
+            .with_jammer(Jammer::continuous(Point::new(45.0, 45.0), power, 1).expect("valid"));
+        let mut sim = make_sim(Some(plan));
+        b.iter(|| sim.step());
+    });
+    group.finish();
+}
+
 fn bench_pow_alpha(c: &mut Criterion) {
     let mut group = c.benchmark_group("pow_alpha");
     group.warm_up_time(Duration::from_secs(1));
@@ -109,6 +187,6 @@ fn bench_pow_alpha(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().without_plots();
-    targets = bench_channels, bench_cached_vs_uncached, bench_pow_alpha
+    targets = bench_channels, bench_cached_vs_uncached, bench_faulted_vs_unfaulted, bench_pow_alpha
 }
 criterion_main!(benches);

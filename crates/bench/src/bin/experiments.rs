@@ -1,4 +1,4 @@
-//! Regenerates the experiment tables (E1–E12) recorded in `EXPERIMENTS.md`.
+//! Regenerates the experiment tables (E1–E13) recorded in `EXPERIMENTS.md`.
 //!
 //! Usage:
 //!
@@ -6,7 +6,7 @@
 //! experiments [e1 e2 …] [--smoke|--quick|--full] [--out <dir>]
 //! ```
 //!
-//! With no ids, runs all twelve experiments. `--out <dir>` additionally
+//! With no ids, runs all thirteen experiments. `--out <dir>` additionally
 //! writes one CSV per table.
 
 use std::io::Write as _;

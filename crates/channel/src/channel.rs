@@ -4,7 +4,7 @@ use rand::rngs::SmallRng;
 
 use fading_geom::Point;
 
-use crate::{GainCache, NodeId, Reception};
+use crate::{ChannelPerturbation, GainCache, NodeId, Reception};
 
 pub(crate) mod sealed {
     /// Prevents downstream implementations so the trait can evolve.
@@ -60,6 +60,63 @@ pub trait Channel: sealed::Sealed + Send + Sync + std::fmt::Debug {
     ) -> Vec<Reception> {
         let _ = cache;
         self.resolve(positions, transmitters, listeners, rng)
+    }
+
+    /// Like [`Channel::resolve_cached`], additionally applying a per-round
+    /// [`ChannelPerturbation`] (noise scaling and jammer interference from
+    /// a fault plan).
+    ///
+    /// Contract:
+    ///
+    /// * A [neutral](ChannelPerturbation::is_neutral) perturbation **must**
+    ///   produce results bit-identical to [`Channel::resolve_cached`]
+    ///   (and consume the rng identically) — every implementation falls
+    ///   back outright, so an empty fault plan is invisible.
+    /// * SINR-family channels add `extra_at(v)` to listener `v`'s
+    ///   interference sum and multiply the ambient noise by `noise_scale`.
+    /// * Geometry-free channels (the radio models) have no SINR denominator
+    ///   to perturb; this default implementation ignores `noise_scale` and
+    ///   treats any jammed listener (`extra_at(v) > 0`) as blanketed:
+    ///   [`Reception::Collision`] on collision-detection channels (energy
+    ///   with no decodable message), [`Reception::Silence`] otherwise.
+    fn resolve_perturbed(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        let mut out = self.resolve_cached(positions, transmitters, listeners, cache, rng);
+        if perturbation.has_jamming() {
+            let jammed = if self.supports_collision_detection() {
+                Reception::Collision
+            } else {
+                Reception::Silence
+            };
+            for (slot, &v) in out.iter_mut().zip(listeners) {
+                if perturbation.extra_at(v) > 0.0 {
+                    *slot = jammed;
+                }
+            }
+        }
+        out
+    }
+
+    /// The received power at `to` of an external interferer (a jammer)
+    /// transmitting from `from` with power `power`, under this channel's
+    /// propagation model.
+    ///
+    /// SINR-family channels apply their path loss (`power / d^α`);
+    /// geometry-free channels return `power` unchanged (any active jammer
+    /// blankets every listener — the radio models have no notion of
+    /// distance). Used by the simulator to precompute per-node jammer
+    /// gains once per deployment, so jamming rides the same
+    /// precompute-once fast path as the [`GainCache`].
+    fn interferer_gain(&self, from: Point, to: Point, power: f64) -> f64 {
+        let _ = (from, to);
+        power
     }
 
     /// Builds the [`GainCache`] this channel can exploit for `positions`,

@@ -242,6 +242,29 @@ impl ActiveInterference {
         }
     }
 
+    /// Marks `w` active again and adds its gain contribution back to every
+    /// other node's total — the inverse of [`ActiveInterference::deactivate`],
+    /// needed when a fault plan revives a crashed node. Idempotent:
+    /// activating an already-active node is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is out of range or `cache` has a different node count.
+    pub fn activate(&mut self, cache: &GainCache, w: NodeId) {
+        assert_eq!(cache.len(), self.totals.len(), "cache/engine size mismatch");
+        assert!(w < self.totals.len(), "node id out of range");
+        if self.active[w] {
+            return;
+        }
+        self.active[w] = true;
+        self.num_active += 1;
+        for (v, total) in self.totals.iter_mut().enumerate() {
+            if v != w {
+                *total += cache.gain(w, v);
+            }
+        }
+    }
+
     /// The running total interference at `v` from all active nodes other
     /// than `v` itself.
     ///

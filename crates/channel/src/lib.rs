@@ -68,6 +68,7 @@ mod error;
 mod gain_cache;
 mod lossy;
 mod params;
+mod perturbation;
 mod radio;
 mod rayleigh;
 mod reception;
@@ -78,6 +79,7 @@ pub use error::ChannelError;
 pub use gain_cache::{ActiveInterference, GainCache, DEFAULT_MAX_CACHED_NODES};
 pub use lossy::LossySinrChannel;
 pub use params::{SinrParams, SinrParamsBuilder, DEFAULT_SINGLE_HOP_MARGIN};
+pub use perturbation::ChannelPerturbation;
 pub use radio::{RadioCdChannel, RadioChannel};
 pub use rayleigh::RayleighSinrChannel;
 pub use reception::Reception;

@@ -6,7 +6,7 @@ use rand::Rng;
 use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
-use crate::{GainCache, NodeId, Reception, SinrChannel, SinrParams};
+use crate::{ChannelPerturbation, GainCache, NodeId, Reception, SinrChannel, SinrParams};
 
 /// A SINR channel in which every successfully decoded message is
 /// additionally **dropped** with a fixed probability, independently per
@@ -119,6 +119,35 @@ impl Channel for LossySinrChannel {
             }
         }
         receptions
+    }
+
+    fn resolve_perturbed(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        // The perturbation applies to the SINR physics; the i.i.d. drop
+        // pass afterwards draws from the rng in the same order as the
+        // clean resolve paths.
+        let mut receptions = self
+            .inner
+            .resolve_perturbed(positions, transmitters, listeners, cache, perturbation, rng);
+        if self.drop_prob > 0.0 {
+            for r in &mut receptions {
+                if r.is_message() && rng.gen_bool(self.drop_prob) {
+                    *r = Reception::Silence;
+                }
+            }
+        }
+        receptions
+    }
+
+    fn interferer_gain(&self, from: Point, to: Point, power: f64) -> f64 {
+        self.inner.interferer_gain(from, to, power)
     }
 
     fn build_gain_cache(&self, positions: &[Point]) -> Option<GainCache> {

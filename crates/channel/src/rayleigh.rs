@@ -7,7 +7,7 @@ use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
 use crate::sinr::pow_alpha;
-use crate::{GainCache, NodeId, Reception, SinrParams};
+use crate::{ChannelPerturbation, GainCache, NodeId, Reception, SinrParams};
 
 /// A SINR channel with Rayleigh fading: every transmitter–listener power
 /// gain is multiplied by an independent `Exp(1)` coefficient, redrawn each
@@ -149,6 +149,63 @@ impl Channel for RayleighSinrChannel {
             out.push(reception);
         }
         out
+    }
+
+    fn resolve_perturbed(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        if perturbation.is_neutral() {
+            return self.resolve_cached(positions, transmitters, listeners, cache, rng);
+        }
+        let p = self.params.power();
+        let alpha = self.params.alpha();
+        let beta = self.params.beta();
+        let noise = self.params.noise() * perturbation.noise_scale();
+        let cache = cache.filter(|c| c.matches(positions, &self.params));
+        let mut out = Vec::with_capacity(listeners.len());
+        for &v in listeners {
+            // One fade per (listener, transmitter) in the same order as the
+            // clean paths, so the rng stream is consumed identically whether
+            // or not a cache is supplied. Jammer power is deterministic (no
+            // fading on jammer links): the adversary transmits wideband
+            // interference, not a decodable narrowband signal.
+            let row = cache.map(|c| c.row(v));
+            let vp = positions[v];
+            let mut total = 0.0;
+            let mut best_sig = 0.0;
+            let mut best_tx: Option<NodeId> = None;
+            for &u in transmitters {
+                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
+                let fade = exp1(rng);
+                let det = match row {
+                    Some(r) => r[u],
+                    None => p / pow_alpha(positions[u].distance_sq(vp), alpha),
+                };
+                let sig = fade * det;
+                total += sig;
+                if sig > best_sig {
+                    best_sig = sig;
+                    best_tx = Some(u);
+                }
+            }
+            let denom = noise + perturbation.extra_at(v) + (total - best_sig);
+            let reception = match best_tx {
+                Some(u) if best_sig >= beta * denom => Reception::Message { from: u },
+                _ => Reception::Silence,
+            };
+            out.push(reception);
+        }
+        out
+    }
+
+    fn interferer_gain(&self, from: Point, to: Point, power: f64) -> f64 {
+        power / pow_alpha(from.distance_sq(to), self.params.alpha())
     }
 
     fn build_gain_cache(&self, positions: &[Point]) -> Option<GainCache> {

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use fading_channel::SinrParams;
 use fading_geom::Deployment;
 use fading_protocols::ProtocolKind;
+use fading_sim::faults::FaultPlan;
 use fading_sim::montecarlo::{self, Summary};
 use fading_sim::Simulation;
 
@@ -137,6 +138,36 @@ where
         let ch = channel(&d).build();
         let pk = protocol(&d);
         let mut sim = Simulation::new(d, ch, seed, |id| pk.build(id));
+        sim.run_until_resolved(cfg.max_rounds)
+    });
+    Summary::from_results(&results)
+}
+
+/// Like [`measure`], attaching `plan(&d)`'s fault schedule to every trial.
+/// With an empty plan the summary is byte-identical to [`measure`] on the
+/// same arguments (the empty-plan contract of the fault subsystem).
+pub fn measure_with_faults<D, C, P, F>(
+    cfg: &ExperimentConfig,
+    seed_base: u64,
+    deploy: D,
+    channel: C,
+    protocol: P,
+    plan: F,
+) -> Summary
+where
+    D: Fn(u64) -> Deployment + Sync,
+    C: Fn(&Deployment) -> ChannelKind + Sync,
+    P: Fn(&Deployment) -> ProtocolKind + Sync,
+    F: Fn(&Deployment) -> FaultPlan + Sync,
+{
+    let results = montecarlo::run_trials(cfg.trials, cfg.threads, seed_base, |seed| {
+        let d = deploy(seed);
+        let ch = channel(&d).build();
+        let pk = protocol(&d);
+        let fp = plan(&d);
+        let mut sim = Simulation::new(d, ch, seed, |id| pk.build(id));
+        sim.set_fault_plan(fp)
+            .expect("fault plan must fit the trial deployment");
         sim.run_until_resolved(cfg.max_rounds)
     });
     Summary::from_results(&results)

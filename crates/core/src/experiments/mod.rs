@@ -19,6 +19,7 @@
 //! | E10 | §4: the restricted k-hitting game needs `Θ(log k)` |
 //! | E11 | The "with high probability" guarantee, quantified |
 //! | E12 | Ablations: knockout rule, stochastic fading, deployment shape |
+//! | E13 | Robustness degradation under fault injection (jamming, churn, noise, burst loss) |
 //!
 //! Each `eNN` function is deterministic given its [`ExperimentConfig`];
 //! [`run_by_id`] provides a string-keyed registry for the CLI harness.
@@ -46,6 +47,7 @@ mod e09_schedule_adherence;
 mod e10_hitting_game;
 mod e11_high_probability;
 mod e12_ablations;
+mod e13_robustness;
 
 pub use common::ExperimentConfig;
 pub use e01_rounds_vs_n::e01_rounds_vs_n;
@@ -60,12 +62,13 @@ pub use e09_schedule_adherence::e09_schedule_adherence;
 pub use e10_hitting_game::e10_hitting_game;
 pub use e11_high_probability::e11_high_probability;
 pub use e12_ablations::e12_ablations;
+pub use e13_robustness::e13_robustness;
 
 use crate::Table;
 
 /// The experiment ids accepted by [`run_by_id`], in canonical order.
-pub const ALL_IDS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const ALL_IDS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 /// Runs one experiment by id (`"e1"` … `"e12"`, case-insensitive).
@@ -85,6 +88,7 @@ pub fn run_by_id(id: &str, cfg: &ExperimentConfig) -> Option<Table> {
         "e10" => Some(e10_hitting_game(cfg)),
         "e11" => Some(e11_high_probability(cfg)),
         "e12" => Some(e12_ablations(cfg)),
+        "e13" => Some(e13_robustness(cfg)),
         _ => None,
     }
 }

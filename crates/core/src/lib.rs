@@ -94,7 +94,10 @@ pub mod prelude {
         Aloha, CdElection, CyclicSweep, Decay, FixedProbability, Fkn, Interleave,
         JurdzinskiStachowiak, ProtocolKind,
     };
-    pub use fading_sim::{montecarlo, Action, Protocol, RunResult, Simulation, TraceLevel};
+    pub use fading_sim::{
+        faults, montecarlo, Action, FaultPlan, Protocol, RunOutcome, RunResult, SimError,
+        Simulation, TraceLevel,
+    };
 }
 
 pub use prelude::*;

@@ -6,6 +6,7 @@ use std::fmt;
 use fading_channel::ChannelError;
 use fading_geom::Deployment;
 use fading_protocols::ProtocolKind;
+use fading_sim::faults::{FaultError, FaultPlan};
 use fading_sim::{montecarlo, RunResult, Simulation, TraceLevel};
 
 use crate::ChannelKind;
@@ -23,6 +24,9 @@ pub enum ScenarioError {
     /// The deployment violates the paper's single-hop admissibility
     /// condition under the chosen SINR parameters.
     NotSingleHop(ChannelError),
+    /// The fault plan does not fit the deployment (e.g. a churn event
+    /// names a node outside it).
+    InvalidFaultPlan(FaultError),
 }
 
 impl fmt::Display for ScenarioError {
@@ -32,6 +36,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::MissingChannel => write!(f, "scenario needs a channel"),
             ScenarioError::MissingProtocol => write!(f, "scenario needs a protocol"),
             ScenarioError::NotSingleHop(e) => write!(f, "deployment is not single-hop: {e}"),
+            ScenarioError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -40,6 +45,7 @@ impl Error for ScenarioError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ScenarioError::NotSingleHop(e) => Some(e),
+            ScenarioError::InvalidFaultPlan(e) => Some(e),
             _ => None,
         }
     }
@@ -62,6 +68,7 @@ pub struct Scenario {
     protocol: ProtocolKind,
     seed: u64,
     trace_level: TraceLevel,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -95,6 +102,13 @@ impl Scenario {
         self.seed
     }
 
+    /// The fault plan attached to every simulation built from this
+    /// scenario, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
     /// Builds a fresh simulation (cheap; positions are copied once).
     #[must_use]
     pub fn simulation(&self) -> Simulation {
@@ -112,6 +126,10 @@ impl Scenario {
             seed,
             move |id| protocol.build(id),
         );
+        if let Some(plan) = &self.fault_plan {
+            sim.set_fault_plan(plan.clone())
+                .expect("plan validated at scenario build time");
+        }
         sim.set_trace_level(self.trace_level);
         sim
     }
@@ -141,6 +159,7 @@ pub struct ScenarioBuilder {
     protocol: Option<ProtocolKind>,
     seed: u64,
     trace_level: TraceLevel,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ScenarioBuilder {
@@ -192,6 +211,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a fault plan (jammers, noise bursts, churn, burst loss) to
+    /// every simulation built from the scenario. Validated against the
+    /// deployment at [`ScenarioBuilder::build`] time.
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Validates and produces the scenario.
     ///
     /// # Errors
@@ -200,6 +227,8 @@ impl ScenarioBuilder {
     ///   [`ScenarioError::MissingProtocol`] if a component is unset.
     /// * [`ScenarioError::NotSingleHop`] if a SINR-family channel's power is
     ///   insufficient for the deployment's longest link.
+    /// * [`ScenarioError::InvalidFaultPlan`] if an attached fault plan does
+    ///   not fit the deployment.
     pub fn build(&self) -> Result<Scenario, ScenarioError> {
         let deployment = self
             .deployment
@@ -212,12 +241,17 @@ impl ScenarioBuilder {
                 .admits_single_hop(&deployment)
                 .map_err(ScenarioError::NotSingleHop)?;
         }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate_for(deployment.len())
+                .map_err(ScenarioError::InvalidFaultPlan)?;
+        }
         Ok(Scenario {
             deployment,
             channel,
             protocol,
             seed: self.seed,
             trace_level: self.trace_level,
+            fault_plan: self.fault_plan.clone(),
         })
     }
 }
@@ -311,5 +345,43 @@ mod tests {
         let nested = weak.admits_single_hop(&small_deployment()).unwrap_err();
         let e = ScenarioError::NotSingleHop(nested);
         assert!(e.source().is_some());
+        let e = ScenarioError::InvalidFaultPlan(FaultError::RoundZero);
+        assert!(e.to_string().contains("fault plan"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn fault_plan_is_validated_against_the_deployment() {
+        use fading_sim::faults::ChurnEvent;
+        let plan = FaultPlan::new().with_churn(ChurnEvent::crash(2, 99).unwrap());
+        let err = Scenario::builder()
+            .deployment(small_deployment()) // 16 nodes — node 99 is out of range
+            .sinr(SinrParams::default_single_hop())
+            .protocol(ProtocolKind::fkn_default())
+            .fault_plan(plan)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::InvalidFaultPlan(FaultError::NodeOutOfRange { node: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn fault_plan_propagates_to_simulations() {
+        use fading_sim::faults::ChurnEvent;
+        let plan = FaultPlan::new().with_churn(ChurnEvent::crash(1, 3).unwrap());
+        let s = Scenario::builder()
+            .deployment(small_deployment())
+            .sinr(SinrParams::default_single_hop())
+            .protocol(ProtocolKind::fkn_default())
+            .fault_plan(plan.clone())
+            .build()
+            .unwrap();
+        assert_eq!(s.fault_plan(), Some(&plan));
+        let mut sim = s.simulation();
+        assert_eq!(sim.fault_plan(), Some(&plan));
+        sim.step();
+        assert!(!sim.is_active(3), "scheduled crash must fire in round 1");
     }
 }

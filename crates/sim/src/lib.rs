@@ -16,9 +16,13 @@
 //!   instance per node; steps rounds until resolution.
 //! * [`RunResult`] / [`Trace`] — what happened, at selectable detail.
 //! * [`montecarlo`] — seeded parallel trial running and summaries.
+//! * [`faults`] — deterministic adversarial fault injection (jammers,
+//!   noise bursts, churn, Gilbert–Elliott burst loss), attached to a run
+//!   via [`Simulation::set_fault_plan`].
 //!
 //! Everything is deterministic given the master seed: node RNGs are derived
-//! by SplitMix64 from `(seed, node id)` and the channel RNG from `seed`.
+//! by SplitMix64 from `(seed, node id)`, the channel RNG from `seed`, and
+//! fault injection from its own `seed` lane.
 //!
 //! # Example
 //!
@@ -57,6 +61,7 @@
 #![warn(missing_debug_implementations)]
 
 mod action;
+pub mod faults;
 pub mod montecarlo;
 mod protocol;
 mod result;
@@ -64,10 +69,11 @@ mod rng;
 mod simulation;
 
 pub use action::Action;
+pub use faults::{FaultError, FaultPlan};
 pub use protocol::Protocol;
-pub use result::{RoundRecord, RunResult, Trace, TraceLevel};
-pub use rng::{channel_rng, node_rng, split_mix64};
-pub use simulation::{Simulation, StepOutcome};
+pub use result::{RoundRecord, RunOutcome, RunResult, Trace, TraceLevel};
+pub use rng::{channel_rng, fault_rng, node_rng, split_mix64};
+pub use simulation::{SimError, Simulation, StepOutcome};
 
 // Re-export the vocabulary types callers always need alongside the simulator.
 pub use fading_channel::{ActiveInterference, Channel, GainCache, NodeId, Reception};

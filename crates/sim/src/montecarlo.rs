@@ -8,7 +8,7 @@
 //! produce byte-identical output.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -68,15 +68,26 @@ where
                     break;
                 }
                 let result = f(seed_base + i as u64);
-                results.lock().expect("no panics hold the lock")[i] = Some(result);
+                // A worker that panicked inside `f` poisons the lock while
+                // never writing its slot; recover the guard so the other
+                // workers' completed trials aren't thrown away with it
+                // (the scope still propagates the panic itself).
+                results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)[i] = Some(result);
             });
         }
     });
+    // `thread::scope` has already joined every worker (re-raising any
+    // panic), so at this point each slot was written exactly once.
     results
         .into_inner()
-        .expect("scope joined all workers")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
-        .map(|r| r.expect("every index was filled"))
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| panic!("trial {i} finished without storing a result"))
+        })
         .collect()
 }
 

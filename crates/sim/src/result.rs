@@ -61,6 +61,33 @@ impl Trace {
     }
 }
 
+/// How a run ended, as an explicit enum (every run falls into exactly one
+/// case — there is no silent third state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// Some round had exactly one active transmitter.
+    Resolved {
+        /// The 1-based resolving round.
+        round: u64,
+        /// The solo transmitter, when known (always `Some` for results
+        /// produced by a simulation run).
+        winner: Option<NodeId>,
+    },
+    /// The round budget ran out before any round resolved.
+    RoundCapExhausted {
+        /// Rounds actually executed (the budget).
+        rounds_executed: u64,
+    },
+}
+
+impl RunOutcome {
+    /// `true` iff contention was resolved.
+    #[must_use]
+    pub fn is_resolved(&self) -> bool {
+        matches!(self, RunOutcome::Resolved { .. })
+    }
+}
+
 /// The outcome of [`Simulation::run_until_resolved`].
 ///
 /// [`Simulation::run_until_resolved`]: crate::Simulation::run_until_resolved
@@ -147,6 +174,22 @@ impl RunResult {
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
+
+    /// The run's ending as an explicit [`RunOutcome`]: either it resolved
+    /// in a specific round, or it exhausted its round cap. Useful where a
+    /// bare `Option<u64>` would be ambiguous about *why* there is no round.
+    #[must_use]
+    pub fn outcome(&self) -> RunOutcome {
+        match self.resolved_at {
+            Some(round) => RunOutcome::Resolved {
+                round,
+                winner: self.winner,
+            },
+            None => RunOutcome::RoundCapExhausted {
+                rounds_executed: self.rounds_executed,
+            },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +231,22 @@ mod tests {
     #[test]
     fn trace_level_default_is_none() {
         assert_eq!(TraceLevel::default(), TraceLevel::None);
+    }
+
+    #[test]
+    fn outcome_distinguishes_resolution_from_cap_exhaustion() {
+        let resolved = RunResult::new(Some(5), 5, 4, 2, Some(3), 9, Trace::default());
+        assert_eq!(
+            resolved.outcome(),
+            RunOutcome::Resolved { round: 5, winner: Some(3) }
+        );
+        assert!(resolved.outcome().is_resolved());
+
+        let capped = RunResult::new(None, 100, 10, 7, None, 0, Trace::default());
+        assert_eq!(
+            capped.outcome(),
+            RunOutcome::RoundCapExhausted { rounds_executed: 100 }
+        );
+        assert!(!capped.outcome().is_resolved());
     }
 }

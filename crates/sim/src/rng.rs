@@ -42,6 +42,17 @@ pub fn channel_rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(split_mix64(seed ^ 0xC8A4_4E4C_0000_0001))
 }
 
+/// The fault-injection RNG lane (Gilbert–Elliott state transitions and
+/// burst-loss draws) for master seed `seed`.
+///
+/// Kept separate from [`channel_rng`] so that attaching a fault plan never
+/// perturbs the channel's own random stream: a plan whose loss model is
+/// disabled leaves the trajectory byte-identical to a run with no plan.
+#[must_use]
+pub fn fault_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(split_mix64(seed ^ 0xFA17_1A4E_0000_0002))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +86,20 @@ mod tests {
             let n: u64 = node_rng(7, node).gen();
             assert_ne!(c, n, "channel lane collided with node {node}");
         }
+    }
+
+    #[test]
+    fn fault_lane_is_independent() {
+        let f: u64 = fault_rng(7).gen();
+        let c: u64 = channel_rng(7).gen();
+        assert_ne!(f, c, "fault lane collided with channel lane");
+        for node in 0..64 {
+            let n: u64 = node_rng(7, node).gen();
+            assert_ne!(f, n, "fault lane collided with node {node}");
+        }
+        let a: u64 = fault_rng(1).gen();
+        let b: u64 = fault_rng(2).gen();
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use fading_channel::{
     Channel, LossySinrChannel, RayleighSinrChannel, Reception, SinrChannel, SinrParams,
 };
-use fading_geom::Deployment;
+use fading_geom::{Deployment, Point};
+use fading_sim::faults::{ChurnEvent, FaultPlan, GilbertElliott, Jammer, NoiseBurst};
 use fading_sim::{montecarlo, Action, Protocol, RunResult, Simulation, TraceLevel};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -106,6 +107,108 @@ fn lossy_results_invariant_under_cache_and_thread_count() {
     assert_cache_and_threads_invariant(|| {
         Box::new(LossySinrChannel::new(params(), 0.2).expect("valid drop_prob"))
     });
+}
+
+/// A representative kitchen-sink fault plan: duty-cycled budgeted jamming,
+/// a noise burst, all three churn kinds, and Gilbert–Elliott burst loss.
+fn stress_plan() -> FaultPlan {
+    let power = SinrParams::default_single_hop().power() * 10.0;
+    FaultPlan::new()
+        .with_jammer(Jammer::new(Point::new(7.5, 7.5), power, 2, 6, 3, Some(60)).expect("valid"))
+        .with_jammer(Jammer::continuous(Point::new(1.0, 14.0), power / 4.0, 10).expect("valid"))
+        .with_noise_burst(NoiseBurst::new(5, 15, 4.0).expect("valid"))
+        .with_churn(ChurnEvent::late_wake(4, 3).expect("valid"))
+        .with_churn(ChurnEvent::crash(6, 0).expect("valid"))
+        .with_churn(ChurnEvent::revive(12, 0).expect("valid"))
+        .with_loss(GilbertElliott::new(0.15, 0.3, 0.02, 0.7).expect("valid"))
+}
+
+/// Like [`run_batch`], with the stress fault plan attached to every trial.
+fn run_faulted_batch<F>(make_channel: &F, cached: bool, threads: usize, trials: usize) -> Vec<RunResult>
+where
+    F: Fn() -> Box<dyn Channel> + Sync,
+{
+    montecarlo::run_trials(trials, threads, 1000, |seed| {
+        let deployment = Deployment::uniform_square(24, 15.0, seed);
+        let mut sim = Simulation::new(deployment, make_channel(), seed, |_| {
+            Box::new(Knockout {
+                p: 0.25,
+                active: true,
+            })
+        });
+        sim.set_fault_plan(stress_plan()).expect("plan fits deployment");
+        sim.set_gain_cache_enabled(cached);
+        sim.set_trace_level(TraceLevel::Full);
+        sim.run_until_resolved(20_000)
+    })
+}
+
+/// The cache {on, off} × threads {1, 8} cross-product with fault injection
+/// active: jamming, churn, noise bursts, and burst loss must all preserve
+/// byte-determinism.
+fn assert_faulted_cache_and_threads_invariant<F>(make_channel: F)
+where
+    F: Fn() -> Box<dyn Channel> + Sync,
+{
+    let trials = 12;
+    let reference = run_faulted_batch(&make_channel, true, 1, trials);
+    assert!(
+        reference.iter().any(|r| r.resolved()),
+        "faulted batch never resolved; the scenario is too hard to be a useful oracle"
+    );
+    for &cached in &[true, false] {
+        for &threads in &[1usize, 8] {
+            let got = run_faulted_batch(&make_channel, cached, threads, trials);
+            assert_eq!(
+                got, reference,
+                "faulted results diverged at cached={cached}, threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_sinr_results_invariant_under_cache_and_thread_count() {
+    assert_faulted_cache_and_threads_invariant(|| Box::new(SinrChannel::new(params())));
+}
+
+#[test]
+fn faulted_rayleigh_results_invariant_under_cache_and_thread_count() {
+    assert_faulted_cache_and_threads_invariant(|| Box::new(RayleighSinrChannel::new(params())));
+}
+
+#[test]
+fn faulted_lossy_results_invariant_under_cache_and_thread_count() {
+    assert_faulted_cache_and_threads_invariant(|| {
+        Box::new(LossySinrChannel::new(params(), 0.2).expect("valid drop_prob"))
+    });
+}
+
+#[test]
+fn attaching_a_fault_plan_does_not_disturb_unfaulted_streams() {
+    // A plan with no loss model must leave the channel and node RNG
+    // streams untouched: the empty-plan run and the no-plan run are
+    // byte-identical (the dedicated fault RNG lane is never drawn from).
+    let run = |attach_empty: bool| {
+        let deployment = Deployment::uniform_square(24, 15.0, 3);
+        let mut sim = Simulation::new(
+            deployment,
+            Box::new(RayleighSinrChannel::new(params())),
+            3,
+            |_| {
+                Box::new(Knockout {
+                    p: 0.25,
+                    active: true,
+                })
+            },
+        );
+        if attach_empty {
+            sim.set_fault_plan(FaultPlan::new()).expect("empty plan");
+        }
+        sim.set_trace_level(TraceLevel::Full);
+        sim.run_until_resolved(20_000)
+    };
+    assert_eq!(run(false), run(true));
 }
 
 #[test]
