@@ -9,6 +9,15 @@
 
 use serde::{Deserialize, Serialize};
 
+// The workspace's canonical quantile estimator lives in
+// `fading_sim::montecarlo` (it is what `Summary` uses for medians and
+// p95s); re-exported here so analysis code never grows a second,
+// subtly-different copy. Note `fading_hitting::WinDistribution::quantile`
+// is deliberately *not* this estimator: it computes an upper empirical
+// quantile over a distribution whose failure mass sits at +∞, where
+// interpolation would be meaningless.
+pub use fading_sim::montecarlo::{percentile, percentile_f64};
+
 /// An ordinary-least-squares line fit `y ≈ slope·x + intercept`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinearFit {
@@ -318,5 +327,31 @@ mod tests {
         let (lo, hi) = mean_ci95(&[4.0, 4.0, 4.0]);
         assert_eq!(lo, 4.0);
         assert_eq!(hi, 4.0);
+    }
+
+    /// The re-exported percentile IS the montecarlo one (same function,
+    /// not a copy): spot-check exact agreement across sizes and ties,
+    /// including the degenerate n=1,2,3 cases and duplicate-heavy data.
+    #[test]
+    fn percentile_reexport_agrees_with_montecarlo_everywhere() {
+        let cases: &[&[u64]] = &[
+            &[5],
+            &[1, 9],
+            &[1, 1, 1],
+            &[2, 2, 7],
+            &[1, 2, 3, 4, 100],
+            &[10, 10, 10, 10, 10, 99],
+        ];
+        for sorted in cases {
+            let as_f64: Vec<f64> = sorted.iter().map(|&v| v as f64).collect();
+            for q in [0.0, 10.0, 25.0, 50.0, 75.0, 95.0, 100.0] {
+                let canonical = fading_sim::montecarlo::percentile(sorted, q);
+                assert_eq!(percentile(sorted, q), canonical, "{sorted:?} q={q}");
+                assert_eq!(percentile_f64(&as_f64, q), canonical, "{sorted:?} q={q} (f64)");
+            }
+        }
+        // The median of [10, 20] interpolates — the property the canonical
+        // estimator guarantees and an index-based copy would get wrong.
+        assert_eq!(percentile(&[10, 20], 50.0), 15.0);
     }
 }

@@ -3,17 +3,19 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [e1 e2 …] [--smoke|--quick|--full] [--out <dir>]
+//! experiments [e1 e2 …] [--smoke|--quick|--full] [--out <dir>] [--telemetry <dir>]
 //! ```
 //!
 //! With no ids, runs all thirteen experiments. `--out <dir>` additionally
-//! writes one CSV per table.
+//! writes one CSV per table. `--telemetry <dir>` makes the
+//! telemetry-recording experiments (E8, E9) export their JSONL round-event
+//! streams into `<dir>` (seed-tagged trial blocks; tables are unchanged).
 
 use std::io::Write as _;
 use std::time::Instant;
 
-use fading_bench::{config_from_args, ids_from_args, out_dir_from_args};
-use fading_cr::experiments::{run_by_id, ALL_IDS};
+use fading_bench::{config_from_args, ids_from_args, out_dir_from_args, telemetry_dir_from_args};
+use fading_cr::experiments::{run_by_id_with, ALL_IDS};
 use fading_cr::report::Report;
 
 fn main() {
@@ -27,6 +29,10 @@ fn main() {
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output directory");
     }
+    let telemetry_dir = telemetry_dir_from_args(&args);
+    if let Some(dir) = &telemetry_dir {
+        std::fs::create_dir_all(dir).expect("create telemetry directory");
+    }
 
     println!(
         "# fading-cr experiment harness — trials={} threads={} max_n=2^{} seed={}\n",
@@ -39,7 +45,7 @@ fn main() {
 
     for id in &ids {
         let start = Instant::now();
-        match run_by_id(id, &cfg) {
+        match run_by_id_with(id, &cfg, telemetry_dir.as_deref()) {
             Some(table) => {
                 println!("{}", table.render());
                 println!("  [{} completed in {:.1?}]\n", id, start.elapsed());

@@ -42,7 +42,7 @@ pub fn ids_from_args(args: &[String]) -> Vec<String> {
             skip_next = false;
             continue;
         }
-        if a == "--out" {
+        if a == "--out" || a == "--telemetry" {
             skip_next = true;
             continue;
         }
@@ -59,6 +59,17 @@ pub fn ids_from_args(args: &[String]) -> Vec<String> {
 pub fn out_dir_from_args(args: &[String]) -> Option<String> {
     args.iter()
         .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The value following `--telemetry <dir>`, if present: the directory the
+/// telemetry-recording experiments (E8, E9) write their JSONL round-event
+/// streams into.
+#[must_use]
+pub fn telemetry_dir_from_args(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--telemetry")
         .and_then(|i| args.get(i + 1))
         .cloned()
 }
@@ -95,6 +106,20 @@ mod tests {
         );
         assert!(ids_from_args(&args(&["--full"])).is_empty());
         assert_eq!(ids_from_args(&args(&["--out", "dir", "e2"])), vec!["e2"]);
+        assert_eq!(
+            ids_from_args(&args(&["--telemetry", "results/t", "e8"])),
+            vec!["e8"]
+        );
+    }
+
+    #[test]
+    fn telemetry_dir_extraction() {
+        assert_eq!(
+            telemetry_dir_from_args(&args(&["e8", "--telemetry", "/tmp/t"])),
+            Some("/tmp/t".to_string())
+        );
+        assert_eq!(telemetry_dir_from_args(&args(&["--telemetry"])), None);
+        assert_eq!(telemetry_dir_from_args(&args(&["e8"])), None);
     }
 
     #[test]

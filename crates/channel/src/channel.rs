@@ -4,7 +4,7 @@ use rand::rngs::SmallRng;
 
 use fading_geom::Point;
 
-use crate::{ChannelPerturbation, GainCache, NodeId, Reception};
+use crate::{ChannelPerturbation, GainCache, NodeId, Reception, SinrBreakdown};
 
 pub(crate) mod sealed {
     /// Prevents downstream implementations so the trait can evolve.
@@ -102,6 +102,38 @@ pub trait Channel: sealed::Sealed + Send + Sync + std::fmt::Debug {
             }
         }
         out
+    }
+
+    /// Like [`Channel::resolve_perturbed`], additionally reporting one
+    /// [`SinrBreakdown`] per listener (in listener order) into `breakdown`
+    /// for channels with an SINR decomposition to report.
+    ///
+    /// Contract:
+    ///
+    /// * The returned `Reception` vector is **bit-identical** to what
+    ///   [`Channel::resolve_perturbed`] returns for the same arguments, and
+    ///   the rng is consumed identically — instrumentation observes, it
+    ///   never perturbs. (With a neutral perturbation this transitively
+    ///   equals [`Channel::resolve_cached`] / [`Channel::resolve`].)
+    /// * `breakdown` is cleared first. SINR-family channels then push
+    ///   exactly `listeners.len()` entries, one per listener in order;
+    ///   geometry-free channels (the radio models) leave it empty — they
+    ///   have no SINR to decompose, which is this default implementation.
+    /// * Each breakdown's `decoded` flag reflects the SINR test **before**
+    ///   any post-SINR loss layer (see [`SinrBreakdown`]).
+    #[allow(clippy::too_many_arguments)] // mirrors resolve_perturbed + the breakdown out-param
+    fn resolve_instrumented(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+        breakdown: &mut Vec<SinrBreakdown>,
+    ) -> Vec<Reception> {
+        breakdown.clear();
+        self.resolve_perturbed(positions, transmitters, listeners, cache, perturbation, rng)
     }
 
     /// The received power at `to` of an external interferer (a jammer)

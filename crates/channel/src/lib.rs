@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod breakdown;
 mod channel;
 mod error;
 mod gain_cache;
@@ -74,6 +75,7 @@ mod rayleigh;
 mod reception;
 mod sinr;
 
+pub use breakdown::SinrBreakdown;
 pub use channel::Channel;
 pub use error::ChannelError;
 pub use gain_cache::{ActiveInterference, GainCache, DEFAULT_MAX_CACHED_NODES};

@@ -6,7 +6,9 @@ use rand::Rng;
 use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
-use crate::{ChannelPerturbation, GainCache, NodeId, Reception, SinrChannel, SinrParams};
+use crate::{
+    ChannelPerturbation, GainCache, NodeId, Reception, SinrBreakdown, SinrChannel, SinrParams,
+};
 
 /// A SINR channel in which every successfully decoded message is
 /// additionally **dropped** with a fixed probability, independently per
@@ -136,6 +138,40 @@ impl Channel for LossySinrChannel {
         let mut receptions = self
             .inner
             .resolve_perturbed(positions, transmitters, listeners, cache, perturbation, rng);
+        if self.drop_prob > 0.0 {
+            for r in &mut receptions {
+                if r.is_message() && rng.gen_bool(self.drop_prob) {
+                    *r = Reception::Silence;
+                }
+            }
+        }
+        receptions
+    }
+
+    fn resolve_instrumented(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+        breakdown: &mut Vec<SinrBreakdown>,
+    ) -> Vec<Reception> {
+        // The inner SINR physics produce the breakdowns; the i.i.d. drop
+        // pass afterwards draws from the rng in the same order as the
+        // uninstrumented paths. A dropped message keeps `decoded = true` in
+        // its breakdown — the SINR test passed; the loss layer is a
+        // separate, post-SINR effect (see `SinrBreakdown`).
+        let mut receptions = self.inner.resolve_instrumented(
+            positions,
+            transmitters,
+            listeners,
+            cache,
+            perturbation,
+            rng,
+            breakdown,
+        );
         if self.drop_prob > 0.0 {
             for r in &mut receptions {
                 if r.is_message() && rng.gen_bool(self.drop_prob) {

@@ -7,7 +7,7 @@ use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
 use crate::sinr::pow_alpha;
-use crate::{ChannelPerturbation, GainCache, NodeId, Reception, SinrParams};
+use crate::{ChannelPerturbation, GainCache, NodeId, Reception, SinrBreakdown, SinrParams};
 
 /// A SINR channel with Rayleigh fading: every transmitter–listener power
 /// gain is multiplied by an independent `Exp(1)` coefficient, redrawn each
@@ -53,6 +53,82 @@ impl RayleighSinrChannel {
     pub fn params(&self) -> &SinrParams {
         &self.params
     }
+
+    /// The single resolve loop every public path funnels through — the
+    /// Rayleigh counterpart of `SinrChannel::resolve_core`, with one
+    /// `Exp(1)` fade drawn per (listener, transmitter) pair in loop order.
+    /// Because the fade draws happen in the exact same sequence regardless
+    /// of `cache`, `perturbation`, or `breakdown`, every wrapper consumes
+    /// the rng identically and the bit-exactness contracts hold by
+    /// construction.
+    #[allow(clippy::too_many_arguments)] // the union of every wrapper's parameters
+    fn resolve_core(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        perturbation: Option<&ChannelPerturbation<'_>>,
+        rng: &mut SmallRng,
+        mut breakdown: Option<&mut Vec<SinrBreakdown>>,
+    ) -> Vec<Reception> {
+        let p = self.params.power();
+        let alpha = self.params.alpha();
+        let beta = self.params.beta();
+        let noise = match perturbation {
+            Some(pt) => self.params.noise() * pt.noise_scale(),
+            None => self.params.noise(),
+        };
+        let mut out = Vec::with_capacity(listeners.len());
+        for &v in listeners {
+            let row = cache.map(|c| c.row(v));
+            let vp = positions[v];
+            let mut total = 0.0;
+            let mut best_sig = 0.0;
+            let mut best_tx: Option<NodeId> = None;
+            for &u in transmitters {
+                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
+                let fade = exp1(rng);
+                // Grouped as fade × (P/d^α) — the deterministic factor is
+                // exactly what GainCache stores, so the cached read is
+                // bit-identical to the recomputed one. Jammer power stays
+                // deterministic (no fading on jammer links): the adversary
+                // transmits wideband interference, not a decodable signal.
+                let det = match row {
+                    Some(r) => r[u],
+                    None => p / pow_alpha(positions[u].distance_sq(vp), alpha),
+                };
+                let sig = fade * det;
+                total += sig;
+                if sig > best_sig {
+                    best_sig = sig;
+                    best_tx = Some(u);
+                }
+            }
+            let denom = match perturbation {
+                Some(pt) => noise + pt.extra_at(v) + (total - best_sig),
+                None => noise + (total - best_sig),
+            };
+            let reception = match best_tx {
+                Some(u) if best_sig >= beta * denom => Reception::Message { from: u },
+                _ => Reception::Silence,
+            };
+            if let Some(b) = breakdown.as_deref_mut() {
+                b.push(SinrBreakdown {
+                    listener: v,
+                    best_tx,
+                    signal: best_sig,
+                    interference: total - best_sig,
+                    noise,
+                    extra: perturbation.map_or(0.0, |pt| pt.extra_at(v)),
+                    margin: best_sig - beta * denom,
+                    decoded: reception.is_message(),
+                });
+            }
+            out.push(reception);
+        }
+        out
+    }
 }
 
 /// Draws an `Exp(1)` variate (the power gain of a Rayleigh amplitude).
@@ -72,39 +148,7 @@ impl Channel for RayleighSinrChannel {
         listeners: &[NodeId],
         rng: &mut SmallRng,
     ) -> Vec<Reception> {
-        let p = self.params.power();
-        let alpha = self.params.alpha();
-        let beta = self.params.beta();
-        let noise = self.params.noise();
-        let mut out = Vec::with_capacity(listeners.len());
-        for &v in listeners {
-            let vp = positions[v];
-            let mut total = 0.0;
-            let mut best_sig = 0.0;
-            let mut best_tx: Option<NodeId> = None;
-            for &u in transmitters {
-                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
-                let fade = exp1(rng);
-                // Grouped as fade × (P/d^α) — the deterministic factor is
-                // exactly what GainCache stores, so the cached path below
-                // is bit-identical.
-                let det = p / pow_alpha(positions[u].distance_sq(vp), alpha);
-                let sig = fade * det;
-                total += sig;
-                if sig > best_sig {
-                    best_sig = sig;
-                    best_tx = Some(u);
-                }
-            }
-            let reception = match best_tx {
-                Some(u) if best_sig >= beta * (noise + (total - best_sig)) => {
-                    Reception::Message { from: u }
-                }
-                _ => Reception::Silence,
-            };
-            out.push(reception);
-        }
-        out
+        self.resolve_core(positions, transmitters, listeners, None, None, rng, None)
     }
 
     fn resolve_cached(
@@ -115,40 +159,8 @@ impl Channel for RayleighSinrChannel {
         cache: Option<&GainCache>,
         rng: &mut SmallRng,
     ) -> Vec<Reception> {
-        let cache = match cache {
-            Some(c) if c.matches(positions, &self.params) => c,
-            _ => return self.resolve(positions, transmitters, listeners, rng),
-        };
-        let beta = self.params.beta();
-        let noise = self.params.noise();
-        let mut out = Vec::with_capacity(listeners.len());
-        for &v in listeners {
-            // One fade per (listener, transmitter) in the same order as
-            // the uncached loop, so the rng stream is consumed
-            // identically and the result is bit-identical.
-            let row = cache.row(v);
-            let mut total = 0.0;
-            let mut best_sig = 0.0;
-            let mut best_tx: Option<NodeId> = None;
-            for &u in transmitters {
-                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
-                let fade = exp1(rng);
-                let sig = fade * row[u];
-                total += sig;
-                if sig > best_sig {
-                    best_sig = sig;
-                    best_tx = Some(u);
-                }
-            }
-            let reception = match best_tx {
-                Some(u) if best_sig >= beta * (noise + (total - best_sig)) => {
-                    Reception::Message { from: u }
-                }
-                _ => Reception::Silence,
-            };
-            out.push(reception);
-        }
-        out
+        let cache = cache.filter(|c| c.matches(positions, &self.params));
+        self.resolve_core(positions, transmitters, listeners, cache, None, rng, None)
     }
 
     fn resolve_perturbed(
@@ -163,45 +175,40 @@ impl Channel for RayleighSinrChannel {
         if perturbation.is_neutral() {
             return self.resolve_cached(positions, transmitters, listeners, cache, rng);
         }
-        let p = self.params.power();
-        let alpha = self.params.alpha();
-        let beta = self.params.beta();
-        let noise = self.params.noise() * perturbation.noise_scale();
         let cache = cache.filter(|c| c.matches(positions, &self.params));
-        let mut out = Vec::with_capacity(listeners.len());
-        for &v in listeners {
-            // One fade per (listener, transmitter) in the same order as the
-            // clean paths, so the rng stream is consumed identically whether
-            // or not a cache is supplied. Jammer power is deterministic (no
-            // fading on jammer links): the adversary transmits wideband
-            // interference, not a decodable narrowband signal.
-            let row = cache.map(|c| c.row(v));
-            let vp = positions[v];
-            let mut total = 0.0;
-            let mut best_sig = 0.0;
-            let mut best_tx: Option<NodeId> = None;
-            for &u in transmitters {
-                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
-                let fade = exp1(rng);
-                let det = match row {
-                    Some(r) => r[u],
-                    None => p / pow_alpha(positions[u].distance_sq(vp), alpha),
-                };
-                let sig = fade * det;
-                total += sig;
-                if sig > best_sig {
-                    best_sig = sig;
-                    best_tx = Some(u);
-                }
-            }
-            let denom = noise + perturbation.extra_at(v) + (total - best_sig);
-            let reception = match best_tx {
-                Some(u) if best_sig >= beta * denom => Reception::Message { from: u },
-                _ => Reception::Silence,
-            };
-            out.push(reception);
-        }
-        out
+        self.resolve_core(
+            positions,
+            transmitters,
+            listeners,
+            cache,
+            Some(perturbation),
+            rng,
+            None,
+        )
+    }
+
+    fn resolve_instrumented(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+        breakdown: &mut Vec<SinrBreakdown>,
+    ) -> Vec<Reception> {
+        breakdown.clear();
+        let cache = cache.filter(|c| c.matches(positions, &self.params));
+        let perturbation = Some(perturbation).filter(|pt| !pt.is_neutral());
+        self.resolve_core(
+            positions,
+            transmitters,
+            listeners,
+            cache,
+            perturbation,
+            rng,
+            Some(breakdown),
+        )
     }
 
     fn interferer_gain(&self, from: Point, to: Point, power: f64) -> f64 {

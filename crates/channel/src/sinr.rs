@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
-use crate::{ChannelPerturbation, GainCache, NodeId, Reception, SinrParams};
+use crate::{ChannelPerturbation, GainCache, NodeId, Reception, SinrBreakdown, SinrParams};
 
 /// Computes `d^alpha` given the *squared* distance `d_sq = d²`.
 ///
@@ -116,112 +116,40 @@ impl SinrChannel {
             signal / denom
         }
     }
-}
 
-impl sealed::Sealed for SinrChannel {}
-
-impl Channel for SinrChannel {
-    fn resolve(
-        &self,
-        positions: &[Point],
-        transmitters: &[NodeId],
-        listeners: &[NodeId],
-        _rng: &mut SmallRng,
-    ) -> Vec<Reception> {
-        let p = self.params.power();
-        let alpha = self.params.alpha();
-        let beta = self.params.beta();
-        let noise = self.params.noise();
-        let mut out = Vec::with_capacity(listeners.len());
-        for &v in listeners {
-            let vp = positions[v];
-            let mut total = 0.0;
-            let mut best_sig = 0.0;
-            let mut best_tx: Option<NodeId> = None;
-            for &u in transmitters {
-                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
-                let sig = p / pow_alpha(positions[u].distance_sq(vp), alpha);
-                total += sig;
-                if sig > best_sig {
-                    best_sig = sig;
-                    best_tx = Some(u);
-                }
-            }
-            let reception = match best_tx {
-                Some(u) if best_sig >= beta * (noise + (total - best_sig)) => {
-                    Reception::Message { from: u }
-                }
-                _ => Reception::Silence,
-            };
-            out.push(reception);
-        }
-        out
-    }
-
-    fn resolve_cached(
+    /// The single resolve loop every public path funnels through.
+    ///
+    /// All four trait entry points (`resolve`, `resolve_cached`,
+    /// `resolve_perturbed`, `resolve_instrumented`) are thin wrappers over
+    /// this function, so their bit-exactness contracts hold *by
+    /// construction* rather than by keeping parallel loops in sync:
+    ///
+    /// * `cache` must already be validated against `positions` (`None`
+    ///   recomputes gains from geometry); cached and uncached differ only
+    ///   in where `sig` is read from, with identical accumulation order.
+    /// * `perturbation = None` uses the clean denominator grouping
+    ///   `noise + (total - best_sig)`; `Some` uses the perturbed grouping
+    ///   `scaled_noise + extra + (total - best_sig)`. Callers map neutral
+    ///   perturbations to `None`, which preserves the historical clean-path
+    ///   expressions exactly.
+    /// * `breakdown`, when supplied, only *reads* the already-computed
+    ///   terms — it cannot alter the decision.
+    fn resolve_core(
         &self,
         positions: &[Point],
         transmitters: &[NodeId],
         listeners: &[NodeId],
         cache: Option<&GainCache>,
-        rng: &mut SmallRng,
+        perturbation: Option<&ChannelPerturbation<'_>>,
+        mut breakdown: Option<&mut Vec<SinrBreakdown>>,
     ) -> Vec<Reception> {
-        let cache = match cache {
-            Some(c) if c.matches(positions, &self.params) => c,
-            _ => return self.resolve(positions, transmitters, listeners, rng),
+        let p = self.params.power();
+        let alpha = self.params.alpha();
+        let beta = self.params.beta();
+        let noise = match perturbation {
+            Some(pt) => self.params.noise() * pt.noise_scale(),
+            None => self.params.noise(),
         };
-        let beta = self.params.beta();
-        let noise = self.params.noise();
-        let mut out = Vec::with_capacity(listeners.len());
-        for &v in listeners {
-            // Same accumulation order and expression grouping as the
-            // uncached loop, with the gain read from the cache row —
-            // keeps the result bit-identical to `resolve`.
-            let row = cache.row(v);
-            let mut total = 0.0;
-            let mut best_sig = 0.0;
-            let mut best_tx: Option<NodeId> = None;
-            for &u in transmitters {
-                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
-                let sig = row[u];
-                total += sig;
-                if sig > best_sig {
-                    best_sig = sig;
-                    best_tx = Some(u);
-                }
-            }
-            let reception = match best_tx {
-                Some(u) if best_sig >= beta * (noise + (total - best_sig)) => {
-                    Reception::Message { from: u }
-                }
-                _ => Reception::Silence,
-            };
-            out.push(reception);
-        }
-        out
-    }
-
-    fn resolve_perturbed(
-        &self,
-        positions: &[Point],
-        transmitters: &[NodeId],
-        listeners: &[NodeId],
-        cache: Option<&GainCache>,
-        perturbation: &ChannelPerturbation<'_>,
-        rng: &mut SmallRng,
-    ) -> Vec<Reception> {
-        if perturbation.is_neutral() {
-            return self.resolve_cached(positions, transmitters, listeners, cache, rng);
-        }
-        let p = self.params.power();
-        let alpha = self.params.alpha();
-        let beta = self.params.beta();
-        // The scaled noise and the jammer term join the denominator exactly
-        // where Equation 1 puts N; the transmitter sum is untouched, so the
-        // cached and uncached branches below stay bit-identical to each
-        // other (same accumulation order as the clean paths).
-        let noise = self.params.noise() * perturbation.noise_scale();
-        let cache = cache.filter(|c| c.matches(positions, &self.params));
         let mut out = Vec::with_capacity(listeners.len());
         for &v in listeners {
             let row = cache.map(|c| c.row(v));
@@ -241,14 +169,100 @@ impl Channel for SinrChannel {
                     best_tx = Some(u);
                 }
             }
-            let denom = noise + perturbation.extra_at(v) + (total - best_sig);
+            // The scaled noise and the jammer term join the denominator
+            // exactly where Equation 1 puts N; the clean grouping is kept
+            // verbatim so an absent perturbation reproduces the historical
+            // expression bit for bit.
+            let denom = match perturbation {
+                Some(pt) => noise + pt.extra_at(v) + (total - best_sig),
+                None => noise + (total - best_sig),
+            };
             let reception = match best_tx {
                 Some(u) if best_sig >= beta * denom => Reception::Message { from: u },
                 _ => Reception::Silence,
             };
+            if let Some(b) = breakdown.as_deref_mut() {
+                b.push(SinrBreakdown {
+                    listener: v,
+                    best_tx,
+                    signal: best_sig,
+                    interference: total - best_sig,
+                    noise,
+                    extra: perturbation.map_or(0.0, |pt| pt.extra_at(v)),
+                    margin: best_sig - beta * denom,
+                    decoded: reception.is_message(),
+                });
+            }
             out.push(reception);
         }
         out
+    }
+}
+
+impl sealed::Sealed for SinrChannel {}
+
+impl Channel for SinrChannel {
+    fn resolve(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        _rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        self.resolve_core(positions, transmitters, listeners, None, None, None)
+    }
+
+    fn resolve_cached(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        _rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        let cache = cache.filter(|c| c.matches(positions, &self.params));
+        self.resolve_core(positions, transmitters, listeners, cache, None, None)
+    }
+
+    fn resolve_perturbed(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        if perturbation.is_neutral() {
+            return self.resolve_cached(positions, transmitters, listeners, cache, rng);
+        }
+        let cache = cache.filter(|c| c.matches(positions, &self.params));
+        self.resolve_core(positions, transmitters, listeners, cache, Some(perturbation), None)
+    }
+
+    fn resolve_instrumented(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        cache: Option<&GainCache>,
+        perturbation: &ChannelPerturbation<'_>,
+        _rng: &mut SmallRng,
+        breakdown: &mut Vec<SinrBreakdown>,
+    ) -> Vec<Reception> {
+        breakdown.clear();
+        let cache = cache.filter(|c| c.matches(positions, &self.params));
+        // A neutral perturbation routes to the clean denominator grouping,
+        // exactly as the uninstrumented dispatch does.
+        let perturbation = Some(perturbation).filter(|pt| !pt.is_neutral());
+        self.resolve_core(
+            positions,
+            transmitters,
+            listeners,
+            cache,
+            perturbation,
+            Some(breakdown),
+        )
     }
 
     fn interferer_gain(&self, from: Point, to: Point, power: f64) -> f64 {

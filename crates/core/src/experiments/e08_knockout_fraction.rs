@@ -2,7 +2,8 @@
 
 use fading_analysis::{separated_subset, GoodNodes, LinkClasses};
 use fading_protocols::ProtocolKind;
-use fading_sim::Simulation;
+use fading_sim::telemetry::jsonl::{self, TrialBlock};
+use fading_sim::{MemorySink, Simulation, TelemetryDetail};
 
 use super::common::{sinr_for, standard_deployment, ExperimentConfig};
 use crate::table::fmt_f64;
@@ -17,8 +18,21 @@ use crate::Table;
 /// receives a message and deactivates each round. The measured fraction
 /// should therefore be roughly flat in `n`; its flatness is what turns
 /// per-class `log`-many rounds into the global `O(log n + log R)` bound.
+///
+/// The knockout sets are read from the telemetry layer: each trial attaches
+/// a [`MemorySink`] at id detail and counts `knocked_out_ids ∩ S_i` from
+/// the round's [`RoundEvent`](fading_sim::RoundEvent) instead of diffing
+/// simulator state by hand.
 #[must_use]
 pub fn e08_knockout_fraction(cfg: &ExperimentConfig) -> Table {
+    e08_knockout_fraction_with(cfg, None)
+}
+
+/// [`e08_knockout_fraction`] with an optional telemetry export directory:
+/// when set, every trial's round-event stream is appended to
+/// `<dir>/e8.jsonl` as seed-tagged [`TrialBlock`]s.
+#[must_use]
+pub fn e08_knockout_fraction_with(cfg: &ExperimentConfig, telemetry_dir: Option<&str>) -> Table {
     let mut table =
         Table::new("E8: one-round knockout fraction in S_i (smallest nonempty class, FKN on SINR)");
     table.headers([
@@ -29,6 +43,7 @@ pub fn e08_knockout_fraction(cfg: &ExperimentConfig) -> Table {
         "active knockout frac",
     ]);
 
+    let mut blocks: Vec<TrialBlock> = Vec::new();
     for (block, &n) in cfg.n_sweep().iter().enumerate() {
         let mut s_sizes = Vec::new();
         let mut fractions = Vec::new();
@@ -40,6 +55,7 @@ pub fn e08_knockout_fraction(cfg: &ExperimentConfig) -> Table {
             let channel = sinr_for(&d).build();
             let pk = ProtocolKind::fkn_default();
             let mut sim = Simulation::new(d.clone(), channel, seed, |id| pk.build(id));
+            sim.set_telemetry_sink(Box::new(MemorySink::new(TelemetryDetail::ids())));
 
             let before = sim.active_ids();
             let classes = LinkClasses::partition(d.points(), &before, unit);
@@ -52,10 +68,25 @@ pub fn e08_knockout_fraction(cfg: &ExperimentConfig) -> Table {
                 continue;
             }
             sim.step();
-            let knocked = s_i.members().iter().filter(|&&u| !sim.is_active(u)).count();
+            let events = MemorySink::recover(sim.take_telemetry_sink().expect("sink attached"))
+                .expect("MemorySink recovers as itself")
+                .into_events();
+            let event = events.last().expect("one step produces one event");
+            let knocked = s_i
+                .members()
+                .iter()
+                .filter(|&&u| event.knocked_out_ids.contains(&u))
+                .count();
             s_sizes.push(s_i.len() as f64);
             fractions.push(knocked as f64 / s_i.len() as f64);
-            overall.push((before.len() - sim.num_active()) as f64 / before.len() as f64);
+            overall.push(event.knocked_out as f64 / before.len() as f64);
+            if telemetry_dir.is_some() {
+                blocks.push(TrialBlock {
+                    trial: blocks.len() as u64,
+                    seed,
+                    events,
+                });
+            }
         }
         if fractions.is_empty() {
             continue;
@@ -70,8 +101,14 @@ pub fn e08_knockout_fraction(cfg: &ExperimentConfig) -> Table {
             fmt_f64(mean(&overall)),
         ]);
     }
+    if let Some(dir) = telemetry_dir {
+        let path = format!("{dir}/e8.jsonl");
+        jsonl::write_trial_blocks_to_path(&path, &blocks)
+            .unwrap_or_else(|e| panic!("write telemetry to {path}: {e}"));
+    }
     table.note("separation parameter s = 2; one simulated round per trial");
     table.note("flat columns across n confirm the per-round constant-fraction guarantee");
+    table.note("knockout sets read from telemetry round events (MemorySink at id detail)");
     table
 }
 
@@ -94,5 +131,24 @@ mod tests {
         let max = fracs.iter().copied().fold(0.0f64, f64::max);
         let min = fracs.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max / min < 5.0, "fractions not flat: {fracs:?}");
+    }
+
+    #[test]
+    fn telemetry_export_writes_trial_blocks() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 2;
+        cfg.max_n_pow2 = 5;
+        let dir = std::env::temp_dir().join(format!("e8-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let with = e08_knockout_fraction_with(&cfg, Some(&dir_str));
+        let without = e08_knockout_fraction(&cfg);
+        assert_eq!(with, without, "export must not change the table");
+        let blocks = jsonl::read_trial_blocks_from_path(dir.join("e8.jsonl")).unwrap();
+        assert!(!blocks.is_empty());
+        for b in &blocks {
+            assert_eq!(b.events.len(), 1, "one step per trial");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

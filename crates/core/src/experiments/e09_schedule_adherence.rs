@@ -2,7 +2,9 @@
 
 use fading_analysis::{ClassBoundSchedule, LinkClasses, ScheduleParams};
 use fading_protocols::ProtocolKind;
-use fading_sim::Simulation;
+use fading_sim::telemetry::jsonl::{self, TrialBlock};
+use fading_sim::telemetry::replay_active_sets;
+use fading_sim::{MemorySink, Simulation, TelemetryDetail};
 
 use super::common::{sinr_for, standard_deployment, ExperimentConfig};
 use crate::table::fmt_f64;
@@ -16,8 +18,21 @@ use crate::Table;
 /// `q_t`") occurs, monotonically — and the completion round `r(T)` is
 /// within a constant factor of the horizon `T = Θ(log n + log R)`
 /// (Claim 8), because each step needs only `O(1)` rounds (segments).
+///
+/// The active-set trajectory is reconstructed from telemetry: the run
+/// records id-detail [`RoundEvent`](fading_sim::RoundEvent)s into a
+/// [`MemorySink`] and [`replay_active_sets`] rebuilds the per-round active
+/// sets, replacing the old lock-step observer loop.
 #[must_use]
 pub fn e09_schedule_adherence(cfg: &ExperimentConfig) -> Table {
+    e09_schedule_adherence_with(cfg, None)
+}
+
+/// [`e09_schedule_adherence`] with an optional telemetry export directory:
+/// when set, every resolved trial's event stream is appended to
+/// `<dir>/e9.jsonl` as seed-tagged [`TrialBlock`]s.
+#[must_use]
+pub fn e09_schedule_adherence_with(cfg: &ExperimentConfig, telemetry_dir: Option<&str>) -> Table {
     let mut table = Table::new("E9: class-bound schedule adherence (FKN on SINR)");
     table.headers([
         "n",
@@ -29,6 +44,7 @@ pub fn e09_schedule_adherence(cfg: &ExperimentConfig) -> Table {
         "rounds/step",
     ]);
 
+    let mut blocks: Vec<TrialBlock> = Vec::new();
     let trials = cfg.trials.clamp(2, 20);
     for (block, &n) in cfg.n_sweep().iter().enumerate() {
         let mut coverages = Vec::new();
@@ -43,20 +59,30 @@ pub fn e09_schedule_adherence(cfg: &ExperimentConfig) -> Table {
             let channel = sinr_for(&d).build();
             let pk = ProtocolKind::fkn_default();
             let mut sim = Simulation::new(d.clone(), channel, seed, |id| pk.build(id));
+            sim.set_telemetry_sink(Box::new(MemorySink::new(TelemetryDetail::ids())));
 
-            let mut series: Vec<Vec<usize>> = Vec::new();
-            for _ in 0..cfg.max_rounds {
-                let active = sim.active_ids();
-                let classes = LinkClasses::partition(d.points(), &active, unit);
-                series.push(classes.sizes());
-                if sim.resolved_at().is_some() {
-                    break;
-                }
-                sim.step();
-            }
-            let Some(resolved) = sim.resolved_at() else {
+            let initial = sim.active_ids();
+            let result = sim.run_until_resolved(cfg.max_rounds);
+            let Some(resolved) = result.resolved_at() else {
                 continue;
             };
+            let events = MemorySink::recover(sim.take_telemetry_sink().expect("sink attached"))
+                .expect("MemorySink recovers as itself")
+                .into_events();
+            let mut series: Vec<Vec<usize>> = replay_active_sets(&initial, &events)
+                .iter()
+                .map(|active| LinkClasses::partition(d.points(), active, unit).sizes())
+                .collect();
+            // Budget parity with the observer formulation: at most one
+            // snapshot per budgeted round.
+            series.truncate(cfg.max_rounds as usize);
+            if telemetry_dir.is_some() {
+                blocks.push(TrialBlock {
+                    trial: blocks.len() as u64,
+                    seed,
+                    events,
+                });
+            }
             let sched = ClassBoundSchedule::new(n, d.num_link_classes(), ScheduleParams::default());
             horizon = sched.horizon();
             let adherence = sched.adherence(&series);
@@ -86,8 +112,14 @@ pub fn e09_schedule_adherence(cfg: &ExperimentConfig) -> Table {
             fmt_f64(mean_completion / horizon as f64),
         ]);
     }
+    if let Some(dir) = telemetry_dir {
+        let path = format!("{dir}/e9.jsonl");
+        jsonl::write_trial_blocks_to_path(&path, &blocks)
+            .unwrap_or_else(|e| panic!("write telemetry to {path}: {e}"));
+    }
     table.note("schedule params: gamma = 1/2, rho = 1/4 (gamma_slow = 5/6, stagger l = 8)");
     table.note("coverage = fraction of steps t whose event r(t) occurred; rounds/step = r(T)/T");
+    table.note("active-set series replayed from telemetry round events (id detail)");
     table
 }
 
@@ -122,5 +154,24 @@ mod tests {
                 "rounds/step ratio {ratio} too large ({row:?})"
             );
         }
+    }
+
+    #[test]
+    fn telemetry_export_matches_plain_run() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 2;
+        cfg.max_n_pow2 = 5;
+        let dir = std::env::temp_dir().join(format!("e9-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let with = e09_schedule_adherence_with(&cfg, Some(&dir_str));
+        let without = e09_schedule_adherence(&cfg);
+        assert_eq!(with, without, "export must not change the table");
+        let blocks = jsonl::read_trial_blocks_from_path(dir.join("e9.jsonl")).unwrap();
+        assert!(!blocks.is_empty());
+        for b in &blocks {
+            assert!(!b.events.is_empty());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

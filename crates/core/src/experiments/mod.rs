@@ -57,8 +57,8 @@ pub use e04_channel_comparison::e04_channel_comparison;
 pub use e05_p_sweep::e05_probability_sweep;
 pub use e06_alpha_sweep::e06_alpha_sweep;
 pub use e07_good_fraction::e07_good_fraction;
-pub use e08_knockout_fraction::e08_knockout_fraction;
-pub use e09_schedule_adherence::e09_schedule_adherence;
+pub use e08_knockout_fraction::{e08_knockout_fraction, e08_knockout_fraction_with};
+pub use e09_schedule_adherence::{e09_schedule_adherence, e09_schedule_adherence_with};
 pub use e10_hitting_game::e10_hitting_game;
 pub use e11_high_probability::e11_high_probability;
 pub use e12_ablations::e12_ablations;
@@ -71,10 +71,20 @@ pub const ALL_IDS: [&str; 13] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
-/// Runs one experiment by id (`"e1"` … `"e12"`, case-insensitive).
+/// Runs one experiment by id (`"e1"` … `"e13"`, case-insensitive).
 /// Returns `None` for an unknown id.
 #[must_use]
 pub fn run_by_id(id: &str, cfg: &ExperimentConfig) -> Option<Table> {
+    run_by_id_with(id, cfg, None)
+}
+
+/// Like [`run_by_id`], additionally passing a telemetry export directory
+/// to the experiments that record round-event streams (E8 and E9 write
+/// seed-tagged JSONL trial blocks under `<dir>/e8.jsonl` / `<dir>/e9.jsonl`;
+/// the other experiments ignore the directory). The produced tables are
+/// identical with and without a directory — export is a side channel.
+#[must_use]
+pub fn run_by_id_with(id: &str, cfg: &ExperimentConfig, telemetry_dir: Option<&str>) -> Option<Table> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e01_rounds_vs_n(cfg)),
         "e2" => Some(e02_rounds_vs_r(cfg)),
@@ -83,8 +93,8 @@ pub fn run_by_id(id: &str, cfg: &ExperimentConfig) -> Option<Table> {
         "e5" => Some(e05_probability_sweep(cfg)),
         "e6" => Some(e06_alpha_sweep(cfg)),
         "e7" => Some(e07_good_fraction(cfg)),
-        "e8" => Some(e08_knockout_fraction(cfg)),
-        "e9" => Some(e09_schedule_adherence(cfg)),
+        "e8" => Some(e08_knockout_fraction_with(cfg, telemetry_dir)),
+        "e9" => Some(e09_schedule_adherence_with(cfg, telemetry_dir)),
         "e10" => Some(e10_hitting_game(cfg)),
         "e11" => Some(e11_high_probability(cfg)),
         "e12" => Some(e12_ablations(cfg)),

@@ -38,6 +38,12 @@ impl WinDistribution {
     /// counting failures as `+∞` (so a quantile that lands in the failure
     /// mass returns `None`).
     ///
+    /// This is deliberately **not** the workspace's canonical
+    /// linear-interpolation percentile (`fading_sim::montecarlo::percentile`,
+    /// re-exported by `fading_analysis::stats`): with failure mass at `+∞`
+    /// interpolation between order statistics is meaningless, so this takes
+    /// the upper empirical order statistic instead.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.

@@ -19,6 +19,11 @@
 //! * [`faults`] — deterministic adversarial fault injection (jammers,
 //!   noise bursts, churn, Gilbert–Elliott burst loss), attached to a run
 //!   via [`Simulation::set_fault_plan`].
+//! * [`telemetry`] — structured per-round observability: [`RoundEvent`]
+//!   streams to pluggable [`TelemetrySink`]s, JSONL export, and a
+//!   [`MetricsRegistry`] of latency/interference/knockout statistics,
+//!   attached via [`Simulation::set_telemetry_sink`]. Attaching a sink
+//!   never changes a run's outcome.
 //!
 //! Everything is deterministic given the master seed: node RNGs are derived
 //! by SplitMix64 from `(seed, node id)`, the channel RNG from `seed`, and
@@ -67,6 +72,7 @@ mod protocol;
 mod result;
 mod rng;
 mod simulation;
+pub mod telemetry;
 
 pub use action::Action;
 pub use faults::{FaultError, FaultPlan};
@@ -74,6 +80,9 @@ pub use protocol::Protocol;
 pub use result::{RoundRecord, RunOutcome, RunResult, Trace, TraceLevel};
 pub use rng::{channel_rng, fault_rng, node_rng, split_mix64};
 pub use simulation::{SimError, Simulation, StepOutcome};
+pub use telemetry::{
+    MemorySink, MetricsRegistry, NoopSink, RoundEvent, TelemetryDetail, TelemetrySink,
+};
 
 // Re-export the vocabulary types callers always need alongside the simulator.
 pub use fading_channel::{ActiveInterference, Channel, GainCache, NodeId, Reception};

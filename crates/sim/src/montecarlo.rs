@@ -57,9 +57,30 @@ pub fn run_trials<F>(trials: usize, threads: usize, seed_base: u64, f: F) -> Vec
 where
     F: Fn(u64) -> RunResult + Sync,
 {
+    run_trials_with(trials, threads, seed_base, |seed| (f(seed), ()))
+        .into_iter()
+        .map(|(result, ())| result)
+        .collect()
+}
+
+/// Like [`run_trials`], but each trial returns a [`RunResult`] **plus** an
+/// arbitrary per-trial payload `T` (telemetry events, per-trial
+/// measurements, …), still merged **in seed order** regardless of the
+/// thread count.
+///
+/// This is how telemetry-collecting experiment drivers stay deterministic:
+/// each worker recovers its own trial's sink inside `f` and hands the
+/// events back as the payload, and the seed-ordered merge makes the
+/// combined stream independent of scheduling.
+pub fn run_trials_with<F, T>(trials: usize, threads: usize, seed_base: u64, f: F) -> Vec<(RunResult, T)>
+where
+    F: Fn(u64) -> (RunResult, T) + Sync,
+    T: Send,
+{
     let threads = threads.max(1).min(trials.max(1));
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; trials]);
+    let results: Mutex<Vec<Option<(RunResult, T)>>> =
+        Mutex::new((0..trials).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -178,23 +199,45 @@ impl Summary {
     }
 }
 
+/// Computes the interpolation coordinates for the `q`-th percentile of a
+/// length-`len` sorted sample: `(lo, hi, frac)` such that the value is
+/// `sorted[lo] * (1 - frac) + sorted[hi] * frac`.
+fn percentile_coords(len: usize, q: f64) -> (usize, usize, f64) {
+    assert!(len > 0, "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&q), "q must be in [0, 100]");
+    let pos = q / 100.0 * (len - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    (lo, hi, pos - lo as f64)
+}
+
 /// Linear-interpolated percentile of a **sorted** slice (`q` in `[0, 100]`).
+///
+/// This is the workspace's **canonical** quantile: position
+/// `q/100 · (len − 1)` with linear interpolation between the bracketing
+/// order statistics (the "type 7" estimator). `fading_analysis::stats`
+/// re-exports it so every crate computes medians and p95s identically.
+/// (The deliberately *different* `hitting::WinDistribution::quantile` —
+/// an upper empirical quantile over failure mass — is documented there.)
 ///
 /// # Panics
 ///
 /// Panics if `sorted` is empty or `q` is outside `[0, 100]`.
 #[must_use]
 pub fn percentile(sorted: &[u64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&q), "q must be in [0, 100]");
-    if sorted.len() == 1 {
-        return sorted[0] as f64;
-    }
-    let pos = q / 100.0 * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
+    let (lo, hi, frac) = percentile_coords(sorted.len(), q);
     sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+/// [`percentile`] over a sorted `f64` slice (same canonical estimator).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile_f64(sorted: &[f64], q: f64) -> f64 {
+    let (lo, hi, frac) = percentile_coords(sorted.len(), q);
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 #[cfg(test)]
@@ -355,5 +398,34 @@ mod tests {
     #[should_panic(expected = "must be in")]
     fn percentile_rejects_out_of_range() {
         let _ = percentile(&[1], 101.0);
+    }
+
+    #[test]
+    fn percentile_f64_agrees_with_u64_version() {
+        for sorted in [vec![7u64], vec![1, 2], vec![3, 3, 9], vec![1, 2, 2, 2, 10]] {
+            let as_f64: Vec<f64> = sorted.iter().map(|&v| v as f64).collect();
+            for q in [0.0, 25.0, 50.0, 90.0, 95.0, 100.0] {
+                assert_eq!(percentile(&sorted, q), percentile_f64(&as_f64, q), "{sorted:?} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_f64_rejects_empty() {
+        let _ = percentile_f64(&[], 50.0);
+    }
+
+    #[test]
+    fn run_trials_with_carries_payloads_in_seed_order() {
+        let f = |seed: u64| (result_with_rounds(Some(seed + 1)), format!("payload-{seed}"));
+        let serial = run_trials_with(12, 1, 5, f);
+        let parallel = run_trials_with(12, 8, 5, f);
+        assert_eq!(serial.len(), 12);
+        for (i, ((ra, pa), (rb, pb))) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(ra.resolved_at(), Some(5 + i as u64 + 1));
+            assert_eq!(pa, &format!("payload-{}", 5 + i as u64));
+            assert_eq!((ra, pa), (rb, pb), "thread count must not affect payload order");
+        }
     }
 }

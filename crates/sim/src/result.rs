@@ -21,7 +21,11 @@ pub enum TraceLevel {
 pub struct RoundRecord {
     /// 1-based round number.
     pub round: u64,
-    /// Number of active nodes at the *start* of the round.
+    /// Number of nodes that **participated** in the round: active, awake
+    /// (past any scheduled late wake-up), measured after the round's churn
+    /// events were applied — exactly `transmitters + listeners`. For runs
+    /// without late-wake churn this equals the active count at the start
+    /// of the round.
     pub active_before: usize,
     /// Number of nodes that transmitted.
     pub transmitters: usize,
@@ -32,14 +36,34 @@ pub struct RoundRecord {
 }
 
 /// The recorded history of a run, at the requested [`TraceLevel`].
+///
+/// Traces are bounded: a run that never resolves (and so hits its round
+/// cap) would otherwise grow one record per round without limit at
+/// [`TraceLevel::Full`]. The simulation stops recording after
+/// [`Trace::DEFAULT_RECORD_CAP`] records (configurable via
+/// [`Simulation::set_trace_capacity`]) with **keep-first** semantics — the
+/// earliest rounds are the ones retained, since they carry the active-set
+/// decay the analyses consume — and sets [`Trace::truncated`].
+///
+/// [`Simulation::set_trace_capacity`]: crate::Simulation::set_trace_capacity
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Trace {
     rounds: Vec<RoundRecord>,
+    truncated: bool,
 }
 
 impl Trace {
-    pub(crate) fn push(&mut self, record: RoundRecord) {
-        self.rounds.push(record);
+    /// Default maximum number of [`RoundRecord`]s retained per run.
+    pub const DEFAULT_RECORD_CAP: usize = 65_536;
+
+    /// Appends `record` unless `cap` records are already held, in which
+    /// case the record is dropped and the trace is marked truncated.
+    pub(crate) fn push_capped(&mut self, cap: usize, record: RoundRecord) {
+        if self.rounds.len() < cap {
+            self.rounds.push(record);
+        } else {
+            self.truncated = true;
+        }
     }
 
     /// Per-round records, in order.
@@ -58,6 +82,13 @@ impl Trace {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.rounds.is_empty()
+    }
+
+    /// `true` if the run executed more rounds than the trace capacity, so
+    /// later records were dropped (keep-first).
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        self.truncated
     }
 }
 
@@ -199,13 +230,16 @@ mod tests {
     #[test]
     fn accessors_round_trip() {
         let mut trace = Trace::default();
-        trace.push(RoundRecord {
-            round: 1,
-            active_before: 4,
-            transmitters: 2,
-            knocked_out: 1,
-            transmitter_ids: Some(vec![0, 3]),
-        });
+        trace.push_capped(
+            Trace::DEFAULT_RECORD_CAP,
+            RoundRecord {
+                round: 1,
+                active_before: 4,
+                transmitters: 2,
+                knocked_out: 1,
+                transmitter_ids: Some(vec![0, 3]),
+            },
+        );
         let r = RunResult::new(Some(5), 5, 4, 2, Some(3), 9, trace.clone());
         assert!(r.resolved());
         assert_eq!(r.resolved_at(), Some(5));
@@ -231,6 +265,31 @@ mod tests {
     #[test]
     fn trace_level_default_is_none() {
         assert_eq!(TraceLevel::default(), TraceLevel::None);
+    }
+
+    #[test]
+    fn push_capped_keeps_first_records_and_flags_truncation() {
+        let rec = |round| RoundRecord {
+            round,
+            active_before: 2,
+            transmitters: 2,
+            knocked_out: 0,
+            transmitter_ids: None,
+        };
+        let mut trace = Trace::default();
+        assert!(!trace.truncated());
+        for round in 1..=5 {
+            trace.push_capped(3, rec(round));
+        }
+        assert_eq!(trace.len(), 3);
+        assert!(trace.truncated());
+        let kept: Vec<u64> = trace.rounds().iter().map(|r| r.round).collect();
+        assert_eq!(kept, vec![1, 2, 3], "keep-first semantics");
+        // Under the cap, the flag stays clear.
+        let mut small = Trace::default();
+        small.push_capped(3, rec(1));
+        assert!(!small.truncated());
+        assert_eq!(small.len(), 1);
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! The round-based simulation engine.
 
+use std::time::Instant;
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use fading_channel::{ActiveInterference, Channel, ChannelPerturbation, GainCache, NodeId};
+use fading_channel::{
+    ActiveInterference, Channel, ChannelPerturbation, GainCache, NodeId, SinrBreakdown,
+};
 use fading_geom::{Deployment, Point};
 
 use crate::faults::{ChurnEvent, ChurnKind, FaultError, FaultPlan};
 use crate::result::{RoundRecord, RunResult, Trace, TraceLevel};
 use crate::rng::{channel_rng, fault_rng, node_rng};
+use crate::telemetry::{MetricsRegistry, Phase, RoundEvent, TelemetryDetail, TelemetrySink};
 use crate::{Action, Protocol};
 
 /// Why a simulation could not be constructed.
@@ -99,6 +104,20 @@ pub struct Simulation {
     jam_scratch: Vec<f64>,
     // Gilbert–Elliott state: currently in the bad (burst) state?
     loss_in_burst: bool,
+    // Telemetry (see crate::telemetry). `telemetry` is None until a sink
+    // is attached; the detail level is cached at attach time. With no sink
+    // the step loop pays only `Option::is_some` checks (guarded by the
+    // `telemetry_overhead_n2048` bench).
+    telemetry: Option<Box<dyn TelemetrySink>>,
+    telemetry_detail: TelemetryDetail,
+    metrics: Option<Box<MetricsRegistry>>,
+    // Scratch buffers for event assembly, reused across rounds.
+    sinr_scratch: Vec<SinrBreakdown>,
+    knocked_scratch: Vec<NodeId>,
+    crashed_scratch: Vec<NodeId>,
+    revived_scratch: Vec<NodeId>,
+    // Maximum RoundRecords retained in the trace (keep-first).
+    trace_cap: usize,
 }
 
 impl Simulation {
@@ -156,6 +175,14 @@ impl Simulation {
             jam_gains: Vec::new(),
             jam_scratch: Vec::new(),
             loss_in_burst: false,
+            telemetry: None,
+            telemetry_detail: TelemetryDetail::counts(),
+            metrics: None,
+            sinr_scratch: Vec::new(),
+            knocked_scratch: Vec::new(),
+            crashed_scratch: Vec::new(),
+            revived_scratch: Vec::new(),
+            trace_cap: Trace::DEFAULT_RECORD_CAP,
         }
     }
 
@@ -259,44 +286,71 @@ impl Simulation {
     }
 
     /// Forces node `v` inactive (crash-stop), regardless of protocol state.
-    fn force_deactivate(&mut self, v: NodeId) {
+    /// Returns whether the node's state actually changed.
+    fn force_deactivate(&mut self, v: NodeId) -> bool {
         if self.active[v] {
             self.active[v] = false;
             self.num_active -= 1;
             if let (Some(engine), Some(cache)) = (&mut self.active_interference, &self.gain_cache) {
                 engine.deactivate(cache, v);
             }
+            true
+        } else {
+            false
         }
     }
 
     /// Re-activates a crashed node. A node whose own protocol has
     /// deactivated (knocked out) stays inactive: revival only undoes a
     /// crash, it never overrides the protocol contract that inactive
-    /// protocols are never scheduled.
-    fn force_activate(&mut self, v: NodeId) {
+    /// protocols are never scheduled. Returns whether the node's state
+    /// actually changed.
+    fn force_activate(&mut self, v: NodeId) -> bool {
         if !self.active[v] && self.protocols[v].is_active() {
             self.active[v] = true;
             self.num_active += 1;
             if let (Some(engine), Some(cache)) = (&mut self.active_interference, &self.gain_cache) {
                 engine.activate(cache, v);
             }
+            true
+        } else {
+            false
         }
     }
 
     /// Applies the churn events scheduled for the current round (called at
     /// the start of [`Simulation::step`], before actions are collected).
-    fn apply_churn(&mut self) {
+    /// Returns the number of events that actually took effect; when
+    /// `record_ids` is set, effective crashes/revivals are also appended to
+    /// the telemetry scratch vectors.
+    fn apply_churn(&mut self, record_ids: bool) -> usize {
+        let mut applied = 0;
         while self.churn_cursor < self.churn_events.len()
             && self.churn_events[self.churn_cursor].round <= self.round
         {
             let ev = self.churn_events[self.churn_cursor];
             self.churn_cursor += 1;
             match ev.kind {
-                ChurnKind::Crash => self.force_deactivate(ev.node),
-                ChurnKind::Revive => self.force_activate(ev.node),
+                ChurnKind::Crash => {
+                    if self.force_deactivate(ev.node) {
+                        applied += 1;
+                        if record_ids {
+                            self.crashed_scratch.push(ev.node);
+                        }
+                    }
+                }
+                ChurnKind::Revive => {
+                    if self.force_activate(ev.node) {
+                        applied += 1;
+                        if record_ids {
+                            self.revived_scratch.push(ev.node);
+                        }
+                    }
+                }
                 ChurnKind::LateWake => unreachable!("late wakes are precomputed"),
             }
         }
+        applied
     }
 
     /// Enables or disables the gain cache for subsequent rounds.
@@ -337,6 +391,70 @@ impl Simulation {
     /// Selects how much per-round detail to record. Call before stepping.
     pub fn set_trace_level(&mut self, level: TraceLevel) {
         self.trace_level = level;
+    }
+
+    /// Caps how many [`RoundRecord`]s the trace retains (keep-first; see
+    /// [`Trace::truncated`]). Defaults to [`Trace::DEFAULT_RECORD_CAP`].
+    pub fn set_trace_capacity(&mut self, cap: usize) {
+        self.trace_cap = cap;
+    }
+
+    /// The current trace record cap.
+    #[must_use]
+    pub fn trace_capacity(&self) -> usize {
+        self.trace_cap
+    }
+
+    /// Attaches a telemetry sink; each subsequent round delivers one
+    /// [`RoundEvent`] to it. The sink's [`TelemetrySink::detail`] level is
+    /// read **once, here**. Replaces any previously attached sink.
+    ///
+    /// Attaching a sink never changes a run's outcome: events are pure
+    /// observations, and when SINR detail routes resolution through
+    /// [`Channel::resolve_instrumented`] that path is contractually
+    /// bit-identical to the uninstrumented one.
+    pub fn set_telemetry_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.telemetry_detail = sink.detail();
+        self.telemetry = Some(sink);
+    }
+
+    /// Detaches and returns the telemetry sink, if one is attached (use
+    /// [`crate::telemetry::MemorySink::recover`] to downcast it back to a
+    /// concrete type).
+    pub fn take_telemetry_sink(&mut self) -> Option<Box<dyn TelemetrySink>> {
+        self.telemetry_detail = TelemetryDetail::counts();
+        self.telemetry.take()
+    }
+
+    /// Whether a telemetry sink is currently attached.
+    #[must_use]
+    pub fn telemetry_attached(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Enables (or disables) the [`MetricsRegistry`] collecting round
+    /// latency, phase timers, and per-round distributions. Enabling when
+    /// already enabled keeps the existing registry. Metrics include
+    /// wall-clock times and are excluded from the determinism contract.
+    pub fn set_metrics_enabled(&mut self, enabled: bool) {
+        if enabled {
+            if self.metrics.is_none() {
+                self.metrics = Some(Box::new(MetricsRegistry::new()));
+            }
+        } else {
+            self.metrics = None;
+        }
+    }
+
+    /// The metrics collected so far, when enabled.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_deref()
+    }
+
+    /// Detaches and returns the metrics registry, if metrics were enabled.
+    pub fn take_metrics(&mut self) -> Option<MetricsRegistry> {
+        self.metrics.take().map(|b| *b)
     }
 
     /// Number of nodes in the deployment.
@@ -395,15 +513,38 @@ impl Simulation {
         self.total_transmissions
     }
 
+    /// Advances the phase timer: charges the time since `mark` to `phase`
+    /// and resets the mark. No-op when metrics are disabled.
+    fn mark_phase(&mut self, phase: Phase, mark: &mut Option<Instant>) {
+        if let (Some(metrics), Some(m)) = (self.metrics.as_deref_mut(), mark.as_mut()) {
+            let now = Instant::now();
+            metrics.add_phase(phase, now.duration_since(*m));
+            *m = now;
+        }
+    }
+
     /// Executes one synchronous round and reports the outcome.
     ///
     /// Stepping past resolution is allowed (the remaining active nodes keep
     /// running their protocols); `resolved_at` keeps the *first* resolving
     /// round.
     pub fn step(&mut self) -> StepOutcome {
+        let round_start = self.metrics.as_ref().map(|_| Instant::now());
+        let mut phase_mark = round_start;
         self.round += 1;
-        self.apply_churn();
-        let active_before = self.num_active;
+
+        let telemetry_on = self.telemetry.is_some();
+        let want_ids = telemetry_on && self.telemetry_detail.ids;
+        let want_sinr = telemetry_on && self.telemetry_detail.sinr;
+
+        let active_pre_churn = self.num_active;
+        if want_ids {
+            self.crashed_scratch.clear();
+            self.revived_scratch.clear();
+            self.knocked_scratch.clear();
+        }
+        let churn_applied = self.apply_churn(want_ids);
+        self.mark_phase(Phase::Churn, &mut phase_mark);
 
         // Phase 1: collect actions from active, awake nodes. (A node
         // scheduled for a late wake-up sleeps — neither transmits nor
@@ -426,23 +567,42 @@ impl Simulation {
         }
 
         self.total_transmissions += self.transmitters.len() as u64;
+        // The nodes that actually took part this round: active ∧ awake,
+        // post-churn. This — not `num_active`, which at this point still
+        // counts sleeping late-wakers — is what `RoundRecord::active_before`
+        // and `RoundEvent::participants` report.
+        let participants = self.transmitters.len() + self.listeners.len();
+        self.mark_phase(Phase::Act, &mut phase_mark);
 
         // Phase 2: the channel decides what listeners observe. The cached
         // path is bit-identical to the uncached one, so which branch runs
         // never affects the outcome; likewise a neutral (or absent)
-        // perturbation resolves through the exact same code path.
+        // perturbation resolves through the exact same code path, and the
+        // instrumented path (taken when the sink wants SINR breakdowns) is
+        // contractually bit-identical to the uninstrumented one.
         let cache = if self.cache_enabled {
             self.gain_cache.as_ref()
         } else {
             None
         };
+        let mut event_noise_scale = 1.0;
+        let mut event_jam_power = 0.0;
         let mut receptions = match &self.fault_plan {
-            None => self.channel.resolve_cached(
+            None if !want_sinr => self.channel.resolve_cached(
                 &self.positions,
                 &self.transmitters,
                 &self.listeners,
                 cache,
                 &mut self.chan_rng,
+            ),
+            None => self.channel.resolve_instrumented(
+                &self.positions,
+                &self.transmitters,
+                &self.listeners,
+                cache,
+                &ChannelPerturbation::neutral(),
+                &mut self.chan_rng,
+                &mut self.sinr_scratch,
             ),
             Some(plan) => {
                 let noise_scale = plan.noise_scale(self.round);
@@ -462,15 +622,31 @@ impl Simulation {
                 } else {
                     &[]
                 };
+                if telemetry_on {
+                    event_noise_scale = noise_scale;
+                    event_jam_power = extra.iter().sum();
+                }
                 let perturbation = ChannelPerturbation::new(noise_scale, extra);
-                self.channel.resolve_perturbed(
-                    &self.positions,
-                    &self.transmitters,
-                    &self.listeners,
-                    cache,
-                    &perturbation,
-                    &mut self.chan_rng,
-                )
+                if want_sinr {
+                    self.channel.resolve_instrumented(
+                        &self.positions,
+                        &self.transmitters,
+                        &self.listeners,
+                        cache,
+                        &perturbation,
+                        &mut self.chan_rng,
+                        &mut self.sinr_scratch,
+                    )
+                } else {
+                    self.channel.resolve_perturbed(
+                        &self.positions,
+                        &self.transmitters,
+                        &self.listeners,
+                        cache,
+                        &perturbation,
+                        &mut self.chan_rng,
+                    )
+                }
             }
         };
         debug_assert_eq!(receptions.len(), self.listeners.len());
@@ -480,6 +656,7 @@ impl Simulation {
         // probability. Draws come from the dedicated fault RNG lane, and
         // the reception set is cache-invariant, so this pass preserves
         // byte-determinism across cache and thread settings.
+        let mut ge_dropped = 0;
         if let Some(ge) = self.fault_plan.as_ref().and_then(FaultPlan::loss) {
             self.loss_in_burst = ge.advance(self.loss_in_burst, &mut self.fault_rng);
             let drop_prob = ge.drop_prob(self.loss_in_burst);
@@ -487,10 +664,12 @@ impl Simulation {
                 for r in &mut receptions {
                     if r.is_message() && self.fault_rng.gen_bool(drop_prob) {
                         *r = fading_channel::Reception::Silence;
+                        ge_dropped += 1;
                     }
                 }
             }
         }
+        self.mark_phase(Phase::Resolve, &mut phase_mark);
 
         // Phase 3: feedback and deactivation.
         let mut knocked_out = 0;
@@ -500,6 +679,9 @@ impl Simulation {
                 self.active[v] = false;
                 self.num_active -= 1;
                 knocked_out += 1;
+                if want_ids {
+                    self.knocked_scratch.push(v);
+                }
                 if let (Some(engine), Some(cache)) =
                     (&mut self.active_interference, &self.gain_cache)
                 {
@@ -507,6 +689,7 @@ impl Simulation {
                 }
             }
         }
+        self.mark_phase(Phase::Feedback, &mut phase_mark);
 
         // Resolution check: exactly one *active* node transmitted.
         let outcome = if self.transmitters.len() == 1 {
@@ -525,20 +708,92 @@ impl Simulation {
 
         match self.trace_level {
             TraceLevel::None => {}
-            TraceLevel::Counts => self.trace.push(RoundRecord {
+            TraceLevel::Counts => self.trace.push_capped(
+                self.trace_cap,
+                RoundRecord {
+                    round: self.round,
+                    active_before: participants,
+                    transmitters: self.transmitters.len(),
+                    knocked_out,
+                    transmitter_ids: None,
+                },
+            ),
+            TraceLevel::Full => self.trace.push_capped(
+                self.trace_cap,
+                RoundRecord {
+                    round: self.round,
+                    active_before: participants,
+                    transmitters: self.transmitters.len(),
+                    knocked_out,
+                    transmitter_ids: Some(self.transmitters.clone()),
+                },
+            ),
+        }
+
+        // Metrics read the SINR scratch *before* the event takes it.
+        if let Some(metrics) = self.metrics.as_deref_mut() {
+            for b in &self.sinr_scratch {
+                metrics.record_interference(b.interference);
+            }
+            if let Some(start) = round_start {
+                metrics.record_round(
+                    start.elapsed(),
+                    self.transmitters.len(),
+                    knocked_out,
+                    churn_applied,
+                    ge_dropped,
+                );
+            }
+        }
+
+        if telemetry_on {
+            let event = RoundEvent {
                 round: self.round,
-                active_before,
+                active_pre_churn,
+                participants,
                 transmitters: self.transmitters.len(),
+                listeners: self.listeners.len(),
                 knocked_out,
-                transmitter_ids: None,
-            }),
-            TraceLevel::Full => self.trace.push(RoundRecord {
-                round: self.round,
-                active_before,
-                transmitters: self.transmitters.len(),
-                knocked_out,
-                transmitter_ids: Some(self.transmitters.clone()),
-            }),
+                churn_applied,
+                noise_scale: event_noise_scale,
+                jam_power: event_jam_power,
+                ge_in_burst: self.loss_in_burst,
+                ge_dropped,
+                resolved: self.transmitters.len() == 1,
+                winner: if self.transmitters.len() == 1 {
+                    Some(self.transmitters[0])
+                } else {
+                    None
+                },
+                transmitter_ids: if want_ids {
+                    self.transmitters.clone()
+                } else {
+                    Vec::new()
+                },
+                knocked_out_ids: if want_ids {
+                    std::mem::take(&mut self.knocked_scratch)
+                } else {
+                    Vec::new()
+                },
+                crashed_ids: if want_ids {
+                    std::mem::take(&mut self.crashed_scratch)
+                } else {
+                    Vec::new()
+                },
+                revived_ids: if want_ids {
+                    std::mem::take(&mut self.revived_scratch)
+                } else {
+                    Vec::new()
+                },
+                sinr: if want_sinr {
+                    std::mem::take(&mut self.sinr_scratch)
+                } else {
+                    Vec::new()
+                },
+            };
+            if let Some(sink) = self.telemetry.as_deref_mut() {
+                sink.on_round(&event);
+            }
         }
 
         outcome
@@ -566,7 +821,7 @@ impl Simulation {
             self.step();
         }
         observe(self);
-        RunResult::new(
+        let result = RunResult::new(
             self.resolved_at,
             self.round,
             initial,
@@ -574,7 +829,11 @@ impl Simulation {
             self.winner,
             self.total_transmissions,
             std::mem::take(&mut self.trace),
-        )
+        );
+        if let Some(sink) = self.telemetry.as_deref_mut() {
+            sink.on_run_end(&result);
+        }
+        result
     }
 }
 

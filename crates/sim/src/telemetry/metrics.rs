@@ -1,0 +1,381 @@
+//! Lightweight counters, histograms, and phase timers for the step loop.
+//!
+//! A [`MetricsRegistry`] is attached to a simulation with
+//! [`Simulation::set_metrics_enabled`](crate::Simulation::set_metrics_enabled)
+//! and aggregates *profiling* data: how long rounds take, where the time
+//! goes (churn/act/resolve/feedback), and how the per-round interference
+//! and knockout counts distribute. Unlike the [`RoundEvent`] stream,
+//! metrics include wall-clock measurements and are **not** part of the
+//! determinism contract — two byte-identical runs will report different
+//! nanosecond totals. Everything else (counters, value histograms) is
+//! deterministic.
+//!
+//! [`RoundEvent`]: crate::telemetry::RoundEvent
+
+use std::time::Duration;
+
+/// The four instrumented phases of [`Simulation::step`].
+///
+/// [`Simulation::step`]: crate::Simulation::step
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Applying scheduled churn events at the start of the round.
+    Churn,
+    /// Collecting actions from active, awake nodes.
+    Act,
+    /// Channel resolution (including perturbation assembly and loss).
+    Resolve,
+    /// Delivering feedback and deactivating knocked-out nodes.
+    Feedback,
+}
+
+impl Phase {
+    /// All phases, in step order.
+    pub const ALL: [Phase; 4] = [Phase::Churn, Phase::Act, Phase::Resolve, Phase::Feedback];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Churn => 0,
+            Phase::Act => 1,
+            Phase::Resolve => 2,
+            Phase::Feedback => 3,
+        }
+    }
+
+    /// A short stable label (for reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Churn => "churn",
+            Phase::Act => "act",
+            Phase::Resolve => "resolve",
+            Phase::Feedback => "feedback",
+        }
+    }
+}
+
+/// A base-2 geometric histogram over non-negative `f64` values.
+///
+/// Bucket 0 holds values in `[0, 1)`; bucket `k ≥ 1` holds
+/// `[2^(k−1), 2^k)`. 64 buckets cover every finite magnitude the
+/// simulator produces (the last bucket absorbs overflow). Alongside the
+/// buckets the histogram tracks exact count/sum/min/max, so means are not
+/// quantized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; Histogram::NUM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    const NUM_BUCKETS: usize = 64;
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; Histogram::NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation (negative or non-finite values are clamped
+    /// into the terminal buckets rather than rejected — metrics must never
+    /// panic mid-run).
+    pub fn record(&mut self, value: f64) {
+        let idx = if value >= 1.0 {
+            // Values ≥ 2^62 (including +∞) saturate into the top bucket.
+            let k = value.log2();
+            if k >= (Histogram::NUM_BUCKETS - 2) as f64 {
+                Histogram::NUM_BUCKETS - 1
+            } else {
+                k as usize + 1
+            }
+        } else {
+            // NaN and everything below 1 (including negatives) land here.
+            0
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The raw bucket counts (bucket 0 = `[0, 1)`, bucket `k` =
+    /// `[2^(k−1), 2^k)`).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// An upper bound on the `q`-quantile (`q ∈ [0, 1]`) read from the
+    /// bucket boundaries: the least bucket upper edge below which at least
+    /// `q` of the mass lies. Coarse by design (factor-of-two resolution);
+    /// use the event stream for exact distributions.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if k == 0 { 1.0 } else { 2.0f64.powi(k as i32) });
+            }
+        }
+        None
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregated step-loop metrics for one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    rounds: u64,
+    transmissions: u64,
+    knockouts: u64,
+    churn_applied: u64,
+    ge_dropped: u64,
+    round_nanos: Histogram,
+    knockouts_per_round: Histogram,
+    interference: Histogram,
+    phase_nanos: [u64; 4],
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Records one completed round's aggregates (called by the step loop).
+    pub(crate) fn record_round(
+        &mut self,
+        latency: Duration,
+        transmitters: usize,
+        knocked_out: usize,
+        churn_applied: usize,
+        ge_dropped: usize,
+    ) {
+        self.rounds += 1;
+        self.transmissions += transmitters as u64;
+        self.knockouts += knocked_out as u64;
+        self.churn_applied += churn_applied as u64;
+        self.ge_dropped += ge_dropped as u64;
+        self.round_nanos.record(latency.as_nanos() as f64);
+        self.knockouts_per_round.record(knocked_out as f64);
+    }
+
+    /// Records one listener's SINR denominator-side interference (only
+    /// available in rounds resolved through the instrumented channel path).
+    pub(crate) fn record_interference(&mut self, interference: f64) {
+        self.interference.record(interference);
+    }
+
+    /// Adds wall-clock time to one phase's total.
+    pub(crate) fn add_phase(&mut self, phase: Phase, elapsed: Duration) {
+        self.phase_nanos[phase.index()] += elapsed.as_nanos() as u64;
+    }
+
+    /// Rounds recorded.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total transmissions across recorded rounds.
+    #[must_use]
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+
+    /// Total protocol knockouts across recorded rounds.
+    #[must_use]
+    pub fn knockouts(&self) -> u64 {
+        self.knockouts
+    }
+
+    /// Total churn events applied across recorded rounds.
+    #[must_use]
+    pub fn churn_applied(&self) -> u64 {
+        self.churn_applied
+    }
+
+    /// Total Gilbert–Elliott message drops across recorded rounds.
+    #[must_use]
+    pub fn ge_dropped(&self) -> u64 {
+        self.ge_dropped
+    }
+
+    /// Distribution of per-round wall-clock latency, in nanoseconds.
+    #[must_use]
+    pub fn round_latency_nanos(&self) -> &Histogram {
+        &self.round_nanos
+    }
+
+    /// Distribution of knockouts per round.
+    #[must_use]
+    pub fn knockouts_per_round(&self) -> &Histogram {
+        &self.knockouts_per_round
+    }
+
+    /// Distribution of per-listener interference sums (populated only when
+    /// a sink requested SINR detail, routing rounds through the
+    /// instrumented resolve path).
+    #[must_use]
+    pub fn interference(&self) -> &Histogram {
+        &self.interference
+    }
+
+    /// Accumulated wall-clock nanoseconds spent in `phase`.
+    #[must_use]
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()]
+    }
+
+    /// One-line human-readable summary (for logs and reports).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let phases: Vec<String> = Phase::ALL
+            .iter()
+            .map(|&p| format!("{}={}µs", p.name(), self.phase_nanos(p) / 1_000))
+            .collect();
+        format!(
+            "rounds={} tx={} knockouts={} churn={} ge_drops={} mean_round={:.1}µs [{}]",
+            self.rounds,
+            self.transmissions,
+            self.knockouts,
+            self.churn_applied,
+            self.ge_dropped,
+            self.round_nanos.mean() / 1_000.0,
+            phases.join(" ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_geometric() {
+        let mut h = Histogram::new();
+        h.record(0.0); // bucket 0
+        h.record(0.5); // bucket 0
+        h.record(1.0); // bucket 1: [1, 2)
+        h.record(3.0); // bucket 2: [2, 4)
+        h.record(1024.0); // bucket 11: [1024, 2048)
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.bucket_counts()[1], 1);
+        assert_eq!(h.bucket_counts()[2], 1);
+        assert_eq!(h.bucket_counts()[11], 1);
+        assert_eq!(h.min(), Some(0.0));
+        assert_eq!(h.max(), Some(1024.0));
+        assert!((h.mean() - (0.5 + 1.0 + 3.0 + 1024.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_handles_pathological_values() {
+        let mut h = Histogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.bucket_counts()[Histogram::NUM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn quantile_upper_bound_walks_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..9 {
+            h.record(1.5); // bucket 1, upper edge 2.0
+        }
+        h.record(100.0); // bucket 7, upper edge 128.0
+        assert_eq!(h.quantile_upper_bound(0.5), Some(2.0));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(128.0));
+        assert_eq!(h.quantile_upper_bound(1.5), None);
+    }
+
+    #[test]
+    fn registry_accumulates_rounds_and_phases() {
+        let mut m = MetricsRegistry::new();
+        m.record_round(Duration::from_micros(5), 3, 2, 1, 4);
+        m.record_round(Duration::from_micros(7), 1, 0, 0, 0);
+        m.add_phase(Phase::Resolve, Duration::from_micros(9));
+        m.add_phase(Phase::Resolve, Duration::from_micros(1));
+        m.record_interference(42.0);
+        assert_eq!(m.rounds(), 2);
+        assert_eq!(m.transmissions(), 4);
+        assert_eq!(m.knockouts(), 2);
+        assert_eq!(m.churn_applied(), 1);
+        assert_eq!(m.ge_dropped(), 4);
+        assert_eq!(m.phase_nanos(Phase::Resolve), 10_000);
+        assert_eq!(m.phase_nanos(Phase::Act), 0);
+        assert_eq!(m.knockouts_per_round().count(), 2);
+        assert_eq!(m.interference().count(), 1);
+        assert!((m.round_latency_nanos().mean() - 6_000.0).abs() < 1e-9);
+        let s = m.summary();
+        assert!(s.contains("rounds=2") && s.contains("resolve=10µs"), "{s}");
+    }
+}
