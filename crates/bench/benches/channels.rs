@@ -167,6 +167,35 @@ fn bench_faulted_vs_unfaulted(c: &mut Criterion) {
     group.finish();
 }
 
+/// The gain-cache knockout maintenance kernel: one deactivate + activate
+/// cycle updates every listener's standing interference total via a single
+/// cache-row walk. This is the hot loop the incremental-totals design
+/// keeps O(n) per knockout instead of O(n²) re-summation.
+fn bench_active_interference_knockout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("active_interference_knockout_n2048");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(2));
+    let n = 2048usize;
+    let d = Deployment::uniform_density(n, 0.25, 7);
+    let positions = d.points().to_vec();
+    let params = SinrParams::default_single_hop().with_power_for(&d);
+    let sinr = SinrChannel::new(params);
+    let cache = sinr
+        .build_gain_cache(&positions)
+        .expect("n = 2048 is within the cache guard");
+
+    group.bench_function("deactivate-activate-cycle", |b| {
+        let mut active = ActiveInterference::new(&cache);
+        let mut w = 0usize;
+        b.iter(|| {
+            active.deactivate(&cache, w);
+            active.activate(&cache, w);
+            w = (w + 1) % n;
+        });
+    });
+    group.finish();
+}
+
 fn bench_pow_alpha(c: &mut Criterion) {
     let mut group = c.benchmark_group("pow_alpha");
     group.warm_up_time(Duration::from_secs(1));
@@ -187,6 +216,7 @@ fn bench_pow_alpha(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().without_plots();
-    targets = bench_channels, bench_cached_vs_uncached, bench_faulted_vs_unfaulted, bench_pow_alpha
+    targets = bench_channels, bench_cached_vs_uncached, bench_faulted_vs_unfaulted,
+        bench_active_interference_knockout, bench_pow_alpha
 }
 criterion_main!(benches);

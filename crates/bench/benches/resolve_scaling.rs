@@ -1,0 +1,82 @@
+//! Tier-scaling benches: per-round resolve cost of the exact scan, the
+//! gain cache, and the far-field engine as `n` grows into the regime where
+//! the quadratic tiers stop being viable.
+//!
+//! The snapshot numbers recorded in `BENCH_scaling.json` come from the
+//! `scaling` binary (which times the same workload without Criterion's
+//! sampling overhead at the biggest sizes); this bench is the
+//! statistically careful version for regression tracking at the sizes
+//! Criterion can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+use fading_cr::channel::ChannelPerturbation;
+use fading_cr::prelude::*;
+
+fn split(n: usize) -> (Vec<usize>, Vec<usize>) {
+    // 25% transmitters, the FKN default.
+    let transmitters: Vec<usize> = (0..n).step_by(4).collect();
+    let listeners: Vec<usize> = (0..n).filter(|i| i % 4 != 0).collect();
+    (transmitters, listeners)
+}
+
+fn bench_resolve_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolve_scaling");
+    group.warm_up_time(Duration::from_secs(1));
+    group.sample_size(10);
+    for &n in &[1024usize, 4096, 16384, 65536] {
+        // Bigger sizes get a longer budget: a single exact round at
+        // n = 16384 is already tens of milliseconds.
+        group.measurement_time(Duration::from_secs(if n >= 16384 { 6 } else { 2 }));
+        let d = Deployment::uniform_density(n, 0.25, 7);
+        let positions = d.points().to_vec();
+        let (tx, rx) = split(n);
+        let params = SinrParams::default_single_hop().with_power_for(&d);
+        let sinr = SinrChannel::new(params);
+
+        // The exact quadratic scan: affordable under Criterion sampling up
+        // to n = 16384 (the `scaling` binary covers 65536 with hand-timed
+        // iterations).
+        if n <= 16384 {
+            group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+                let mut rng = SmallRng::seed_from_u64(0);
+                b.iter(|| sinr.resolve(&positions, &tx, &rx, &mut rng));
+            });
+        }
+
+        // The gain cache refuses deployments above its size guard.
+        if let Some(cache) = sinr.build_gain_cache(&positions) {
+            group.bench_with_input(BenchmarkId::new("gain-cache", n), &n, |b, _| {
+                let mut rng = SmallRng::seed_from_u64(0);
+                b.iter(|| sinr.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng));
+            });
+        }
+
+        let mut engine = sinr.build_farfield_engine(&positions);
+        assert!(engine.is_some(), "farfield engine must build at any n");
+        group.bench_with_input(BenchmarkId::new("farfield", n), &n, |b, _| {
+            let mut rng = SmallRng::seed_from_u64(0);
+            b.iter(|| {
+                sinr.resolve_farfield(
+                    &positions,
+                    &tx,
+                    &rx,
+                    engine.as_mut(),
+                    &ChannelPerturbation::neutral(),
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_resolve_scaling
+}
+criterion_main!(benches);

@@ -4,7 +4,7 @@ use rand::rngs::SmallRng;
 
 use fading_geom::Point;
 
-use crate::{ChannelPerturbation, GainCache, NodeId, Reception, SinrBreakdown};
+use crate::{ChannelPerturbation, FarFieldEngine, GainCache, NodeId, Reception, SinrBreakdown};
 
 pub(crate) mod sealed {
     /// Prevents downstream implementations so the trait can evolve.
@@ -136,6 +136,35 @@ pub trait Channel: sealed::Sealed + Send + Sync + std::fmt::Debug {
         self.resolve_perturbed(positions, transmitters, listeners, cache, perturbation, rng)
     }
 
+    /// Like [`Channel::resolve_perturbed`], optionally consulting a
+    /// [`FarFieldEngine`] for tile-aggregated interference pruning.
+    ///
+    /// The contract is the same **decision-exactness** guarantee as the
+    /// gain cache, one tier up: for any channel, `resolve_farfield` with an
+    /// engine built by [`Channel::build_farfield_engine`] over the same
+    /// `positions` returns a `Reception` vector **bit-identical** to
+    /// [`Channel::resolve_perturbed`] (and consumes the `rng` identically —
+    /// the engine is only ever offered to channels whose resolve draws no
+    /// randomness). Passing `None`, an engine that does not
+    /// [match](FarFieldEngine::matches) `positions`, or calling on a
+    /// channel without a pruned path falls back to `resolve_perturbed`
+    /// outright — which is this default implementation.
+    ///
+    /// The engine is `&mut` for its per-round scratch and decision
+    /// counters; the receptions never depend on that mutable state.
+    fn resolve_farfield(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        engine: Option<&mut FarFieldEngine>,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        let _ = engine;
+        self.resolve_perturbed(positions, transmitters, listeners, None, perturbation, rng)
+    }
+
     /// The received power at `to` of an external interferer (a jammer)
     /// transmitting from `from` with power `power`, under this channel's
     /// propagation model.
@@ -159,6 +188,21 @@ pub trait Channel: sealed::Sealed + Send + Sync + std::fmt::Debug {
     /// simulators holding a `Box<dyn Channel>` can build the matching
     /// cache without knowing the concrete model or its parameters.
     fn build_gain_cache(&self, positions: &[Point]) -> Option<GainCache> {
+        let _ = positions;
+        None
+    }
+
+    /// Builds the [`FarFieldEngine`] this channel can exploit for
+    /// `positions`, or `None` when the model cannot support the
+    /// decision-exactness contract: the radio channels are geometry-free,
+    /// and Rayleigh fading draws per-pair randomness in canonical order
+    /// that pruning would desynchronize.
+    ///
+    /// Unlike the gain cache, the engine has no size guard — its memory is
+    /// bounded by the tile-pair tables ([`MAX_TILES_PER_SIDE`](crate::MAX_TILES_PER_SIDE)⁴
+    /// entries), not by `n²` — which is exactly what lets it serve the
+    /// deployments the cache refuses.
+    fn build_farfield_engine(&self, positions: &[Point]) -> Option<FarFieldEngine> {
         let _ = positions;
         None
     }

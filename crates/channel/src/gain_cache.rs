@@ -67,6 +67,11 @@ pub struct GainCache {
     n: usize,
     power: f64,
     alpha: f64,
+    /// Position fingerprint: the first and last deployment positions,
+    /// recorded at build time so `matches` can reject a same-sized but
+    /// different deployment without re-verifying every coordinate.
+    first: Point,
+    last: Point,
     /// Row-major: `gains[v * n + u]` is the gain of transmitter `u` at
     /// listener `v`; the diagonal is 0 (a node never hears itself).
     gains: Vec<f64>,
@@ -110,6 +115,8 @@ impl GainCache {
             n,
             power,
             alpha,
+            first: positions[0],
+            last: positions[n - 1],
             gains,
         })
     }
@@ -129,13 +136,19 @@ impl GainCache {
     /// Cheap consistency check: does this cache plausibly belong to
     /// `positions` under `params`?
     ///
-    /// Compares the node count and the gain-determining parameters (`P`,
-    /// `α`); it does **not** re-verify every position (that would cost as
-    /// much as the lookups it guards). Callers that move nodes must drop
-    /// the cache themselves.
+    /// Compares the node count, the gain-determining parameters (`P`, `α`),
+    /// and a position fingerprint (the first and last deployment
+    /// positions), so a same-sized but different deployment cannot silently
+    /// reuse a stale cache. It does **not** re-verify every position (that
+    /// would cost as much as the lookups it guards) — callers that move
+    /// interior nodes must still drop the cache themselves.
     #[must_use]
     pub fn matches(&self, positions: &[Point], params: &SinrParams) -> bool {
-        self.n == positions.len() && self.power == params.power() && self.alpha == params.alpha()
+        self.n == positions.len()
+            && self.power == params.power()
+            && self.alpha == params.alpha()
+            && positions.first() == Some(&self.first)
+            && positions.last() == Some(&self.last)
     }
 
     /// The cached gain `P / d(u,v)^α` of transmitter `u` at listener `v`
@@ -235,9 +248,14 @@ impl ActiveInterference {
         }
         self.active[w] = false;
         self.num_active -= 1;
-        for (v, total) in self.totals.iter_mut().enumerate() {
+        // gain(w, v) == gain(v, w) bitwise (distance is computed from an
+        // exact IEEE negation, so both orders square the same values),
+        // which lets this walk w's contiguous *row* in step with the
+        // totals instead of striding the matrix column-wise through the
+        // bounds-asserting `gain` accessor.
+        for (v, (total, &g)) in self.totals.iter_mut().zip(cache.row(w)).enumerate() {
             if v != w {
-                *total -= cache.gain(w, v);
+                *total -= g;
             }
         }
     }
@@ -258,9 +276,10 @@ impl ActiveInterference {
         }
         self.active[w] = true;
         self.num_active += 1;
-        for (v, total) in self.totals.iter_mut().enumerate() {
+        // Same row-for-column substitution as `deactivate`.
+        for (v, (total, &g)) in self.totals.iter_mut().zip(cache.row(w)).enumerate() {
             if v != w {
-                *total += cache.gain(w, v);
+                *total += g;
             }
         }
     }
@@ -384,6 +403,69 @@ mod tests {
         assert!(!cache.matches(&pos[..3], &params()));
         let other = SinrParams::builder().power(32.0).alpha(3.0).build().unwrap();
         assert!(!cache.matches(&pos, &other));
+    }
+
+    #[test]
+    fn matches_rejects_same_sized_different_deployment() {
+        // Regression: before the position fingerprint, any deployment of
+        // the right size under the right parameters was accepted, so a
+        // stale cache could silently serve wrong gains.
+        let pos = line(4);
+        let cache = GainCache::build(&pos, &params()).unwrap();
+
+        let mut moved_first = pos.clone();
+        moved_first[0] = Point::new(-3.5, 1.0);
+        assert!(!cache.matches(&moved_first, &params()));
+
+        let mut moved_last = pos.clone();
+        moved_last[3] = Point::new(100.0, -2.0);
+        assert!(!cache.matches(&moved_last, &params()));
+
+        let shuffled: Vec<Point> = pos.iter().rev().copied().collect();
+        assert!(!cache.matches(&shuffled, &params()));
+    }
+
+    #[test]
+    fn deactivate_row_walk_matches_column_walk() {
+        // The hot loops subtract w's *row* where they previously looked up
+        // the column; this pins the bitwise symmetry that substitution
+        // relies on, on an asymmetric-looking deployment.
+        let pos = vec![
+            Point::new(0.3, -1.7),
+            Point::new(2.9, 4.1),
+            Point::new(-5.0, 0.2),
+            Point::new(7.7, 7.7),
+            Point::new(-0.01, 3.3),
+        ];
+        let cache = GainCache::build(&pos, &params()).unwrap();
+        for w in 0..pos.len() {
+            for (v, &g) in cache.row(w).iter().enumerate() {
+                assert_eq!(g, cache.gain(w, v), "w={w} v={v}");
+            }
+        }
+        // And the incremental totals still land exactly where a column
+        // walk would have put them (same values, same order).
+        let mut ai = ActiveInterference::new(&cache);
+        ai.deactivate(&cache, 2);
+        ai.activate(&cache, 2);
+        ai.deactivate(&cache, 0);
+        let mut expected: Vec<f64> = (0..pos.len())
+            .map(|v| cache.row(v).iter().sum::<f64>())
+            .collect();
+        for (v, e) in expected.iter_mut().enumerate() {
+            if v != 2 {
+                *e -= cache.gain(2, v);
+            }
+            if v != 2 {
+                *e += cache.gain(2, v);
+            }
+            if v != 0 {
+                *e -= cache.gain(0, v);
+            }
+        }
+        for (v, &e) in expected.iter().enumerate() {
+            assert_eq!(ai.total_at(v), e, "v={v}");
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@
 mod breakdown;
 mod channel;
 mod error;
+mod farfield;
 mod gain_cache;
 mod lossy;
 mod params;
@@ -78,6 +79,10 @@ mod sinr;
 pub use breakdown::SinrBreakdown;
 pub use channel::Channel;
 pub use error::ChannelError;
+pub use farfield::{
+    FarFieldEngine, FarFieldStats, DEFAULT_TARGET_TILE_OCCUPANCY, FARFIELD_REL_SLACK,
+    MAX_TILES_PER_SIDE, NEAR_RING,
+};
 pub use gain_cache::{ActiveInterference, GainCache, DEFAULT_MAX_CACHED_NODES};
 pub use lossy::LossySinrChannel;
 pub use params::{SinrParams, SinrParamsBuilder, DEFAULT_SINGLE_HOP_MARGIN};

@@ -7,7 +7,8 @@ use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
 use crate::{
-    ChannelPerturbation, GainCache, NodeId, Reception, SinrBreakdown, SinrChannel, SinrParams,
+    ChannelPerturbation, FarFieldEngine, GainCache, NodeId, Reception, SinrBreakdown, SinrChannel,
+    SinrParams,
 };
 
 /// A SINR channel in which every successfully decoded message is
@@ -182,12 +183,46 @@ impl Channel for LossySinrChannel {
         receptions
     }
 
+    fn resolve_farfield(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        engine: Option<&mut FarFieldEngine>,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        // The inner SINR physics take the pruned path; the i.i.d. drop
+        // pass afterwards draws from the rng in the same order as the
+        // other resolve paths (the pruned resolve draws nothing).
+        let mut receptions = self.inner.resolve_farfield(
+            positions,
+            transmitters,
+            listeners,
+            engine,
+            perturbation,
+            rng,
+        );
+        if self.drop_prob > 0.0 {
+            for r in &mut receptions {
+                if r.is_message() && rng.gen_bool(self.drop_prob) {
+                    *r = Reception::Silence;
+                }
+            }
+        }
+        receptions
+    }
+
     fn interferer_gain(&self, from: Point, to: Point, power: f64) -> f64 {
         self.inner.interferer_gain(from, to, power)
     }
 
     fn build_gain_cache(&self, positions: &[Point]) -> Option<GainCache> {
         self.inner.build_gain_cache(positions)
+    }
+
+    fn build_farfield_engine(&self, positions: &[Point]) -> Option<FarFieldEngine> {
+        self.inner.build_farfield_engine(positions)
     }
 
     fn name(&self) -> &'static str {

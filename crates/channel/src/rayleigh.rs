@@ -105,8 +105,11 @@ impl RayleighSinrChannel {
                     best_tx = Some(u);
                 }
             }
-            let denom = match perturbation {
-                Some(pt) => noise + pt.extra_at(v) + (total - best_sig),
+            // The jammer term is looked up once per listener and feeds both
+            // the denominator and the breakdown.
+            let extra = perturbation.map(|pt| pt.extra_at(v));
+            let denom = match extra {
+                Some(e) => noise + e + (total - best_sig),
                 None => noise + (total - best_sig),
             };
             let reception = match best_tx {
@@ -120,7 +123,7 @@ impl RayleighSinrChannel {
                     signal: best_sig,
                     interference: total - best_sig,
                     noise,
-                    extra: perturbation.map_or(0.0, |pt| pt.extra_at(v)),
+                    extra: extra.unwrap_or(0.0),
                     margin: best_sig - beta * denom,
                     decoded: reception.is_message(),
                 });
@@ -218,6 +221,12 @@ impl Channel for RayleighSinrChannel {
     fn build_gain_cache(&self, positions: &[Point]) -> Option<GainCache> {
         GainCache::build(positions, &self.params)
     }
+
+    // No `build_farfield_engine` override: this channel draws one fade per
+    // (listener, transmitter) pair in canonical order, so skipping any pair
+    // would desynchronize the rng stream — pruning cannot be
+    // decision-exact here. The trait default (no engine, wholesale
+    // fallback) is the correct behavior, not an omission.
 
     fn name(&self) -> &'static str {
         "rayleigh-sinr"

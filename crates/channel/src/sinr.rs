@@ -5,7 +5,9 @@ use rand::rngs::SmallRng;
 use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
-use crate::{ChannelPerturbation, GainCache, NodeId, Reception, SinrBreakdown, SinrParams};
+use crate::{
+    ChannelPerturbation, FarFieldEngine, GainCache, NodeId, Reception, SinrBreakdown, SinrParams,
+};
 
 /// Computes `d^alpha` given the *squared* distance `d_sq = d²`.
 ///
@@ -35,6 +37,56 @@ pub fn pow_alpha(d_sq: f64, alpha: f64) -> f64 {
         d_sq * d_sq * d_sq
     } else {
         d_sq.powf(alpha * 0.5)
+    }
+}
+
+/// Result of the canonical transmitter scan for one listener: the full
+/// interference fold plus the strongest signal and its transmitter.
+pub(crate) struct ScanOutcome {
+    /// Sum of all received powers, accumulated in `transmitters` order.
+    pub(crate) total: f64,
+    /// The strongest single received power (0.0 when none is positive).
+    pub(crate) best_sig: f64,
+    /// The first transmitter (in slice order) attaining `best_sig`, if any.
+    pub(crate) best_tx: Option<NodeId>,
+}
+
+/// The canonical per-listener accumulation loop.
+///
+/// Every exact resolve path — and the far-field engine's exact fallback —
+/// funnels through this one function, so the bit-exactness contracts
+/// between them hold by construction: signals are folded in `transmitters`
+/// slice order, and the winner is the first transmitter to strictly exceed
+/// all earlier signals (ties keep the earlier one).
+#[inline]
+pub(crate) fn scan_transmitters(
+    p: f64,
+    alpha: f64,
+    positions: &[Point],
+    row: Option<&[f64]>,
+    v: NodeId,
+    vp: Point,
+    transmitters: &[NodeId],
+) -> ScanOutcome {
+    let mut total = 0.0;
+    let mut best_sig = 0.0;
+    let mut best_tx: Option<NodeId> = None;
+    for &u in transmitters {
+        debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
+        let sig = match row {
+            Some(r) => r[u],
+            None => p / pow_alpha(positions[u].distance_sq(vp), alpha),
+        };
+        total += sig;
+        if sig > best_sig {
+            best_sig = sig;
+            best_tx = Some(u);
+        }
+    }
+    ScanOutcome {
+        total,
+        best_sig,
+        best_tx,
     }
 }
 
@@ -154,27 +206,19 @@ impl SinrChannel {
         for &v in listeners {
             let row = cache.map(|c| c.row(v));
             let vp = positions[v];
-            let mut total = 0.0;
-            let mut best_sig = 0.0;
-            let mut best_tx: Option<NodeId> = None;
-            for &u in transmitters {
-                debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
-                let sig = match row {
-                    Some(r) => r[u],
-                    None => p / pow_alpha(positions[u].distance_sq(vp), alpha),
-                };
-                total += sig;
-                if sig > best_sig {
-                    best_sig = sig;
-                    best_tx = Some(u);
-                }
-            }
-            // The scaled noise and the jammer term join the denominator
-            // exactly where Equation 1 puts N; the clean grouping is kept
-            // verbatim so an absent perturbation reproduces the historical
-            // expression bit for bit.
-            let denom = match perturbation {
-                Some(pt) => noise + pt.extra_at(v) + (total - best_sig),
+            let ScanOutcome {
+                total,
+                best_sig,
+                best_tx,
+            } = scan_transmitters(p, alpha, positions, row, v, vp, transmitters);
+            // The jammer term is looked up once per listener and feeds both
+            // the denominator and the breakdown. The scaled noise and the
+            // jammer term join the denominator exactly where Equation 1
+            // puts N; the clean grouping is kept verbatim so an absent
+            // perturbation reproduces the historical expression bit for bit.
+            let extra = perturbation.map(|pt| pt.extra_at(v));
+            let denom = match extra {
+                Some(e) => noise + e + (total - best_sig),
                 None => noise + (total - best_sig),
             };
             let reception = match best_tx {
@@ -188,7 +232,7 @@ impl SinrChannel {
                     signal: best_sig,
                     interference: total - best_sig,
                     noise,
-                    extra: perturbation.map_or(0.0, |pt| pt.extra_at(v)),
+                    extra: extra.unwrap_or(0.0),
                     margin: best_sig - beta * denom,
                     decoded: reception.is_message(),
                 });
@@ -265,12 +309,38 @@ impl Channel for SinrChannel {
         )
     }
 
+    fn resolve_farfield(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        engine: Option<&mut FarFieldEngine>,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        match engine.filter(|e| e.matches(positions, &self.params)) {
+            Some(e) => {
+                // A neutral perturbation routes to the clean denominator
+                // grouping, exactly as resolve_core's dispatch does.
+                let perturbation = Some(perturbation).filter(|pt| !pt.is_neutral());
+                e.resolve_sinr(&self.params, positions, transmitters, listeners, perturbation)
+            }
+            None => {
+                self.resolve_perturbed(positions, transmitters, listeners, None, perturbation, rng)
+            }
+        }
+    }
+
     fn interferer_gain(&self, from: Point, to: Point, power: f64) -> f64 {
         power / pow_alpha(from.distance_sq(to), self.params.alpha())
     }
 
     fn build_gain_cache(&self, positions: &[Point]) -> Option<GainCache> {
         GainCache::build(positions, &self.params)
+    }
+
+    fn build_farfield_engine(&self, positions: &[Point]) -> Option<FarFieldEngine> {
+        FarFieldEngine::build(positions, &self.params)
     }
 
     fn name(&self) -> &'static str {

@@ -20,6 +20,7 @@
 //! | E11 | The "with high probability" guarantee, quantified |
 //! | E12 | Ablations: knockout rule, stochastic fading, deployment shape |
 //! | E13 | Robustness degradation under fault injection (jamming, churn, noise, burst loss) |
+//! | E14 | Engine-tier scaling: the far-field resolve tier vs the n² wall |
 //!
 //! Each `eNN` function is deterministic given its [`ExperimentConfig`];
 //! [`run_by_id`] provides a string-keyed registry for the CLI harness.
@@ -48,6 +49,7 @@ mod e10_hitting_game;
 mod e11_high_probability;
 mod e12_ablations;
 mod e13_robustness;
+mod e14_engine_scaling;
 
 pub use common::ExperimentConfig;
 pub use e01_rounds_vs_n::e01_rounds_vs_n;
@@ -63,15 +65,16 @@ pub use e10_hitting_game::e10_hitting_game;
 pub use e11_high_probability::e11_high_probability;
 pub use e12_ablations::e12_ablations;
 pub use e13_robustness::e13_robustness;
+pub use e14_engine_scaling::e14_engine_scaling;
 
 use crate::Table;
 
 /// The experiment ids accepted by [`run_by_id`], in canonical order.
-pub const ALL_IDS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
-/// Runs one experiment by id (`"e1"` … `"e13"`, case-insensitive).
+/// Runs one experiment by id (`"e1"` … `"e14"`, case-insensitive).
 /// Returns `None` for an unknown id.
 #[must_use]
 pub fn run_by_id(id: &str, cfg: &ExperimentConfig) -> Option<Table> {
@@ -99,6 +102,7 @@ pub fn run_by_id_with(id: &str, cfg: &ExperimentConfig, telemetry_dir: Option<&s
         "e11" => Some(e11_high_probability(cfg)),
         "e12" => Some(e12_ablations(cfg)),
         "e13" => Some(e13_robustness(cfg)),
+        "e14" => Some(e14_engine_scaling(cfg)),
         _ => None,
     }
 }

@@ -82,8 +82,8 @@ pub mod prelude {
     pub use crate::table::Table;
     pub use fading_analysis::{ClassBoundSchedule, GoodNodes, LinkClasses, ScheduleParams};
     pub use fading_channel::{
-        ActiveInterference, Channel, GainCache, RadioCdChannel, RadioChannel,
-        RayleighSinrChannel, Reception, SinrChannel, SinrParams,
+        ActiveInterference, Channel, FarFieldEngine, FarFieldStats, GainCache, RadioCdChannel,
+        RadioChannel, RayleighSinrChannel, Reception, SinrChannel, SinrParams,
     };
     pub use fading_geom::{generators, Deployment, Point};
     pub use fading_hitting::{

@@ -44,6 +44,7 @@ mod grid;
 mod hull;
 mod io;
 mod point;
+mod tiles;
 
 pub use bbox::Bbox;
 pub use deployment::{Deployment, DeploymentBuilder};
@@ -51,6 +52,7 @@ pub use error::GeomError;
 pub use grid::GridIndex;
 pub use hull::{convex_hull, diameter};
 pub use point::Point;
+pub use tiles::TileIndex;
 
 /// Numeric tolerance used when comparing squared distances and other derived
 /// floating-point quantities within this crate.

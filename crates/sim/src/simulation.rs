@@ -6,7 +6,8 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use fading_channel::{
-    ActiveInterference, Channel, ChannelPerturbation, GainCache, NodeId, SinrBreakdown,
+    ActiveInterference, Channel, ChannelPerturbation, FarFieldEngine, FarFieldStats, GainCache,
+    NodeId, SinrBreakdown,
 };
 use fading_geom::{Deployment, Point};
 
@@ -87,6 +88,12 @@ pub struct Simulation {
     gain_cache: Option<GainCache>,
     cache_enabled: bool,
     active_interference: Option<ActiveInterference>,
+    // Tile-aggregated far-field engine (None when the channel cannot
+    // support the decision-exactness contract — radio and Rayleigh). By
+    // default it serves the tier above the gain cache: enabled exactly
+    // when the deployment exceeded the cache's size guard.
+    farfield: Option<FarFieldEngine>,
+    farfield_enabled: bool,
     // Scratch buffers reused across rounds.
     transmitters: Vec<NodeId>,
     listeners: Vec<NodeId>,
@@ -148,6 +155,17 @@ impl Simulation {
                 }
             }
         }
+        let mut farfield = channel.build_farfield_engine(&positions);
+        if let Some(engine) = &mut farfield {
+            for (i, &is_active) in active.iter().enumerate() {
+                if !is_active {
+                    engine.deactivate(i);
+                }
+            }
+        }
+        // Engine-tier default: the far-field path picks up exactly where
+        // the O(n²) gain cache bows out (n > DEFAULT_MAX_CACHED_NODES).
+        let farfield_enabled = gain_cache.is_none();
         Simulation {
             positions,
             channel,
@@ -165,6 +183,8 @@ impl Simulation {
             gain_cache,
             cache_enabled: true,
             active_interference,
+            farfield,
+            farfield_enabled,
             transmitters: Vec::new(),
             listeners: Vec::new(),
             fault_plan: None,
@@ -294,6 +314,9 @@ impl Simulation {
             if let (Some(engine), Some(cache)) = (&mut self.active_interference, &self.gain_cache) {
                 engine.deactivate(cache, v);
             }
+            if let Some(engine) = &mut self.farfield {
+                engine.deactivate(v);
+            }
             true
         } else {
             false
@@ -311,6 +334,9 @@ impl Simulation {
             self.num_active += 1;
             if let (Some(engine), Some(cache)) = (&mut self.active_interference, &self.gain_cache) {
                 engine.activate(cache, v);
+            }
+            if let Some(engine) = &mut self.farfield {
+                engine.activate(v);
             }
             true
         } else {
@@ -374,6 +400,44 @@ impl Simulation {
     #[must_use]
     pub fn gain_cache(&self) -> Option<&GainCache> {
         self.gain_cache.as_ref()
+    }
+
+    /// Enables or disables the far-field engine for subsequent rounds.
+    ///
+    /// The engine is on by default exactly when no gain cache exists (the
+    /// deployment exceeded the cache's `O(n²)` size guard), making it the
+    /// third engine tier: exact → gain-cache → far-field as `n` grows.
+    /// Because the far-field resolve is decision-exact (bit-identical
+    /// receptions; see
+    /// [`Channel::resolve_farfield`](fading_channel::Channel::resolve_farfield)),
+    /// toggling this never changes a run's outcome — only its speed.
+    /// Exposed, like [`Simulation::set_gain_cache_enabled`], so equivalence
+    /// and determinism tests can cross all engine tiers.
+    pub fn set_farfield_enabled(&mut self, enabled: bool) {
+        self.farfield_enabled = enabled;
+    }
+
+    /// Whether rounds currently resolve through the far-field engine (an
+    /// engine exists **and** it is enabled). Rounds that need SINR
+    /// breakdowns for telemetry still route through the instrumented exact
+    /// path regardless.
+    #[must_use]
+    pub fn farfield_active(&self) -> bool {
+        self.farfield_enabled && self.farfield.is_some()
+    }
+
+    /// The far-field engine, when the channel built one.
+    #[must_use]
+    pub fn farfield_engine(&self) -> Option<&FarFieldEngine> {
+        self.farfield.as_ref()
+    }
+
+    /// Decision counters of the far-field engine, when one exists:
+    /// how many listener decisions the pruned path settled versus how many
+    /// fell back to the exact scan.
+    #[must_use]
+    pub fn farfield_stats(&self) -> Option<FarFieldStats> {
+        self.farfield.as_ref().map(FarFieldEngine::stats)
     }
 
     /// The running total interference at node `v` from all still-active
@@ -585,9 +649,21 @@ impl Simulation {
         } else {
             None
         };
+        // The far-field tier only serves uninstrumented rounds: SINR
+        // breakdowns require the full per-pair decomposition the pruned
+        // path exists to skip.
+        let use_farfield = self.farfield_enabled && !want_sinr && self.farfield.is_some();
         let mut event_noise_scale = 1.0;
         let mut event_jam_power = 0.0;
         let mut receptions = match &self.fault_plan {
+            None if use_farfield => self.channel.resolve_farfield(
+                &self.positions,
+                &self.transmitters,
+                &self.listeners,
+                self.farfield.as_mut(),
+                &ChannelPerturbation::neutral(),
+                &mut self.chan_rng,
+            ),
             None if !want_sinr => self.channel.resolve_cached(
                 &self.positions,
                 &self.transmitters,
@@ -636,6 +712,15 @@ impl Simulation {
                         &perturbation,
                         &mut self.chan_rng,
                         &mut self.sinr_scratch,
+                    )
+                } else if use_farfield {
+                    self.channel.resolve_farfield(
+                        &self.positions,
+                        &self.transmitters,
+                        &self.listeners,
+                        self.farfield.as_mut(),
+                        &perturbation,
+                        &mut self.chan_rng,
                     )
                 } else {
                     self.channel.resolve_perturbed(
@@ -686,6 +771,9 @@ impl Simulation {
                     (&mut self.active_interference, &self.gain_cache)
                 {
                     engine.deactivate(cache, v);
+                }
+                if let Some(engine) = &mut self.farfield {
+                    engine.deactivate(v);
                 }
             }
         }

@@ -253,6 +253,155 @@ fn active_interference_shrinks_as_nodes_knock_out() {
     assert_eq!(sim.active_interference_at(usize::MAX), None);
 }
 
+/// Like [`run_batch`]/[`run_faulted_batch`], but exercising the far-field
+/// engine: gain cache disabled so the farfield/exact comparison is pure,
+/// fault plan optional.
+fn run_farfield_batch<F>(
+    make_channel: &F,
+    farfield: bool,
+    threads: usize,
+    trials: usize,
+    faulted: bool,
+) -> Vec<RunResult>
+where
+    F: Fn() -> Box<dyn Channel> + Sync,
+{
+    montecarlo::run_trials(trials, threads, 1000, move |seed| {
+        let deployment = Deployment::uniform_square(24, 15.0, seed);
+        let mut sim = Simulation::new(deployment, make_channel(), seed, |_| {
+            Box::new(Knockout {
+                p: 0.25,
+                active: true,
+            })
+        });
+        if faulted {
+            sim.set_fault_plan(stress_plan()).expect("plan fits deployment");
+        }
+        sim.set_gain_cache_enabled(false);
+        sim.set_farfield_enabled(farfield);
+        sim.set_trace_level(TraceLevel::Full);
+        sim.run_until_resolved(20_000)
+    })
+}
+
+/// The engine-tier cross-product: farfield {on, off} × threads {1, 8} ×
+/// fault plan {none, stress} must all produce byte-identical results —
+/// the end-to-end restatement of the decision-exactness contract, with
+/// knockout churn keeping the tile occupancy maintenance honest.
+fn assert_farfield_and_threads_invariant<F>(make_channel: F)
+where
+    F: Fn() -> Box<dyn Channel> + Sync,
+{
+    let trials = 12;
+    for &faulted in &[false, true] {
+        let reference = run_farfield_batch(&make_channel, false, 1, trials, faulted);
+        assert!(
+            reference.iter().any(|r| r.resolved()),
+            "batch (faulted={faulted}) never resolved; too hard to be a useful oracle"
+        );
+        for &farfield in &[true, false] {
+            for &threads in &[1usize, 8] {
+                let got = run_farfield_batch(&make_channel, farfield, threads, trials, faulted);
+                assert_eq!(
+                    got, reference,
+                    "results diverged at farfield={farfield}, threads={threads}, faulted={faulted}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sinr_results_invariant_under_farfield_and_thread_count() {
+    assert_farfield_and_threads_invariant(|| Box::new(SinrChannel::new(params())));
+}
+
+#[test]
+fn rayleigh_results_invariant_under_farfield_and_thread_count() {
+    // Rayleigh builds no engine (per-pair fading draws pin the rng
+    // schedule); enabling the tier must be a clean no-op.
+    assert_farfield_and_threads_invariant(|| Box::new(RayleighSinrChannel::new(params())));
+}
+
+#[test]
+fn lossy_results_invariant_under_farfield_and_thread_count() {
+    assert_farfield_and_threads_invariant(|| {
+        Box::new(LossySinrChannel::new(params(), 0.2).expect("valid drop_prob"))
+    });
+}
+
+#[test]
+fn simulation_exposes_farfield_state() {
+    let deployment = Deployment::uniform_square(16, 10.0, 7);
+    let channel = SinrChannel::new(params());
+    let mut sim = Simulation::new(deployment, Box::new(channel), 7, |_| {
+        Box::new(Knockout {
+            p: 0.25,
+            active: true,
+        })
+    });
+    // A 16-node SINR sim builds both tiers, but the gain cache wins the
+    // default at this size: farfield is built yet dormant.
+    assert!(sim.gain_cache_active());
+    assert!(!sim.farfield_active(), "cache tier should win at n=16");
+    assert!(sim.farfield_engine().is_some(), "engine is built regardless");
+    sim.set_farfield_enabled(true);
+    assert!(sim.farfield_active());
+    assert_eq!(sim.farfield_engine().map(|e| e.num_active()), Some(16));
+    assert_eq!(
+        sim.farfield_stats().map(|s| s.rounds),
+        Some(0),
+        "no rounds resolved yet"
+    );
+    sim.set_farfield_enabled(false);
+    assert!(!sim.farfield_active());
+    assert!(sim.farfield_engine().is_some(), "disabling keeps it built");
+}
+
+#[test]
+fn farfield_occupancy_shrinks_as_nodes_knock_out() {
+    let deployment = Deployment::uniform_square(24, 15.0, 3);
+    let channel = SinrChannel::new(params());
+    let mut sim = Simulation::new(deployment, Box::new(channel), 17, |_| {
+        Box::new(Knockout {
+            p: 0.25,
+            active: true,
+        })
+    });
+    sim.set_gain_cache_enabled(false);
+    sim.set_farfield_enabled(true);
+    sim.set_trace_level(TraceLevel::Counts);
+    assert_eq!(sim.farfield_engine().map(|e| e.num_active()), Some(24));
+
+    let result = sim.run_until_resolved(20_000);
+    assert!(result.resolved());
+    assert!(sim.num_active() < sim.len(), "someone must knock out");
+
+    let engine = sim.farfield_engine().expect("engine stays built");
+    assert_eq!(
+        engine.num_active(),
+        sim.num_active(),
+        "tile occupancy must track the simulation's live-node count"
+    );
+    let per_tile_sum: usize = (0..engine.tiles().num_tiles())
+        .map(|t| engine.active_in_tile(t))
+        .sum();
+    assert_eq!(per_tile_sum, engine.num_active());
+    let stats = sim.farfield_stats().expect("engine stays built");
+    assert!(stats.rounds > 0, "the engine should have served rounds");
+    let listeners_served: u64 = result
+        .trace()
+        .rounds()
+        .iter()
+        .map(|r| (r.active_before - r.transmitters) as u64)
+        .sum();
+    assert_eq!(
+        stats.fast_decisions + stats.noise_floor_silences + stats.exact_fallbacks,
+        listeners_served,
+        "every listener decision lands in exactly one stats bucket"
+    );
+}
+
 #[test]
 fn radio_channel_has_no_cache_but_runs_identically() {
     use fading_channel::RadioChannel;
