@@ -1,0 +1,109 @@
+//! `bench-gate` — the perf-regression gate: re-runs the resolve-tier
+//! scaling probe (the same workload as the `scaling` snapshot binary) and
+//! diffs the fresh timings against a committed `BENCH_scaling.json`
+//! baseline, per (tier, n). Exits nonzero when any cell slows down beyond
+//! the relative threshold; speedups never fail.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-gate [--baseline <path>] [--threshold <x>] [--check] [--quick]
+//!            [--sizes a,b,c] [--budget-ms <x>]
+//! ```
+//!
+//! * `--baseline <path>` — snapshot to diff against (default
+//!   `BENCH_scaling.json`).
+//! * `--threshold <x>` — fail beyond an `x`-fold slowdown (default 1.5).
+//! * `--check` — informational mode: print the verdict table but always
+//!   exit 0 (what CI runs, since absolute baselines are host-specific).
+//! * `--quick` — probe only the sizes ≤ 4096 with a small budget, for a
+//!   fast smoke signal.
+//! * `--sizes a,b,c` — override the probed sizes (baseline cells for
+//!   unprobed sizes are skipped).
+//! * `--budget-ms <x>` — per-tier wall budget in milliseconds.
+//! * `--inject-slowdown <f>` — multiply measured times by `f` (test hook
+//!   proving the gate trips on a synthetic regression).
+
+use std::process::ExitCode;
+
+use fading_bench::gate::{judge, parse_baseline, render_verdicts};
+use fading_bench::probe::{default_budget_ms, run_probe, DEFAULT_SIZES};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path =
+        flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_scaling.json".to_string());
+    let threshold: f64 = flag_value(&args, "--threshold")
+        .map(|v| v.parse().expect("--threshold wants a number"))
+        .unwrap_or(1.5);
+    assert!(
+        threshold.is_finite() && threshold > 0.0,
+        "--threshold must be a positive number, got {threshold}"
+    );
+    let check_only = args.iter().any(|a| a == "--check");
+    let quick = args.iter().any(|a| a == "--quick");
+    let inject: f64 = flag_value(&args, "--inject-slowdown")
+        .map(|v| v.parse().expect("--inject-slowdown wants a number"))
+        .unwrap_or(1.0);
+
+    let sizes: Vec<usize> = match flag_value(&args, "--sizes") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("--sizes wants integers"))
+            .collect(),
+        None if quick => DEFAULT_SIZES.iter().copied().filter(|&n| n <= 4096).collect(),
+        None => DEFAULT_SIZES.to_vec(),
+    };
+    let budget_ms = flag_value(&args, "--budget-ms")
+        .map(|v| v.parse::<f64>().expect("--budget-ms wants a number"));
+
+    let text = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = parse_baseline(&text).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+
+    eprintln!("# bench-gate: probing n = {sizes:?} against {baseline_path}");
+    let mut measured = run_probe(
+        &sizes,
+        |n| budget_ms.unwrap_or_else(|| if quick { 50.0 } else { default_budget_ms(n) }),
+        |s| eprintln!("  probed n = {} ({} tiers)", s.n, s.tiers.len()),
+    );
+    if inject != 1.0 {
+        eprintln!("# injecting synthetic {inject}x slowdown");
+        for s in &mut measured {
+            for t in &mut s.tiers {
+                t.ms_per_round *= inject;
+            }
+        }
+    }
+
+    let verdicts = judge(&baseline, &measured, threshold);
+    print!("{}", render_verdicts(&verdicts, threshold));
+    if verdicts.is_empty() {
+        eprintln!("bench-gate: no baseline cells matched the probed sizes");
+        return ExitCode::FAILURE;
+    }
+    let regressed = verdicts.iter().filter(|v| v.regressed).count();
+    if regressed > 0 {
+        println!(
+            "bench-gate: {regressed}/{} cells regressed beyond {threshold:.2}x{}",
+            verdicts.len(),
+            if check_only { " (check mode: not failing)" } else { "" }
+        );
+        if !check_only {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!(
+            "bench-gate: all {} cells within {threshold:.2}x of baseline",
+            verdicts.len()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -9,46 +9,14 @@
 //! ```
 //!
 //! This is the snapshot producer behind the repo's scaling claims; the
-//! Criterion bench `resolve_scaling` tracks the same workload with proper
-//! sampling for regression detection. Timing here is deliberately simple
-//! (adaptive iteration counts against a wall-clock budget) so the binary
-//! stays runnable at `n = 65536`, where one exact round costs seconds.
+//! `bench-gate` binary re-runs the same probe (shared via
+//! `fading_bench::probe`) and diffs against the committed snapshot, and
+//! the Criterion bench `resolve_scaling` tracks the workload with proper
+//! sampling.
 
-use std::fmt::Write as _;
-use std::time::Instant;
-
-use fading_cr::channel::ChannelPerturbation;
-use fading_cr::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-/// Deployment density (nodes per unit²) of the standard experiment sweep.
-const DENSITY: f64 = 0.25;
-/// Deployment seed: fixed so snapshots are comparable across runs.
-const SEED: u64 = 7;
-
-/// Times `f` with one warm-up call plus enough iterations to roughly fill
-/// `budget_ms` (clamped to [3, 200]); returns `(iters, ms_per_call)`.
-fn time_ms(mut f: impl FnMut(), budget_ms: f64) -> (u32, f64) {
-    let start = Instant::now();
-    f();
-    let estimate = start.elapsed().as_secs_f64() * 1e3;
-    let iters = ((budget_ms / estimate.max(1e-4)) as u32).clamp(3, 200);
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    (
-        iters,
-        start.elapsed().as_secs_f64() * 1e3 / f64::from(iters),
-    )
-}
-
-struct TierSample {
-    tier: &'static str,
-    iters: u32,
-    ms_per_round: f64,
-}
+use fading_bench::probe::{
+    default_budget_ms, render_snapshot_json, run_probe, DEFAULT_SIZES, DENSITY, SEED,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,132 +26,24 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_scaling.json".to_string());
 
-    let mut size_blocks = Vec::new();
     println!("# resolve-tier scaling (25% transmitters, density {DENSITY}, seed {SEED})");
     println!(
         "{:>7} {:>11} {:>6} {:>14}",
         "n", "tier", "iters", "ms/round"
     );
-    for &n in &[1024usize, 4096, 16384, 65536] {
-        let d = Deployment::uniform_density(n, DENSITY, SEED);
-        let positions = d.points().to_vec();
-        let tx: Vec<usize> = (0..n).step_by(4).collect();
-        let rx: Vec<usize> = (0..n).filter(|i| i % 4 != 0).collect();
-        let params = SinrParams::default_single_hop().with_power_for(&d);
-        let sinr = SinrChannel::new(params);
-        // The big sizes get a small budget on purpose: the adaptive clamp
-        // still gives ≥ 3 honest iterations and one exact round at
-        // n = 65536 already costs seconds.
-        let budget_ms = if n >= 16384 { 3000.0 } else { 1000.0 };
-
-        let mut samples = Vec::new();
-        let mut rng = SmallRng::seed_from_u64(0);
-
-        let exact_rx = sinr.resolve(&positions, &tx, &rx, &mut rng);
-        let (iters, ms) = time_ms(
-            || {
-                sinr.resolve(&positions, &tx, &rx, &mut rng);
-            },
-            budget_ms,
-        );
-        samples.push(TierSample {
-            tier: "exact",
-            iters,
-            ms_per_round: ms,
-        });
-
-        if let Some(cache) = sinr.build_gain_cache(&positions) {
-            let cached_rx = sinr.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng);
-            assert_eq!(exact_rx, cached_rx, "gain cache broke exactness at n={n}");
-            let (iters, ms) = time_ms(
-                || {
-                    sinr.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng);
-                },
-                budget_ms,
-            );
-            samples.push(TierSample {
-                tier: "gain-cache",
-                iters,
-                ms_per_round: ms,
-            });
-        }
-
-        let mut engine = sinr.build_farfield_engine(&positions);
-        let far_rx = sinr.resolve_farfield(
-            &positions,
-            &tx,
-            &rx,
-            engine.as_mut(),
-            &ChannelPerturbation::neutral(),
-            &mut rng,
-        );
-        assert_eq!(exact_rx, far_rx, "farfield broke exactness at n={n}");
-        let (iters, ms) = time_ms(
-            || {
-                sinr.resolve_farfield(
-                    &positions,
-                    &tx,
-                    &rx,
-                    engine.as_mut(),
-                    &ChannelPerturbation::neutral(),
-                    &mut rng,
-                );
-            },
-            budget_ms,
-        );
-        samples.push(TierSample {
-            tier: "farfield",
-            iters,
-            ms_per_round: ms,
-        });
-
-        for s in &samples {
+    let samples = run_probe(&DEFAULT_SIZES, default_budget_ms, |s| {
+        for t in &s.tiers {
             println!(
                 "{:>7} {:>11} {:>6} {:>14.4}",
-                n, s.tier, s.iters, s.ms_per_round
+                s.n, t.tier, t.iters, t.ms_per_round
             );
         }
-        let exact_ms = samples[0].ms_per_round;
-        let far_ms = samples.last().expect("farfield sample").ms_per_round;
-        let speedup = exact_ms / far_ms;
-        println!("{:>7} {:>11} {:>6} {:>13.2}x", n, "speedup", "", speedup);
+        println!(
+            "{:>7} {:>11} {:>6} {:>13.2}x",
+            s.n, "speedup", "", s.speedup_farfield_vs_exact
+        );
+    });
 
-        let stats = engine
-            .as_ref()
-            .map(FarFieldEngine::stats)
-            .unwrap_or_default();
-        let served = stats.fast_decisions + stats.noise_floor_silences + stats.exact_fallbacks;
-        let fallback_frac = if served > 0 {
-            stats.exact_fallbacks as f64 / served as f64
-        } else {
-            0.0
-        };
-
-        let mut tiers_json = String::new();
-        for (i, s) in samples.iter().enumerate() {
-            if i > 0 {
-                tiers_json.push_str(", ");
-            }
-            write!(
-                tiers_json,
-                "{{\"tier\": \"{}\", \"iters\": {}, \"ms_per_round\": {:.6}}}",
-                s.tier, s.iters, s.ms_per_round
-            )
-            .expect("write to String cannot fail");
-        }
-        size_blocks.push(format!(
-            "    {{\n      \"n\": {n},\n      \"tiers\": [{tiers_json}],\n      \
-             \"speedup_farfield_vs_exact\": {speedup:.2},\n      \
-             \"farfield_fallback_fraction\": {fallback_frac:.6}\n    }}"
-        ));
-    }
-
-    let json = format!(
-        "{{\n  \"bench\": \"resolve_scaling\",\n  \"workload\": {{\n    \
-         \"tx_fraction\": 0.25,\n    \"density\": {DENSITY},\n    \"seed\": {SEED},\n    \
-         \"channel\": \"sinr-single-hop\"\n  }},\n  \"sizes\": [\n{}\n  ]\n}}\n",
-        size_blocks.join(",\n")
-    );
-    std::fs::write(&out_path, json).expect("write snapshot JSON");
+    std::fs::write(&out_path, render_snapshot_json(&samples)).expect("write snapshot JSON");
     println!("\nwrote {out_path}");
 }

@@ -15,6 +15,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
+pub mod probe;
+
 use fading_cr::experiments::ExperimentConfig;
 
 /// Parses the common CLI scale flags (`--smoke`, `--quick`, `--full`).

@@ -1,0 +1,232 @@
+//! The resolve-tier scaling probe shared by the `scaling` snapshot binary
+//! and the `bench-gate` regression gate: hand-timed per-round resolve cost
+//! of the exact scan, the gain cache, and the far-field engine over a size
+//! sweep, rendered as the `BENCH_scaling.json` schema.
+//!
+//! Timing is deliberately simple (adaptive iteration counts against a
+//! wall-clock budget) so the probe stays runnable at `n = 65536`, where
+//! one exact round costs seconds; the Criterion bench `resolve_scaling`
+//! tracks the same workload with proper sampling.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fading_cr::channel::ChannelPerturbation;
+use fading_cr::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Deployment density (nodes per unit²) of the standard experiment sweep.
+pub const DENSITY: f64 = 0.25;
+/// Deployment seed: fixed so snapshots are comparable across runs.
+pub const SEED: u64 = 7;
+/// The size sweep of the committed snapshot.
+pub const DEFAULT_SIZES: [usize; 4] = [1024, 4096, 16384, 65536];
+
+/// Times `f` with one warm-up call plus enough iterations to roughly fill
+/// `budget_ms` (clamped to [3, 200]); returns `(iters, ms_per_call)`.
+pub fn time_ms(mut f: impl FnMut(), budget_ms: f64) -> (u32, f64) {
+    let start = Instant::now();
+    f();
+    let estimate = start.elapsed().as_secs_f64() * 1e3;
+    let iters = ((budget_ms / estimate.max(1e-4)) as u32).clamp(3, 200);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (
+        iters,
+        start.elapsed().as_secs_f64() * 1e3 / f64::from(iters),
+    )
+}
+
+/// One timed resolve tier at one deployment size.
+#[derive(Clone, Debug)]
+pub struct TierSample {
+    /// Tier name: `"exact"`, `"gain-cache"`, or `"farfield"`.
+    pub tier: &'static str,
+    /// Iterations the adaptive loop settled on.
+    pub iters: u32,
+    /// Measured mean wall time per resolve round, in milliseconds.
+    pub ms_per_round: f64,
+}
+
+/// All tier samples at one deployment size.
+#[derive(Clone, Debug)]
+pub struct SizeSample {
+    /// Number of deployed nodes.
+    pub n: usize,
+    /// Per-tier timings (exact always first, far-field always last).
+    pub tiers: Vec<TierSample>,
+    /// `exact ms / farfield ms`.
+    pub speedup_farfield_vs_exact: f64,
+    /// Fraction of far-field listener decisions that fell back to the
+    /// exact scan during the probe.
+    pub farfield_fallback_fraction: f64,
+}
+
+/// Runs the scaling probe over `sizes`, timing each tier against
+/// `budget_ms_for(n)` milliseconds, asserting cross-tier exactness at
+/// every size. `report` sees each completed [`SizeSample`] as it lands
+/// (the binaries print progressively; pass `|_| {}` for silence).
+pub fn run_probe(
+    sizes: &[usize],
+    budget_ms_for: impl Fn(usize) -> f64,
+    mut report: impl FnMut(&SizeSample),
+) -> Vec<SizeSample> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let d = Deployment::uniform_density(n, DENSITY, SEED);
+        let positions = d.points().to_vec();
+        let tx: Vec<usize> = (0..n).step_by(4).collect();
+        let rx: Vec<usize> = (0..n).filter(|i| i % 4 != 0).collect();
+        let params = SinrParams::default_single_hop().with_power_for(&d);
+        let sinr = SinrChannel::new(params);
+        let budget_ms = budget_ms_for(n);
+
+        let mut tiers = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+
+        let exact_rx = sinr.resolve(&positions, &tx, &rx, &mut rng);
+        let (iters, ms) = time_ms(
+            || {
+                sinr.resolve(&positions, &tx, &rx, &mut rng);
+            },
+            budget_ms,
+        );
+        tiers.push(TierSample {
+            tier: "exact",
+            iters,
+            ms_per_round: ms,
+        });
+
+        if let Some(cache) = sinr.build_gain_cache(&positions) {
+            let cached_rx = sinr.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng);
+            assert_eq!(exact_rx, cached_rx, "gain cache broke exactness at n={n}");
+            let (iters, ms) = time_ms(
+                || {
+                    sinr.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng);
+                },
+                budget_ms,
+            );
+            tiers.push(TierSample {
+                tier: "gain-cache",
+                iters,
+                ms_per_round: ms,
+            });
+        }
+
+        let mut engine = sinr.build_farfield_engine(&positions);
+        let far_rx = sinr.resolve_farfield(
+            &positions,
+            &tx,
+            &rx,
+            engine.as_mut(),
+            &ChannelPerturbation::neutral(),
+            &mut rng,
+        );
+        assert_eq!(exact_rx, far_rx, "farfield broke exactness at n={n}");
+        let (iters, ms) = time_ms(
+            || {
+                sinr.resolve_farfield(
+                    &positions,
+                    &tx,
+                    &rx,
+                    engine.as_mut(),
+                    &ChannelPerturbation::neutral(),
+                    &mut rng,
+                );
+            },
+            budget_ms,
+        );
+        tiers.push(TierSample {
+            tier: "farfield",
+            iters,
+            ms_per_round: ms,
+        });
+
+        let exact_ms = tiers[0].ms_per_round;
+        let far_ms = tiers.last().expect("farfield sample").ms_per_round;
+        let stats = engine
+            .as_ref()
+            .map(FarFieldEngine::stats)
+            .unwrap_or_default();
+        let sample = SizeSample {
+            n,
+            tiers,
+            speedup_farfield_vs_exact: exact_ms / far_ms,
+            farfield_fallback_fraction: stats.fallback_fraction(),
+        };
+        report(&sample);
+        out.push(sample);
+    }
+    out
+}
+
+/// The committed snapshot's per-size wall budget: the big sizes get more
+/// room on purpose — the adaptive clamp still gives ≥ 3 honest iterations
+/// and one exact round at `n = 65536` already costs seconds.
+#[must_use]
+pub fn default_budget_ms(n: usize) -> f64 {
+    if n >= 16384 {
+        3000.0
+    } else {
+        1000.0
+    }
+}
+
+/// Renders probe output in the `BENCH_scaling.json` schema.
+#[must_use]
+pub fn render_snapshot_json(samples: &[SizeSample]) -> String {
+    let mut size_blocks = Vec::with_capacity(samples.len());
+    for s in samples {
+        let mut tiers_json = String::new();
+        for (i, t) in s.tiers.iter().enumerate() {
+            if i > 0 {
+                tiers_json.push_str(", ");
+            }
+            write!(
+                tiers_json,
+                "{{\"tier\": \"{}\", \"iters\": {}, \"ms_per_round\": {:.6}}}",
+                t.tier, t.iters, t.ms_per_round
+            )
+            .expect("write to String cannot fail");
+        }
+        size_blocks.push(format!(
+            "    {{\n      \"n\": {},\n      \"tiers\": [{tiers_json}],\n      \
+             \"speedup_farfield_vs_exact\": {:.2},\n      \
+             \"farfield_fallback_fraction\": {:.6}\n    }}",
+            s.n, s.speedup_farfield_vs_exact, s.farfield_fallback_fraction
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"resolve_scaling\",\n  \"workload\": {{\n    \
+         \"tx_fraction\": 0.25,\n    \"density\": {DENSITY},\n    \"seed\": {SEED},\n    \
+         \"channel\": \"sinr-single-hop\"\n  }},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        size_blocks.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_runs_and_renders_at_a_tiny_size() {
+        let samples = run_probe(&[256], |_| 5.0, |_| {});
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].n, 256);
+        assert_eq!(samples[0].tiers.first().map(|t| t.tier), Some("exact"));
+        assert_eq!(samples[0].tiers.last().map(|t| t.tier), Some("farfield"));
+        let json = render_snapshot_json(&samples);
+        assert!(json.contains("\"bench\": \"resolve_scaling\""));
+        assert!(json.contains("\"n\": 256"));
+    }
+
+    #[test]
+    fn default_budget_grows_with_n() {
+        assert_eq!(default_budget_ms(1024), 1000.0);
+        assert_eq!(default_budget_ms(16384), 3000.0);
+        assert_eq!(default_budget_ms(65536), 3000.0);
+    }
+}

@@ -91,23 +91,83 @@ pub const NEAR_RING: usize = 1;
 /// costs a sliver of extra fallbacks near the decision boundary.
 pub const FARFIELD_REL_SLACK: f64 = 1e-9;
 
-/// Decision counters accumulated by a [`FarFieldEngine`] across rounds.
+/// Decision counters accumulated by a [`FarFieldEngine`] across rounds,
+/// one named counter per rung of the decision ladder (module docs,
+/// "decision-exactness contract") plus the trivial transmitter-free case.
 ///
-/// Every listener decision lands in exactly one bucket, so
-/// `fast_decisions + noise_floor_silences + exact_fallbacks` equals the
-/// total number of listener resolutions performed.
+/// Every listener decision lands in **exactly one** bucket, so the sum of
+/// all seven counters ([`FarFieldStats::listeners_resolved`]) equals the
+/// total number of listener resolutions performed — the reconciliation
+/// invariant the equivalence suite asserts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FarFieldStats {
     /// Rounds resolved through the engine.
     pub rounds: u64,
+    /// Listeners of transmitter-free rounds: decided (Silence) without
+    /// entering the ladder, since the canonical fold has no candidate.
+    pub empty_round_silences: u64,
+    /// Rung 1: a non-finite intermediate (overflow, coincident nodes,
+    /// touching tile boxes) voided the bracket reasoning → exact fallback.
+    pub nonfinite_fallbacks: u64,
+    /// Rung 2: certain silence — neither the near best nor the far cap
+    /// could reach the (possibly jammed, noise-scaled) floor `β·N`.
+    pub noise_floor_silences: u64,
+    /// Rung 3: no near candidate, yet rung 2 could not rule out a far
+    /// decode → exact fallback (only the exact scan can name the winner).
+    pub no_near_winner_fallbacks: u64,
+    /// Rung 4: some far tile's gain cap rivals the near best, so the
+    /// canonical winner might be a far transmitter → exact fallback.
+    pub far_rival_fallbacks: u64,
+    /// Rung 5: the slack-widened interference bracket settled the decision
+    /// (both endpoints agree).
+    pub bracket_decisions: u64,
+    /// Rung 5: the bracket straddled the `β` threshold → exact fallback.
+    pub bracket_straddle_fallbacks: u64,
+}
+
+impl FarFieldStats {
     /// Listener decisions settled by the near scan + far bracket alone
     /// (including listeners of transmitter-free rounds).
-    pub fast_decisions: u64,
-    /// Listener decisions settled as silence because neither the near best
-    /// nor the far cap could reach the noise floor `β·N`.
-    pub noise_floor_silences: u64,
-    /// Listener decisions that required the exact canonical scan.
-    pub exact_fallbacks: u64,
+    #[must_use]
+    pub fn fast_decisions(&self) -> u64 {
+        self.empty_round_silences + self.bracket_decisions
+    }
+
+    /// Listener decisions that required the exact canonical scan — the sum
+    /// of every fallback rung.
+    #[must_use]
+    pub fn exact_fallbacks(&self) -> u64 {
+        self.nonfinite_fallbacks
+            + self.no_near_winner_fallbacks
+            + self.far_rival_fallbacks
+            + self.bracket_straddle_fallbacks
+    }
+
+    /// Total listener resolutions performed: the sum of every bucket.
+    /// Equals `fast_decisions() + noise_floor_silences + exact_fallbacks()`
+    /// by construction.
+    #[must_use]
+    pub fn listeners_resolved(&self) -> u64 {
+        self.empty_round_silences
+            + self.nonfinite_fallbacks
+            + self.noise_floor_silences
+            + self.no_near_winner_fallbacks
+            + self.far_rival_fallbacks
+            + self.bracket_decisions
+            + self.bracket_straddle_fallbacks
+    }
+
+    /// Fraction of listener decisions that fell back to the exact scan
+    /// (0.0 when no listener has been resolved yet).
+    #[must_use]
+    pub fn fallback_fraction(&self) -> f64 {
+        let total = self.listeners_resolved();
+        if total == 0 {
+            0.0
+        } else {
+            self.exact_fallbacks() as f64 / total as f64
+        }
+    }
 }
 
 /// Per-tile-pair gain bounds plus per-round scratch for the tile-aggregated
@@ -343,7 +403,7 @@ impl FarFieldEngine {
         if transmitters.is_empty() {
             // The canonical loop yields Silence for every listener when
             // nobody transmits (best_tx stays None).
-            self.stats.fast_decisions += listeners.len() as u64;
+            self.stats.empty_round_silences += listeners.len() as u64;
             return vec![Reception::Silence; listeners.len()];
         }
 
@@ -473,7 +533,7 @@ impl FarFieldEngine {
         // Rung 1: any non-finite intermediate (overflow, coincident nodes,
         // touching tile boxes) voids the bracket reasoning entirely.
         if !(near_sum.is_finite() && far_hi.is_finite() && far_cap.is_finite()) {
-            self.stats.exact_fallbacks += 1;
+            self.stats.nonfinite_fallbacks += 1;
             return fallback();
         }
         let base = match extra {
@@ -489,13 +549,13 @@ impl FarFieldEngine {
         // Rung 3: no near candidate, yet rung 2 could not rule out a far
         // decode — only the exact scan can name the winner.
         let Some(from) = best_tx else {
-            self.stats.exact_fallbacks += 1;
+            self.stats.no_near_winner_fallbacks += 1;
             return fallback();
         };
         // Rung 4: the near best must strictly dominate every possible far
         // signal, or the canonical winner might be a far transmitter.
         if far_cap >= best_sig {
-            self.stats.exact_fallbacks += 1;
+            self.stats.far_rival_fallbacks += 1;
             return fallback();
         }
         // Rung 5: bracket the canonical interference and require the
@@ -511,14 +571,14 @@ impl FarFieldEngine {
         let msg_lo = best_sig >= beta * denom_lo;
         let msg_hi = best_sig >= beta * denom_hi;
         if msg_lo == msg_hi {
-            self.stats.fast_decisions += 1;
+            self.stats.bracket_decisions += 1;
             if msg_hi {
                 Reception::Message { from }
             } else {
                 Reception::Silence
             }
         } else {
-            self.stats.exact_fallbacks += 1;
+            self.stats.bracket_straddle_fallbacks += 1;
             fallback()
         }
     }
@@ -627,9 +687,10 @@ mod tests {
         assert_eq!(exact, fast);
         let s = engine.stats();
         assert_eq!(s.rounds, 1);
+        assert_eq!(s.listeners_resolved(), listeners.len() as u64);
         assert_eq!(
-            s.fast_decisions + s.noise_floor_silences + s.exact_fallbacks,
-            listeners.len() as u64
+            s.fast_decisions() + s.noise_floor_silences + s.exact_fallbacks(),
+            s.listeners_resolved()
         );
     }
 
@@ -641,7 +702,8 @@ mod tests {
         let listeners: Vec<NodeId> = (0..pos.len()).collect();
         let rx = engine.resolve_sinr(&p, &pos, &[], &listeners, None);
         assert!(rx.iter().all(|r| *r == Reception::Silence));
-        assert_eq!(engine.stats().fast_decisions, pos.len() as u64);
+        assert_eq!(engine.stats().empty_round_silences, pos.len() as u64);
+        assert_eq!(engine.stats().fast_decisions(), pos.len() as u64);
     }
 
     #[test]

@@ -193,8 +193,13 @@ fn knife_edge_margin_forces_exact_fallback() {
     // decision must have come from the exact fallback rung.
     let stats = engine.unwrap().stats();
     assert_eq!(
-        stats.exact_fallbacks, 1,
+        stats.exact_fallbacks(),
+        1,
         "knife-edge listener should fall back to the exact scan: {stats:?}"
+    );
+    assert_eq!(
+        stats.bracket_straddle_fallbacks, 1,
+        "a zero-margin decision is precisely a bracket straddle: {stats:?}"
     );
     // And the decision itself sits on the boundary: `>=` admits it.
     assert_eq!(exact, vec![Reception::Message { from: 1 }]);
@@ -243,7 +248,11 @@ fn far_only_cluster_forces_fallback_and_decodes() {
     );
     let stats = engine.unwrap().stats();
     assert!(
-        stats.exact_fallbacks >= 1,
+        stats.exact_fallbacks() >= 1,
         "a decodable far-only sender cannot be settled by bounds alone: {stats:?}"
+    );
+    assert!(
+        stats.no_near_winner_fallbacks >= 1,
+        "with no near candidate the ladder must exit at rung 3: {stats:?}"
     );
 }

@@ -368,9 +368,22 @@ fn pruned_path_settles_decisions_on_spread_deployments() {
     );
     assert_eq!(exact, fast);
     let stats = engine.unwrap().stats();
-    let settled = stats.fast_decisions + stats.noise_floor_silences;
+    let settled = stats.fast_decisions() + stats.noise_floor_silences;
     assert!(
-        settled > stats.exact_fallbacks,
+        settled > stats.exact_fallbacks(),
         "pruning should settle most listeners on a spread lattice: {stats:?}"
+    );
+    // Reconciliation invariant (acceptance criterion): every listener
+    // decision lands in exactly one rung bucket, so the per-rung counters
+    // plus the exact-fallback rungs sum to the listeners resolved.
+    assert_eq!(
+        stats.listeners_resolved(),
+        ls.len() as u64,
+        "one decision per listener: {stats:?}"
+    );
+    assert_eq!(
+        stats.fast_decisions() + stats.noise_floor_silences + stats.exact_fallbacks(),
+        stats.listeners_resolved(),
+        "rung counters must reconcile with listeners resolved: {stats:?}"
     );
 }

@@ -3,7 +3,7 @@
 use fading_analysis::{separated_subset, GoodNodes, LinkClasses};
 use fading_protocols::ProtocolKind;
 use fading_sim::telemetry::jsonl::{self, TrialBlock};
-use fading_sim::{MemorySink, Simulation, TelemetryDetail};
+use fading_sim::{EngineCounters, MemorySink, Simulation, TelemetryDetail};
 
 use super::common::{sinr_for, standard_deployment, ExperimentConfig};
 use crate::table::fmt_f64;
@@ -30,7 +30,10 @@ pub fn e08_knockout_fraction(cfg: &ExperimentConfig) -> Table {
 
 /// [`e08_knockout_fraction`] with an optional telemetry export directory:
 /// when set, every trial's round-event stream is appended to
-/// `<dir>/e8.jsonl` as seed-tagged [`TrialBlock`]s.
+/// `<dir>/e8.jsonl` as seed-tagged [`TrialBlock`]s, and each trial's
+/// engine-decision counters ([`EngineCounters`]: resolve-tier routing plus
+/// far-field rung tallies) go to `<dir>/e8.engine_counters.jsonl`, one
+/// line per trial in trial order.
 #[must_use]
 pub fn e08_knockout_fraction_with(cfg: &ExperimentConfig, telemetry_dir: Option<&str>) -> Table {
     let mut table =
@@ -44,6 +47,7 @@ pub fn e08_knockout_fraction_with(cfg: &ExperimentConfig, telemetry_dir: Option<
     ]);
 
     let mut blocks: Vec<TrialBlock> = Vec::new();
+    let mut counters: Vec<EngineCounters> = Vec::new();
     for (block, &n) in cfg.n_sweep().iter().enumerate() {
         let mut s_sizes = Vec::new();
         let mut fractions = Vec::new();
@@ -86,6 +90,7 @@ pub fn e08_knockout_fraction_with(cfg: &ExperimentConfig, telemetry_dir: Option<
                     seed,
                     events,
                 });
+                counters.push(sim.engine_counters());
             }
         }
         if fractions.is_empty() {
@@ -105,6 +110,9 @@ pub fn e08_knockout_fraction_with(cfg: &ExperimentConfig, telemetry_dir: Option<
         let path = format!("{dir}/e8.jsonl");
         jsonl::write_trial_blocks_to_path(&path, &blocks)
             .unwrap_or_else(|e| panic!("write telemetry to {path}: {e}"));
+        let path = format!("{dir}/e8.engine_counters.jsonl");
+        jsonl::write_counters_to_path(&path, &counters)
+            .unwrap_or_else(|e| panic!("write engine counters to {path}: {e}"));
     }
     table.note("separation parameter s = 2; one simulated round per trial");
     table.note("flat columns across n confirm the per-round constant-fraction guarantee");
@@ -148,6 +156,12 @@ mod tests {
         assert!(!blocks.is_empty());
         for b in &blocks {
             assert_eq!(b.events.len(), 1, "one step per trial");
+        }
+        let counters = jsonl::read_counters_from_path(dir.join("e8.engine_counters.jsonl")).unwrap();
+        assert_eq!(counters.len(), blocks.len(), "one counter line per trial");
+        for c in &counters {
+            assert_eq!(c.rounds, 1, "each trial stepped exactly one round");
+            assert_eq!(c.routed_rounds(), c.rounds);
         }
         std::fs::remove_dir_all(&dir).ok();
     }

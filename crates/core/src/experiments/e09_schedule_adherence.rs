@@ -4,7 +4,7 @@ use fading_analysis::{ClassBoundSchedule, LinkClasses, ScheduleParams};
 use fading_protocols::ProtocolKind;
 use fading_sim::telemetry::jsonl::{self, TrialBlock};
 use fading_sim::telemetry::replay_active_sets;
-use fading_sim::{MemorySink, Simulation, TelemetryDetail};
+use fading_sim::{EngineCounters, MemorySink, Simulation, TelemetryDetail};
 
 use super::common::{sinr_for, standard_deployment, ExperimentConfig};
 use crate::table::fmt_f64;
@@ -30,7 +30,9 @@ pub fn e09_schedule_adherence(cfg: &ExperimentConfig) -> Table {
 
 /// [`e09_schedule_adherence`] with an optional telemetry export directory:
 /// when set, every resolved trial's event stream is appended to
-/// `<dir>/e9.jsonl` as seed-tagged [`TrialBlock`]s.
+/// `<dir>/e9.jsonl` as seed-tagged [`TrialBlock`]s, and each such trial's
+/// engine-decision counters ([`EngineCounters`]) go to
+/// `<dir>/e9.engine_counters.jsonl`, one line per trial in trial order.
 #[must_use]
 pub fn e09_schedule_adherence_with(cfg: &ExperimentConfig, telemetry_dir: Option<&str>) -> Table {
     let mut table = Table::new("E9: class-bound schedule adherence (FKN on SINR)");
@@ -45,6 +47,7 @@ pub fn e09_schedule_adherence_with(cfg: &ExperimentConfig, telemetry_dir: Option
     ]);
 
     let mut blocks: Vec<TrialBlock> = Vec::new();
+    let mut counters: Vec<EngineCounters> = Vec::new();
     let trials = cfg.trials.clamp(2, 20);
     for (block, &n) in cfg.n_sweep().iter().enumerate() {
         let mut coverages = Vec::new();
@@ -82,6 +85,7 @@ pub fn e09_schedule_adherence_with(cfg: &ExperimentConfig, telemetry_dir: Option
                     seed,
                     events,
                 });
+                counters.push(sim.engine_counters());
             }
             let sched = ClassBoundSchedule::new(n, d.num_link_classes(), ScheduleParams::default());
             horizon = sched.horizon();
@@ -116,6 +120,9 @@ pub fn e09_schedule_adherence_with(cfg: &ExperimentConfig, telemetry_dir: Option
         let path = format!("{dir}/e9.jsonl");
         jsonl::write_trial_blocks_to_path(&path, &blocks)
             .unwrap_or_else(|e| panic!("write telemetry to {path}: {e}"));
+        let path = format!("{dir}/e9.engine_counters.jsonl");
+        jsonl::write_counters_to_path(&path, &counters)
+            .unwrap_or_else(|e| panic!("write engine counters to {path}: {e}"));
     }
     table.note("schedule params: gamma = 1/2, rho = 1/4 (gamma_slow = 5/6, stagger l = 8)");
     table.note("coverage = fraction of steps t whose event r(t) occurred; rounds/step = r(T)/T");
@@ -171,6 +178,12 @@ mod tests {
         assert!(!blocks.is_empty());
         for b in &blocks {
             assert!(!b.events.is_empty());
+        }
+        let counters = jsonl::read_counters_from_path(dir.join("e9.engine_counters.jsonl")).unwrap();
+        assert_eq!(counters.len(), blocks.len(), "one counter line per trial");
+        for (c, b) in counters.iter().zip(&blocks) {
+            assert_eq!(c.rounds, b.events.len() as u64, "counters cover every round");
+            assert_eq!(c.routed_rounds(), c.rounds);
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -24,6 +24,12 @@
 //!   [`MetricsRegistry`] of latency/interference/knockout statistics,
 //!   attached via [`Simulation::set_telemetry_sink`]. Attaching a sink
 //!   never changes a run's outcome.
+//! * [`obs`] — profiling-grade observability: a hand-rolled span
+//!   [`Tracer`] over the step loop (attach via
+//!   [`Simulation::set_tracer`]), unified [`EngineCounters`] for the
+//!   resolve tiers and the far-field decision ladder
+//!   ([`Simulation::engine_counters`]), and Prometheus / Chrome-trace /
+//!   flamegraph exporters.
 //!
 //! Everything is deterministic given the master seed: node RNGs are derived
 //! by SplitMix64 from `(seed, node id)`, the channel RNG from `seed`, and
@@ -68,6 +74,7 @@
 mod action;
 pub mod faults;
 pub mod montecarlo;
+pub mod obs;
 mod protocol;
 mod result;
 mod rng;
@@ -76,6 +83,7 @@ pub mod telemetry;
 
 pub use action::Action;
 pub use faults::{FaultError, FaultPlan};
+pub use obs::{EngineCounters, ResolvePath, SpanGuard, SpanRecord, Tracer};
 pub use protocol::Protocol;
 pub use result::{RoundRecord, RunOutcome, RunResult, Trace, TraceLevel};
 pub use rng::{channel_rng, fault_rng, node_rng, split_mix64};

@@ -1,0 +1,35 @@
+//! Observability: spans, engine-decision counters, and exporters.
+//!
+//! Where [`telemetry`](crate::telemetry) answers *what happened* (the
+//! deterministic per-round [`RoundEvent`](crate::telemetry::RoundEvent)
+//! stream), this module answers *where the time went* and *which decision
+//! path fired*:
+//!
+//! * [`Tracer`] — a hand-rolled, zero-dependency span tracer. Scoped
+//!   [`SpanGuard`]s record hierarchical, monotonic-clock
+//!   [`SpanRecord`]s; the disabled path costs one atomic load and
+//!   allocates nothing. Attach to a run with
+//!   [`Simulation::set_tracer`](crate::Simulation::set_tracer).
+//! * [`EngineCounters`] — one struct unifying the far-field decision
+//!   ladder's per-rung counters ([`FarFieldStats`]), gain-cache activity,
+//!   and fault-perturbation activity, read via
+//!   [`Simulation::engine_counters`](crate::Simulation::engine_counters)
+//!   and exportable as JSONL through
+//!   [`telemetry::jsonl`](crate::telemetry::jsonl).
+//! * [`export`] — Prometheus text exposition, Chrome trace-event JSON
+//!   (loadable in `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)),
+//!   and collapsed-stack flamegraph text. Every format has a parser, so
+//!   round-trips are tested rather than assumed.
+//!
+//! Nothing here participates in the determinism contract: attaching a
+//! tracer never changes a run's outcome (spans only *observe* the step
+//! loop), and wall-clock measurements differ between byte-identical runs.
+//!
+//! [`FarFieldStats`]: fading_channel::FarFieldStats
+
+mod counters;
+pub mod export;
+mod tracer;
+
+pub use counters::{EngineCounters, ResolvePath};
+pub use tracer::{SpanGuard, SpanRecord, Tracer};

@@ -1,5 +1,6 @@
 //! The round-based simulation engine.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
@@ -12,6 +13,7 @@ use fading_channel::{
 use fading_geom::{Deployment, Point};
 
 use crate::faults::{ChurnEvent, ChurnKind, FaultError, FaultPlan};
+use crate::obs::{EngineCounters, ResolvePath, SpanGuard, Tracer};
 use crate::result::{RoundRecord, RunResult, Trace, TraceLevel};
 use crate::rng::{channel_rng, fault_rng, node_rng};
 use crate::telemetry::{MetricsRegistry, Phase, RoundEvent, TelemetryDetail, TelemetrySink};
@@ -118,6 +120,14 @@ pub struct Simulation {
     telemetry: Option<Box<dyn TelemetrySink>>,
     telemetry_detail: TelemetryDetail,
     metrics: Option<Box<MetricsRegistry>>,
+    // Span tracer (see crate::obs). None until attached; with no tracer
+    // every span site is one `Option` check returning an inert guard
+    // (guarded by the `tracer_overhead_n2048` bench).
+    tracer: Option<Arc<Tracer>>,
+    // Engine-decision counters (see crate::obs::EngineCounters). The
+    // far-field ladder counters live in the engine itself and are merged
+    // in by `engine_counters()`.
+    counters: EngineCounters,
     // Scratch buffers for event assembly, reused across rounds.
     sinr_scratch: Vec<SinrBreakdown>,
     knocked_scratch: Vec<NodeId>,
@@ -198,6 +208,8 @@ impl Simulation {
             telemetry: None,
             telemetry_detail: TelemetryDetail::counts(),
             metrics: None,
+            tracer: None,
+            counters: EngineCounters::default(),
             sinr_scratch: Vec::new(),
             knocked_scratch: Vec::new(),
             crashed_scratch: Vec::new(),
@@ -521,6 +533,47 @@ impl Simulation {
         self.metrics.take().map(|b| *b)
     }
 
+    /// Attaches a span tracer: every subsequent [`Simulation::step`]
+    /// records a `step` span with one child per phase (`churn`, `act`,
+    /// `resolve` + its tier, `ge_drop`, `feedback`, `telemetry`).
+    ///
+    /// Tracing never changes a run's outcome — spans only observe. A
+    /// *disabled* tracer ([`Tracer::set_enabled`]) costs one branch per
+    /// span site; detach entirely with [`Simulation::clear_tracer`] to
+    /// drop even that.
+    pub fn set_tracer(&mut self, tracer: Arc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the tracer, if one is attached.
+    pub fn clear_tracer(&mut self) -> Option<Arc<Tracer>> {
+        self.tracer.take()
+    }
+
+    /// The attached tracer, if any.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Opens a span on the attached tracer, or returns an inert guard.
+    fn span(&self, name: &'static str) -> Option<SpanGuard> {
+        self.tracer.as_ref().map(|t| t.span(name))
+    }
+
+    /// One unified snapshot of every engine-decision counter: per-tier
+    /// round routing, gain-cache and perturbation activity, and the
+    /// far-field decision ladder's per-rung counters (merged in from the
+    /// live engine). See [`EngineCounters`] for the reconciliation
+    /// invariants.
+    #[must_use]
+    pub fn engine_counters(&self) -> EngineCounters {
+        let mut c = self.counters;
+        c.gain_cache_built = self.gain_cache.is_some();
+        c.farfield = self.farfield.as_ref().map(FarFieldEngine::stats).unwrap_or_default();
+        c
+    }
+
     /// Number of nodes in the deployment.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -593,6 +646,7 @@ impl Simulation {
     /// running their protocols); `resolved_at` keeps the *first* resolving
     /// round.
     pub fn step(&mut self) -> StepOutcome {
+        let _step_span = self.span("step");
         let round_start = self.metrics.as_ref().map(|_| Instant::now());
         let mut phase_mark = round_start;
         self.round += 1;
@@ -607,12 +661,15 @@ impl Simulation {
             self.revived_scratch.clear();
             self.knocked_scratch.clear();
         }
+        let span_churn = self.span("churn");
         let churn_applied = self.apply_churn(want_ids);
+        drop(span_churn);
         self.mark_phase(Phase::Churn, &mut phase_mark);
 
         // Phase 1: collect actions from active, awake nodes. (A node
         // scheduled for a late wake-up sleeps — neither transmits nor
         // listens — until its wake round.)
+        let span_act = self.span("act");
         self.transmitters.clear();
         self.listeners.clear();
         for i in 0..self.positions.len() {
@@ -629,6 +686,7 @@ impl Simulation {
                 Action::Listen => self.listeners.push(i),
             }
         }
+        drop(span_act);
 
         self.total_transmissions += self.transmitters.len() as u64;
         // The nodes that actually took part this round: active ∧ awake,
@@ -653,6 +711,34 @@ impl Simulation {
         // breakdowns require the full per-pair decomposition the pruned
         // path exists to skip.
         let use_farfield = self.farfield_enabled && !want_sinr && self.farfield.is_some();
+        // Which tier serves this round. The classification is the same for
+        // perturbed and unperturbed rounds: the fault plan changes what is
+        // resolved, not which engine resolves it.
+        let resolve_path = if use_farfield {
+            ResolvePath::FarField
+        } else if want_sinr {
+            ResolvePath::Instrumented
+        } else if cache.is_some() {
+            ResolvePath::Cached
+        } else {
+            ResolvePath::Exact
+        };
+        // Snapshot the far-field fallback tally so telemetry can report the
+        // per-round delta (plain field reads; negligible next to resolve).
+        let ff_fallbacks_before = if use_farfield {
+            self.farfield
+                .as_ref()
+                .map_or(0, |e| e.stats().exact_fallbacks())
+        } else {
+            0
+        };
+        let span_resolve = self.span("resolve");
+        let span_tier = self.span(match resolve_path {
+            ResolvePath::Exact => "resolve.exact",
+            ResolvePath::Cached => "resolve.gain_cache",
+            ResolvePath::FarField => "resolve.farfield",
+            ResolvePath::Instrumented => "resolve.instrumented",
+        });
         let mut event_noise_scale = 1.0;
         let mut event_jam_power = 0.0;
         let mut receptions = match &self.fault_plan {
@@ -683,6 +769,15 @@ impl Simulation {
             Some(plan) => {
                 let noise_scale = plan.noise_scale(self.round);
                 let jamming = plan.any_jammer_active(self.round);
+                if noise_scale != 1.0 {
+                    self.counters.noise_scaled_rounds += 1;
+                }
+                if jamming {
+                    self.counters.jammed_rounds += 1;
+                }
+                if noise_scale != 1.0 || jamming {
+                    self.counters.perturbed_rounds += 1;
+                }
                 let extra: &[f64] = if jamming {
                     let n = self.positions.len();
                     self.jam_scratch.iter_mut().for_each(|g| *g = 0.0);
@@ -734,7 +829,28 @@ impl Simulation {
                 }
             }
         };
+        drop(span_tier);
+        drop(span_resolve);
         debug_assert_eq!(receptions.len(), self.listeners.len());
+
+        self.counters.rounds += 1;
+        match resolve_path {
+            ResolvePath::Exact => self.counters.exact_rounds += 1,
+            ResolvePath::Cached => self.counters.gain_cache_rounds += 1,
+            ResolvePath::FarField => self.counters.farfield_rounds += 1,
+            ResolvePath::Instrumented => self.counters.instrumented_rounds += 1,
+        }
+        // A built cache counts as bypassed when this round was not served
+        // through it: either disabled via `set_gain_cache_enabled(false)`,
+        // or superseded by the far-field tier. (The instrumented path still
+        // carries the cache when enabled, so it does not count.)
+        if self.gain_cache.is_some()
+            && resolve_path != ResolvePath::Cached
+            && !(resolve_path == ResolvePath::Instrumented && self.cache_enabled)
+        {
+            self.counters.gain_cache_bypassed_rounds += 1;
+        }
+        self.counters.churn_applied += churn_applied as u64;
 
         // Gilbert–Elliott burst loss: advance the channel state once per
         // round, then drop each decoded message with the state's drop
@@ -743,6 +859,7 @@ impl Simulation {
         // byte-determinism across cache and thread settings.
         let mut ge_dropped = 0;
         if let Some(ge) = self.fault_plan.as_ref().and_then(FaultPlan::loss) {
+            let span_ge = self.span("ge_drop");
             self.loss_in_burst = ge.advance(self.loss_in_burst, &mut self.fault_rng);
             let drop_prob = ge.drop_prob(self.loss_in_burst);
             if drop_prob > 0.0 {
@@ -753,10 +870,13 @@ impl Simulation {
                     }
                 }
             }
+            drop(span_ge);
         }
+        self.counters.ge_dropped += ge_dropped as u64;
         self.mark_phase(Phase::Resolve, &mut phase_mark);
 
         // Phase 3: feedback and deactivation.
+        let span_feedback = self.span("feedback");
         let mut knocked_out = 0;
         for (k, &v) in self.listeners.iter().enumerate() {
             self.protocols[v].feedback(self.round, &receptions[k]);
@@ -777,6 +897,7 @@ impl Simulation {
                 }
             }
         }
+        drop(span_feedback);
         self.mark_phase(Phase::Feedback, &mut phase_mark);
 
         // Resolution check: exactly one *active* node transmitted.
@@ -835,6 +956,16 @@ impl Simulation {
         }
 
         if telemetry_on {
+            let _span_telemetry = self.span("telemetry");
+            let ff_fallbacks = if use_farfield {
+                let after = self
+                    .farfield
+                    .as_ref()
+                    .map_or(0, |e| e.stats().exact_fallbacks());
+                (after - ff_fallbacks_before) as usize
+            } else {
+                0
+            };
             let event = RoundEvent {
                 round: self.round,
                 active_pre_churn,
@@ -847,6 +978,8 @@ impl Simulation {
                 jam_power: event_jam_power,
                 ge_in_burst: self.loss_in_burst,
                 ge_dropped,
+                resolve_path,
+                ff_fallbacks,
                 resolved: self.transmitters.len() == 1,
                 winner: if self.transmitters.len() == 1 {
                     Some(self.transmitters[0])

@@ -25,7 +25,9 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
-use fading_channel::{NodeId, SinrBreakdown};
+use fading_channel::{FarFieldStats, NodeId, SinrBreakdown};
+
+use crate::obs::{EngineCounters, ResolvePath};
 
 use super::RoundEvent;
 
@@ -147,8 +149,13 @@ pub fn event_to_json(ev: &RoundEvent) -> String {
     fmt_f64(&mut s, ev.jam_power);
     let _ = write!(
         s,
-        ",\"ge_in_burst\":{},\"ge_dropped\":{},\"resolved\":{},\"winner\":",
-        ev.ge_in_burst, ev.ge_dropped, ev.resolved,
+        ",\"ge_in_burst\":{},\"ge_dropped\":{},\"resolve_path\":\"{}\",\"ff_fallbacks\":{},\
+         \"resolved\":{},\"winner\":",
+        ev.ge_in_burst,
+        ev.ge_dropped,
+        ev.resolve_path.name(),
+        ev.ff_fallbacks,
+        ev.resolved,
     );
     match ev.winner {
         Some(w) => {
@@ -179,15 +186,74 @@ pub fn event_to_json(ev: &RoundEvent) -> String {
 // Parser
 // ---------------------------------------------------------------------------
 
-/// A parsed JSON value (the subset this module writes).
+/// A parsed JSON value — the subset this module writes, plus everything
+/// the `obs::export` parsers need (strings, nested arrays/objects).
+///
+/// Public so other hand-rolled formats in the workspace (Chrome trace
+/// parse-back, the bench-gate baseline reader) can reuse one parser
+/// instead of growing their own; see [`parse_json`].
 #[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
+pub enum JsonValue {
+    /// JSON `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any number, plus the non-finite tokens `inf` / `-inf` / `NaN`.
     Num(f64),
+    /// A string literal.
     Str(String),
+    /// An array.
     Arr(Vec<JsonValue>),
+    /// An object, as key/value pairs in source order (keys may repeat;
+    /// lookups take the first).
     Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The first value under `key`, if this is an object holding it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -387,7 +453,16 @@ impl<'a> Parser<'a> {
     }
 }
 
-fn parse_json(input: &str) -> Result<JsonValue, JsonlError> {
+/// Parses one complete JSON document (trailing garbage is an error).
+///
+/// Accepts the workspace dialect: standard JSON plus the bare non-finite
+/// tokens `inf` / `-inf` / `NaN` that this module's writers emit.
+///
+/// # Errors
+///
+/// Returns [`JsonlError::Parse`] (with byte offsets in the message) on
+/// malformed input.
+pub fn parse_json(input: &str) -> Result<JsonValue, JsonlError> {
     let mut p = Parser::new(input);
     let v = p.parse_value()?;
     p.skip_ws();
@@ -465,6 +540,14 @@ fn get_ids(fields: &[(String, JsonValue)], key: &str) -> Result<Vec<NodeId>, Jso
     }
 }
 
+fn get_resolve_path(fields: &[(String, JsonValue)]) -> Result<ResolvePath, JsonlError> {
+    match get(fields, "resolve_path")? {
+        JsonValue::Str(s) => ResolvePath::from_name(s)
+            .ok_or_else(|| parse_err(format!("unknown resolve_path {s:?}"))),
+        _ => Err(parse_err("key \"resolve_path\" is not a string")),
+    }
+}
+
 fn breakdown_from_value(v: &JsonValue) -> Result<SinrBreakdown, JsonlError> {
     let f = obj_fields(v)?;
     Ok(SinrBreakdown {
@@ -516,6 +599,8 @@ pub fn event_from_json(line: &str) -> Result<RoundEvent, JsonlError> {
         jam_power: get_f64(f, "jam_power")?,
         ge_in_burst: get_bool(f, "ge_in_burst")?,
         ge_dropped: get_usize(f, "ge_dropped")?,
+        resolve_path: get_resolve_path(f)?,
+        ff_fallbacks: get_usize(f, "ff_fallbacks")?,
         resolved: get_bool(f, "resolved")?,
         winner: get_opt_id(f, "winner")?,
         transmitter_ids: get_ids(f, "transmitter_ids")?,
@@ -524,6 +609,125 @@ pub fn event_from_json(line: &str) -> Result<RoundEvent, JsonlError> {
         revived_ids: get_ids(f, "revived_ids")?,
         sinr,
     })
+}
+
+// ---------------------------------------------------------------------------
+// EngineCounters
+// ---------------------------------------------------------------------------
+
+/// Serializes one [`EngineCounters`] snapshot as a single JSON line (no
+/// trailing newline). Far-field ladder counters are flattened under `ff_*`
+/// keys so the line stays greppable.
+#[must_use]
+pub fn counters_to_json(c: &EngineCounters) -> String {
+    use fmt::Write as _;
+    let f = &c.farfield;
+    let mut s = String::with_capacity(512);
+    let _ = write!(
+        s,
+        "{{\"rounds\":{},\"farfield_rounds\":{},\"gain_cache_rounds\":{},\"exact_rounds\":{},\
+         \"instrumented_rounds\":{},\"gain_cache_built\":{},\"gain_cache_bypassed_rounds\":{},\
+         \"perturbed_rounds\":{},\"jammed_rounds\":{},\"noise_scaled_rounds\":{},\
+         \"ge_dropped\":{},\"churn_applied\":{},\"ff_rounds\":{},\"ff_empty_round_silences\":{},\
+         \"ff_nonfinite_fallbacks\":{},\"ff_noise_floor_silences\":{},\
+         \"ff_no_near_winner_fallbacks\":{},\"ff_far_rival_fallbacks\":{},\
+         \"ff_bracket_decisions\":{},\"ff_bracket_straddle_fallbacks\":{}}}",
+        c.rounds,
+        c.farfield_rounds,
+        c.gain_cache_rounds,
+        c.exact_rounds,
+        c.instrumented_rounds,
+        c.gain_cache_built,
+        c.gain_cache_bypassed_rounds,
+        c.perturbed_rounds,
+        c.jammed_rounds,
+        c.noise_scaled_rounds,
+        c.ge_dropped,
+        c.churn_applied,
+        f.rounds,
+        f.empty_round_silences,
+        f.nonfinite_fallbacks,
+        f.noise_floor_silences,
+        f.no_near_winner_fallbacks,
+        f.far_rival_fallbacks,
+        f.bracket_decisions,
+        f.bracket_straddle_fallbacks,
+    );
+    s
+}
+
+/// Parses one [`EngineCounters`] snapshot from a line produced by
+/// [`counters_to_json`]. Unknown keys are ignored; missing keys are
+/// errors.
+///
+/// # Errors
+///
+/// Returns [`JsonlError::Parse`] on malformed JSON or schema mismatch.
+pub fn counters_from_json(line: &str) -> Result<EngineCounters, JsonlError> {
+    let v = parse_json(line)?;
+    let f = obj_fields(&v)?;
+    Ok(EngineCounters {
+        rounds: get_u64(f, "rounds")?,
+        farfield_rounds: get_u64(f, "farfield_rounds")?,
+        gain_cache_rounds: get_u64(f, "gain_cache_rounds")?,
+        exact_rounds: get_u64(f, "exact_rounds")?,
+        instrumented_rounds: get_u64(f, "instrumented_rounds")?,
+        gain_cache_built: get_bool(f, "gain_cache_built")?,
+        gain_cache_bypassed_rounds: get_u64(f, "gain_cache_bypassed_rounds")?,
+        perturbed_rounds: get_u64(f, "perturbed_rounds")?,
+        jammed_rounds: get_u64(f, "jammed_rounds")?,
+        noise_scaled_rounds: get_u64(f, "noise_scaled_rounds")?,
+        ge_dropped: get_u64(f, "ge_dropped")?,
+        churn_applied: get_u64(f, "churn_applied")?,
+        farfield: FarFieldStats {
+            rounds: get_u64(f, "ff_rounds")?,
+            empty_round_silences: get_u64(f, "ff_empty_round_silences")?,
+            nonfinite_fallbacks: get_u64(f, "ff_nonfinite_fallbacks")?,
+            noise_floor_silences: get_u64(f, "ff_noise_floor_silences")?,
+            no_near_winner_fallbacks: get_u64(f, "ff_no_near_winner_fallbacks")?,
+            far_rival_fallbacks: get_u64(f, "ff_far_rival_fallbacks")?,
+            bracket_decisions: get_u64(f, "ff_bracket_decisions")?,
+            bracket_straddle_fallbacks: get_u64(f, "ff_bracket_straddle_fallbacks")?,
+        },
+    })
+}
+
+/// Writes counters snapshots (one per line, e.g. one per trial) to a file
+/// at `path` (created/truncated).
+///
+/// # Errors
+///
+/// Propagates file-creation and write failures.
+pub fn write_counters_to_path<P: AsRef<Path>>(
+    path: P,
+    counters: &[EngineCounters],
+) -> Result<(), JsonlError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for c in counters {
+        w.write_all(counters_to_json(c).as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a counters stream written by [`write_counters_to_path`]; blank
+/// lines are skipped.
+///
+/// # Errors
+///
+/// Propagates open/read failures; parse errors carry 1-based line numbers.
+pub fn read_counters_from_path<P: AsRef<Path>>(path: P) -> Result<Vec<EngineCounters>, JsonlError> {
+    let r = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(counters_from_json(&line).map_err(|e| remap(e, i + 1))?);
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -721,6 +925,8 @@ mod tests {
             jam_power: 0.1 + 0.2, // deliberately non-round: 0.30000000000000004
             ge_in_burst: true,
             ge_dropped: 1,
+            resolve_path: ResolvePath::FarField,
+            ff_fallbacks: 4,
             resolved: false,
             winner: None,
             transmitter_ids: vec![0, 5, 9],
@@ -857,6 +1063,77 @@ mod tests {
             decoded: false,
         };
         assert_eq!(breakdown_from_json(&breakdown_to_json(&b)).unwrap(), b);
+    }
+
+    fn sample_counters() -> EngineCounters {
+        EngineCounters {
+            rounds: 100,
+            farfield_rounds: 60,
+            gain_cache_rounds: 30,
+            exact_rounds: 8,
+            instrumented_rounds: 2,
+            gain_cache_built: true,
+            gain_cache_bypassed_rounds: 5,
+            perturbed_rounds: 12,
+            jammed_rounds: 9,
+            noise_scaled_rounds: 7,
+            ge_dropped: 3,
+            churn_applied: 2,
+            farfield: FarFieldStats {
+                rounds: 60,
+                empty_round_silences: 11,
+                nonfinite_fallbacks: 1,
+                noise_floor_silences: 200,
+                no_near_winner_fallbacks: 13,
+                far_rival_fallbacks: 17,
+                bracket_decisions: 4000,
+                bracket_straddle_fallbacks: 19,
+            },
+        }
+    }
+
+    #[test]
+    fn counters_round_trip_exactly() {
+        let c = sample_counters();
+        let line = counters_to_json(&c);
+        assert!(!line.contains('\n'));
+        assert_eq!(counters_from_json(&line).unwrap(), c);
+        // Default (all-zero) counters round-trip too.
+        let zero = EngineCounters::default();
+        assert_eq!(counters_from_json(&counters_to_json(&zero)).unwrap(), zero);
+    }
+
+    #[test]
+    fn counters_unknown_keys_ignored_missing_keys_error() {
+        let line = counters_to_json(&sample_counters());
+        let extended = format!("{}{}", &line[..line.len() - 1], ",\"future\":1}");
+        assert_eq!(counters_from_json(&extended).unwrap(), sample_counters());
+        let truncated = line.replace("\"ff_bracket_decisions\":4000,", "");
+        let err = counters_from_json(&truncated).unwrap_err();
+        assert!(err.to_string().contains("ff_bracket_decisions"), "{err}");
+    }
+
+    #[test]
+    fn counters_file_round_trip_with_line_numbers() {
+        let dir = std::env::temp_dir().join("fading-jsonl-counters-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine_counters.jsonl");
+        let all = vec![sample_counters(), EngineCounters::default()];
+        write_counters_to_path(&path, &all).unwrap();
+        assert_eq!(read_counters_from_path(&path).unwrap(), all);
+        std::fs::write(&path, "{}\n").unwrap();
+        match read_counters_from_path(&path) {
+            Err(JsonlError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected a line-1 parse error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_resolve_path_is_an_error() {
+        let line = event_to_json(&sample_event()).replace("\"farfield\"", "\"warp\"");
+        let err = event_from_json(&line).unwrap_err();
+        assert!(err.to_string().contains("resolve_path"), "{err}");
     }
 
     #[test]

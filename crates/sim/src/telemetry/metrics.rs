@@ -71,7 +71,10 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    const NUM_BUCKETS: usize = 64;
+    /// Number of buckets: bucket 0 = `[0, 1)`, bucket `k ≥ 1` =
+    /// `[2^(k−1), 2^k)`, with the last bucket absorbing overflow
+    /// (everything from `2^62` up, `+∞` included).
+    pub const NUM_BUCKETS: usize = 64;
 
     /// An empty histogram.
     #[must_use]
@@ -153,6 +156,13 @@ impl Histogram {
     /// bucket boundaries: the least bucket upper edge below which at least
     /// `q` of the mass lies. Coarse by design (factor-of-two resolution);
     /// use the event stream for exact distributions.
+    ///
+    /// Edge cases (pinned by tests): `None` for an empty histogram or a
+    /// `q` outside `[0, 1]` (NaN included); `q = 0.0` bounds the minimum
+    /// (the first non-empty bucket's edge); `q = 1.0` bounds the maximum.
+    /// When the answer lands in the overflow bucket — whose nominal edge
+    /// `2^63` is *not* an upper bound for the values it absorbs — the
+    /// exact tracked `max` is returned instead.
     #[must_use]
     pub fn quantile_upper_bound(&self, q: f64) -> Option<f64> {
         if self.count == 0 || !(0.0..=1.0).contains(&q) {
@@ -163,10 +173,60 @@ impl Histogram {
         for (k, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(if k == 0 { 1.0 } else { 2.0f64.powi(k as i32) });
+                return Some(if k == Histogram::NUM_BUCKETS - 1 {
+                    self.max
+                } else if k == 0 {
+                    1.0
+                } else {
+                    2.0f64.powi(k as i32)
+                });
             }
         }
+        // Unreachable: bucket counts sum to `count ≥ target` whenever
+        // `count > 0`. Kept as a non-panicking fallback.
         None
+    }
+
+    /// Merges `other` into `self` bucket-wise, as if every observation
+    /// recorded into `other` had been recorded here too. Counts, buckets,
+    /// min and max merge exactly; `sum` (and hence `mean`) may differ from
+    /// sequential recording by floating-point association only.
+    ///
+    /// Both histograms use the crate-wide base-2 bucket layout; the assert
+    /// guards the invariant against a future layout change.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram merge requires identical bucket bounds"
+        );
+        for (b, &o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reassembles a histogram from its serialized parts (the inverse of
+    /// reading `bucket_counts`/`count`/`sum`/`min`/`max`). Used by the
+    /// exporter parse-back paths; the parts are trusted to be mutually
+    /// consistent.
+    pub(crate) fn from_parts(
+        buckets: [u64; Histogram::NUM_BUCKETS],
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+    ) -> Self {
+        Histogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
     }
 }
 
@@ -282,6 +342,23 @@ impl MetricsRegistry {
         self.phase_nanos[phase.index()]
     }
 
+    /// Merges another registry into this one (counters add, histograms
+    /// merge bucket-wise, phase timers add), so montecarlo drivers can
+    /// aggregate per-trial registries into one fleet-wide view.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        self.rounds += other.rounds;
+        self.transmissions += other.transmissions;
+        self.knockouts += other.knockouts;
+        self.churn_applied += other.churn_applied;
+        self.ge_dropped += other.ge_dropped;
+        self.round_nanos.merge(&other.round_nanos);
+        self.knockouts_per_round.merge(&other.knockouts_per_round);
+        self.interference.merge(&other.interference);
+        for (p, &o) in self.phase_nanos.iter_mut().zip(other.phase_nanos.iter()) {
+            *p += o;
+        }
+    }
+
     /// One-line human-readable summary (for logs and reports).
     #[must_use]
     pub fn summary(&self) -> String {
@@ -355,6 +432,95 @@ mod tests {
         assert_eq!(h.quantile_upper_bound(0.5), Some(2.0));
         assert_eq!(h.quantile_upper_bound(1.0), Some(128.0));
         assert_eq!(h.quantile_upper_bound(1.5), None);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_pinned() {
+        // q = 0.0 bounds the minimum: first non-empty bucket's edge.
+        let mut h = Histogram::new();
+        h.record(3.0); // bucket 2, edge 4.0
+        h.record(100.0); // bucket 7, edge 128.0
+        assert_eq!(h.quantile_upper_bound(0.0), Some(4.0));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(128.0));
+        // Out-of-domain q (including NaN) is None, not a panic.
+        assert_eq!(h.quantile_upper_bound(-0.1), None);
+        assert_eq!(h.quantile_upper_bound(1.5), None);
+        assert_eq!(h.quantile_upper_bound(f64::NAN), None);
+        // Empty histogram: None at every q.
+        assert_eq!(Histogram::new().quantile_upper_bound(0.0), None);
+        assert_eq!(Histogram::new().quantile_upper_bound(1.0), None);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_returns_exact_max() {
+        // The overflow bucket's nominal edge (2^63) is NOT an upper bound
+        // for what it absorbs; the exact tracked max is.
+        let mut h = Histogram::new();
+        let big = 2.0f64.powi(70);
+        h.record(big);
+        h.record(2.0 * big);
+        assert_eq!(h.quantile_upper_bound(0.5), Some(2.0 * big));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(2.0 * big));
+        // Mixed: the median stays on a real bucket edge, only the tail
+        // falls into the overflow bucket.
+        let mut h = Histogram::new();
+        h.record(1.5);
+        h.record(1.5);
+        h.record(f64::INFINITY);
+        assert_eq!(h.quantile_upper_bound(0.5), Some(2.0));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn merge_is_recording_concatenated_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [0.0, 0.5, 7.0, 1e9] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2.0, f64::INFINITY, -3.0] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), both.bucket_counts());
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        assert_eq!(a.sum(), both.sum()); // same values, same order per side
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        a.record(5.0);
+        let snapshot = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, snapshot);
+        let mut empty = Histogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn registry_merge_aggregates_everything() {
+        let mut a = MetricsRegistry::new();
+        a.record_round(Duration::from_micros(5), 3, 2, 1, 4);
+        a.add_phase(Phase::Resolve, Duration::from_micros(9));
+        a.record_interference(42.0);
+        let mut b = MetricsRegistry::new();
+        b.record_round(Duration::from_micros(7), 1, 0, 0, 0);
+        b.add_phase(Phase::Act, Duration::from_micros(2));
+        a.merge(&b);
+        assert_eq!(a.rounds(), 2);
+        assert_eq!(a.transmissions(), 4);
+        assert_eq!(a.knockouts(), 2);
+        assert_eq!(a.phase_nanos(Phase::Resolve), 9_000);
+        assert_eq!(a.phase_nanos(Phase::Act), 2_000);
+        assert_eq!(a.round_latency_nanos().count(), 2);
+        assert_eq!(a.interference().count(), 1);
     }
 
     #[test]

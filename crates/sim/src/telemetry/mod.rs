@@ -102,6 +102,15 @@ pub struct RoundEvent {
     pub ge_in_burst: bool,
     /// Messages erased by the Gilbert–Elliott drop pass this round.
     pub ge_dropped: usize,
+    /// Which resolve tier served this round's channel resolution. Pure
+    /// observability: all paths are bit-identical by contract, and two
+    /// runs differing only in engine settings will differ here (and only
+    /// here), which is why determinism suites compare events across
+    /// thread counts but not across engine configurations.
+    pub resolve_path: crate::obs::ResolvePath,
+    /// Far-field listeners that fell back to the exact scan this round
+    /// (0 on every other path).
+    pub ff_fallbacks: usize,
     /// Whether this round resolved contention (exactly one transmitter).
     pub resolved: bool,
     /// The solo transmitter when `resolved`.

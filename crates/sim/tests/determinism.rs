@@ -396,9 +396,14 @@ fn farfield_occupancy_shrinks_as_nodes_knock_out() {
         .map(|r| (r.active_before - r.transmitters) as u64)
         .sum();
     assert_eq!(
-        stats.fast_decisions + stats.noise_floor_silences + stats.exact_fallbacks,
+        stats.listeners_resolved(),
         listeners_served,
         "every listener decision lands in exactly one stats bucket"
+    );
+    assert_eq!(
+        stats.fast_decisions() + stats.noise_floor_silences + stats.exact_fallbacks(),
+        stats.listeners_resolved(),
+        "rung counters must reconcile with listeners resolved"
     );
 }
 
