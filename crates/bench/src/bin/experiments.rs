@@ -1,4 +1,4 @@
-//! Regenerates the experiment tables (E1–E14) recorded in `EXPERIMENTS.md`.
+//! Regenerates the experiment tables (E1–E15) recorded in `EXPERIMENTS.md`.
 //!
 //! Usage:
 //!
@@ -6,7 +6,7 @@
 //! experiments [e1 e2 …] [--smoke|--quick|--full] [--out <dir>] [--telemetry <dir>]
 //! ```
 //!
-//! With no ids, runs all fourteen experiments. `--out <dir>` additionally
+//! With no ids, runs all fifteen experiments. `--out <dir>` additionally
 //! writes one CSV per table. `--telemetry <dir>` makes the
 //! telemetry-recording experiments (E8, E9) export their JSONL round-event
 //! streams into `<dir>` (seed-tagged trial blocks; tables are unchanged).

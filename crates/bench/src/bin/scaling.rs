@@ -1,6 +1,8 @@
 //! Hand-timed tier-scaling snapshot: per-round resolve cost of the exact
-//! scan, the gain cache, and the far-field engine at
-//! `n ∈ {1024, 4096, 16384, 65536}`, written as `BENCH_scaling.json`.
+//! scan, the gain cache, the flat far-field engine, and the hierarchical
+//! (tile-tree) engine at
+//! `n ∈ {1024, 4096, 16384, 65536, 262144, 1048576}` (quadratic tiers are
+//! skipped above their ceilings), written as `BENCH_scaling.json`.
 //!
 //! Usage:
 //!
@@ -38,10 +40,18 @@ fn main() {
                 s.n, t.tier, t.iters, t.ms_per_round
             );
         }
-        println!(
-            "{:>7} {:>11} {:>6} {:>13.2}x",
-            s.n, "speedup", "", s.speedup_farfield_vs_exact
-        );
+        if s.speedup_farfield_vs_exact > 0.0 {
+            println!(
+                "{:>7} {:>11} {:>6} {:>13.2}x",
+                s.n, "ff-speedup", "", s.speedup_farfield_vs_exact
+            );
+        }
+        if s.speedup_hierarchical_vs_exact > 0.0 {
+            println!(
+                "{:>7} {:>11} {:>6} {:>13.2}x",
+                s.n, "h-speedup", "", s.speedup_hierarchical_vs_exact
+            );
+        }
     });
 
     std::fs::write(&out_path, render_snapshot_json(&samples)).expect("write snapshot JSON");

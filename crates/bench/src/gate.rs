@@ -20,7 +20,8 @@ use crate::probe::SizeSample;
 pub struct BaselineEntry {
     /// Number of deployed nodes.
     pub n: usize,
-    /// Tier name as committed (`"exact"`, `"gain-cache"`, `"farfield"`).
+    /// Tier name as committed (`"exact"`, `"gain-cache"`, `"farfield"`,
+    /// `"hierarchical"`).
     pub tier: String,
     /// Committed mean wall time per resolve round, in milliseconds.
     pub ms_per_round: f64,
@@ -179,7 +180,9 @@ mod tests {
                 },
             ],
             speedup_farfield_vs_exact: exact_ms / far_ms,
+            speedup_hierarchical_vs_exact: 0.0,
             farfield_fallback_fraction: 0.0,
+            hierarchical_fallback_fraction: 0.0,
         }]
     }
 
@@ -199,7 +202,13 @@ mod tests {
         let entries = parse_baseline(text).unwrap();
         assert!(
             entries.iter().any(|e| e.n == 65536 && e.tier == "farfield"),
-            "committed baseline should cover the largest size"
+            "committed baseline should cover the flat engine's range"
+        );
+        assert!(
+            entries
+                .iter()
+                .any(|e| e.n == 1_048_576 && e.tier == "hierarchical"),
+            "committed baseline should cover the hierarchical tier at n = 1M"
         );
     }
 

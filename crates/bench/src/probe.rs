@@ -1,12 +1,15 @@
 //! The resolve-tier scaling probe shared by the `scaling` snapshot binary
 //! and the `bench-gate` regression gate: hand-timed per-round resolve cost
-//! of the exact scan, the gain cache, and the far-field engine over a size
-//! sweep, rendered as the `BENCH_scaling.json` schema.
+//! of the exact scan, the gain cache, the flat far-field engine, and the
+//! hierarchical (tile-tree) engine over a size sweep, rendered as the
+//! `BENCH_scaling.json` schema.
 //!
 //! Timing is deliberately simple (adaptive iteration counts against a
-//! wall-clock budget) so the probe stays runnable at `n = 65536`, where
-//! one exact round costs seconds; the Criterion bench `resolve_scaling`
-//! tracks the same workload with proper sampling.
+//! wall-clock budget) so the probe stays runnable at `n = 1048576`, where
+//! only the hierarchical tier is tractable — the quadratic tiers are
+//! capped ([`EXACT_TIER_CEILING`], [`FARFIELD_TIER_CEILING`]) and skipped
+//! above their ceilings; the Criterion bench `resolve_scaling` tracks the
+//! same workload with proper sampling.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -21,7 +24,19 @@ pub const DENSITY: f64 = 0.25;
 /// Deployment seed: fixed so snapshots are comparable across runs.
 pub const SEED: u64 = 7;
 /// The size sweep of the committed snapshot.
-pub const DEFAULT_SIZES: [usize; 4] = [1024, 4096, 16384, 65536];
+pub const DEFAULT_SIZES: [usize; 6] = [1024, 4096, 16384, 65536, 262_144, 1_048_576];
+/// Largest size at which the probe times the exact scan — one exact round
+/// above this costs the better part of a minute.
+pub const EXACT_TIER_CEILING: usize = 65_536;
+/// Largest size at which the probe times the flat far-field engine: its
+/// tile grid is capped at `MAX_TILES_PER_SIDE`, so occupancy — and with it
+/// the near-ring scan — grows linearly in `n` past the cap. One size above
+/// [`EXACT_TIER_CEILING`] is kept so the hierarchical tier is cross-checked
+/// against an independent engine there.
+pub const FARFIELD_TIER_CEILING: usize = 262_144;
+/// Worker threads for the hierarchical tier's [`StealPool`] — the
+/// committed snapshot's parallel configuration.
+pub const HIER_PROBE_THREADS: usize = 8;
 
 /// Times `f` with one warm-up call plus enough iterations to roughly fill
 /// `budget_ms` (clamped to [3, 200]); returns `(iters, ms_per_call)`.
@@ -43,7 +58,8 @@ pub fn time_ms(mut f: impl FnMut(), budget_ms: f64) -> (u32, f64) {
 /// One timed resolve tier at one deployment size.
 #[derive(Clone, Debug)]
 pub struct TierSample {
-    /// Tier name: `"exact"`, `"gain-cache"`, or `"farfield"`.
+    /// Tier name: `"exact"`, `"gain-cache"`, `"farfield"`, or
+    /// `"hierarchical"`.
     pub tier: &'static str,
     /// Iterations the adaptive loop settled on.
     pub iters: u32,
@@ -56,24 +72,45 @@ pub struct TierSample {
 pub struct SizeSample {
     /// Number of deployed nodes.
     pub n: usize,
-    /// Per-tier timings (exact always first, far-field always last).
+    /// Per-tier timings in ladder order (tiers above their ceiling are
+    /// absent).
     pub tiers: Vec<TierSample>,
-    /// `exact ms / farfield ms`.
+    /// `exact ms / farfield ms`; 0 when either tier was not probed.
     pub speedup_farfield_vs_exact: f64,
-    /// Fraction of far-field listener decisions that fell back to the
-    /// exact scan during the probe.
+    /// `exact ms / hierarchical ms`; 0 when the exact tier was not probed.
+    pub speedup_hierarchical_vs_exact: f64,
+    /// Fraction of flat far-field listener decisions that fell back to the
+    /// exact scan during the probe (0 when the tier was not probed).
     pub farfield_fallback_fraction: f64,
+    /// Fraction of hierarchical listener decisions that fell back to the
+    /// exact scan during the probe.
+    pub hierarchical_fallback_fraction: f64,
+}
+
+impl SizeSample {
+    /// The measured ms/round of one tier, when it was probed.
+    #[must_use]
+    pub fn tier_ms(&self, tier: &str) -> Option<f64> {
+        self.tiers
+            .iter()
+            .find(|t| t.tier == tier)
+            .map(|t| t.ms_per_round)
+    }
 }
 
 /// Runs the scaling probe over `sizes`, timing each tier against
 /// `budget_ms_for(n)` milliseconds, asserting cross-tier exactness at
-/// every size. `report` sees each completed [`SizeSample`] as it lands
-/// (the binaries print progressively; pass `|_| {}` for silence).
+/// every size (each probed tier's receptions must be byte-identical to
+/// the cheapest independent reference: the exact scan up to
+/// [`EXACT_TIER_CEILING`], the flat far-field engine above it). `report`
+/// sees each completed [`SizeSample`] as it lands (the binaries print
+/// progressively; pass `|_| {}` for silence).
 pub fn run_probe(
     sizes: &[usize],
     budget_ms_for: impl Fn(usize) -> f64,
     mut report: impl FnMut(&SizeSample),
 ) -> Vec<SizeSample> {
+    let pool = StealPool::new(HIER_PROBE_THREADS);
     let mut out = Vec::with_capacity(sizes.len());
     for &n in sizes {
         let d = Deployment::uniform_density(n, DENSITY, SEED);
@@ -87,22 +124,28 @@ pub fn run_probe(
         let mut tiers = Vec::new();
         let mut rng = SmallRng::seed_from_u64(0);
 
-        let exact_rx = sinr.resolve(&positions, &tx, &rx, &mut rng);
-        let (iters, ms) = time_ms(
-            || {
-                sinr.resolve(&positions, &tx, &rx, &mut rng);
-            },
-            budget_ms,
-        );
-        tiers.push(TierSample {
-            tier: "exact",
-            iters,
-            ms_per_round: ms,
+        let exact_rx = (n <= EXACT_TIER_CEILING).then(|| {
+            let receptions = sinr.resolve(&positions, &tx, &rx, &mut rng);
+            let (iters, ms) = time_ms(
+                || {
+                    sinr.resolve(&positions, &tx, &rx, &mut rng);
+                },
+                budget_ms,
+            );
+            tiers.push(TierSample {
+                tier: "exact",
+                iters,
+                ms_per_round: ms,
+            });
+            receptions
         });
 
         if let Some(cache) = sinr.build_gain_cache(&positions) {
             let cached_rx = sinr.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng);
-            assert_eq!(exact_rx, cached_rx, "gain cache broke exactness at n={n}");
+            let reference = exact_rx
+                .as_ref()
+                .expect("the cache size guard is far below the exact-tier ceiling");
+            assert_eq!(reference, &cached_rx, "gain cache broke exactness at n={n}");
             let (iters, ms) = time_ms(
                 || {
                     sinr.resolve_cached(&positions, &tx, &rx, Some(&cache), &mut rng);
@@ -116,23 +159,68 @@ pub fn run_probe(
             });
         }
 
-        let mut engine = sinr.build_farfield_engine(&positions);
-        let far_rx = sinr.resolve_farfield(
+        let mut farfield_fallback_fraction = 0.0;
+        let far_rx = (n <= FARFIELD_TIER_CEILING).then(|| {
+            let mut engine = sinr.build_farfield_engine(&positions);
+            let receptions = sinr.resolve_farfield(
+                &positions,
+                &tx,
+                &rx,
+                engine.as_mut(),
+                &ChannelPerturbation::neutral(),
+                &mut rng,
+            );
+            if let Some(reference) = &exact_rx {
+                assert_eq!(reference, &receptions, "farfield broke exactness at n={n}");
+            }
+            let (iters, ms) = time_ms(
+                || {
+                    sinr.resolve_farfield(
+                        &positions,
+                        &tx,
+                        &rx,
+                        engine.as_mut(),
+                        &ChannelPerturbation::neutral(),
+                        &mut rng,
+                    );
+                },
+                budget_ms,
+            );
+            tiers.push(TierSample {
+                tier: "farfield",
+                iters,
+                ms_per_round: ms,
+            });
+            farfield_fallback_fraction = engine
+                .as_ref()
+                .map(FarFieldEngine::stats)
+                .unwrap_or_default()
+                .fallback_fraction();
+            receptions
+        });
+
+        let mut hier_engine = sinr.build_hierarchical_engine(&positions);
+        let hier_rx = sinr.resolve_hierarchical(
             &positions,
             &tx,
             &rx,
-            engine.as_mut(),
+            hier_engine.as_mut(),
+            &pool,
             &ChannelPerturbation::neutral(),
             &mut rng,
         );
-        assert_eq!(exact_rx, far_rx, "farfield broke exactness at n={n}");
+        // Cross-check against the cheapest independently computed tier.
+        if let Some(reference) = exact_rx.as_ref().or(far_rx.as_ref()) {
+            assert_eq!(reference, &hier_rx, "hierarchical broke exactness at n={n}");
+        }
         let (iters, ms) = time_ms(
             || {
-                sinr.resolve_farfield(
+                sinr.resolve_hierarchical(
                     &positions,
                     &tx,
                     &rx,
-                    engine.as_mut(),
+                    hier_engine.as_mut(),
+                    &pool,
                     &ChannelPerturbation::neutral(),
                     &mut rng,
                 );
@@ -140,22 +228,38 @@ pub fn run_probe(
             budget_ms,
         );
         tiers.push(TierSample {
-            tier: "farfield",
+            tier: "hierarchical",
             iters,
             ms_per_round: ms,
         });
-
-        let exact_ms = tiers[0].ms_per_round;
-        let far_ms = tiers.last().expect("farfield sample").ms_per_round;
-        let stats = engine
+        let hierarchical_fallback_fraction = hier_engine
             .as_ref()
-            .map(FarFieldEngine::stats)
-            .unwrap_or_default();
+            .map(HierarchicalFarFieldEngine::stats)
+            .unwrap_or_default()
+            .fallback_fraction();
+
+        let exact_ms = tiers
+            .iter()
+            .find(|t| t.tier == "exact")
+            .map(|t| t.ms_per_round);
+        let far_ms = tiers
+            .iter()
+            .find(|t| t.tier == "farfield")
+            .map(|t| t.ms_per_round);
+        let hier_ms = tiers
+            .last()
+            .expect("hierarchical sample always present")
+            .ms_per_round;
         let sample = SizeSample {
             n,
             tiers,
-            speedup_farfield_vs_exact: exact_ms / far_ms,
-            farfield_fallback_fraction: stats.fallback_fraction(),
+            speedup_farfield_vs_exact: match (exact_ms, far_ms) {
+                (Some(e), Some(f)) => e / f,
+                _ => 0.0,
+            },
+            speedup_hierarchical_vs_exact: exact_ms.map_or(0.0, |e| e / hier_ms),
+            farfield_fallback_fraction,
+            hierarchical_fallback_fraction,
         };
         report(&sample);
         out.push(sample);
@@ -195,14 +299,21 @@ pub fn render_snapshot_json(samples: &[SizeSample]) -> String {
         size_blocks.push(format!(
             "    {{\n      \"n\": {},\n      \"tiers\": [{tiers_json}],\n      \
              \"speedup_farfield_vs_exact\": {:.2},\n      \
-             \"farfield_fallback_fraction\": {:.6}\n    }}",
-            s.n, s.speedup_farfield_vs_exact, s.farfield_fallback_fraction
+             \"speedup_hierarchical_vs_exact\": {:.2},\n      \
+             \"farfield_fallback_fraction\": {:.6},\n      \
+             \"hierarchical_fallback_fraction\": {:.6}\n    }}",
+            s.n,
+            s.speedup_farfield_vs_exact,
+            s.speedup_hierarchical_vs_exact,
+            s.farfield_fallback_fraction,
+            s.hierarchical_fallback_fraction
         ));
     }
     format!(
         "{{\n  \"bench\": \"resolve_scaling\",\n  \"workload\": {{\n    \
          \"tx_fraction\": 0.25,\n    \"density\": {DENSITY},\n    \"seed\": {SEED},\n    \
-         \"channel\": \"sinr-single-hop\"\n  }},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+         \"channel\": \"sinr-single-hop\",\n    \"hierarchical_threads\": {HIER_PROBE_THREADS}\n  \
+         }},\n  \"sizes\": [\n{}\n  ]\n}}\n",
         size_blocks.join(",\n")
     )
 }
@@ -217,10 +328,17 @@ mod tests {
         assert_eq!(samples.len(), 1);
         assert_eq!(samples[0].n, 256);
         assert_eq!(samples[0].tiers.first().map(|t| t.tier), Some("exact"));
-        assert_eq!(samples[0].tiers.last().map(|t| t.tier), Some("farfield"));
+        assert_eq!(
+            samples[0].tiers.last().map(|t| t.tier),
+            Some("hierarchical")
+        );
+        assert!(samples[0].tier_ms("farfield").is_some());
+        assert!(samples[0].speedup_hierarchical_vs_exact > 0.0);
         let json = render_snapshot_json(&samples);
         assert!(json.contains("\"bench\": \"resolve_scaling\""));
         assert!(json.contains("\"n\": 256"));
+        assert!(json.contains("\"tier\": \"hierarchical\""));
+        assert!(json.contains("\"hierarchical_fallback_fraction\""));
     }
 
     #[test]
@@ -228,5 +346,15 @@ mod tests {
         assert_eq!(default_budget_ms(1024), 1000.0);
         assert_eq!(default_budget_ms(16384), 3000.0);
         assert_eq!(default_budget_ms(65536), 3000.0);
+    }
+
+    #[test]
+    fn tier_ceilings_cover_the_default_sweep() {
+        // The two largest default sizes must exercise the ceilings: one
+        // size runs hierarchical + farfield only, the top size runs
+        // hierarchical alone.
+        assert!(DEFAULT_SIZES.contains(&FARFIELD_TIER_CEILING));
+        assert!(DEFAULT_SIZES.iter().any(|&n| n > FARFIELD_TIER_CEILING));
+        const { assert!(EXACT_TIER_CEILING < FARFIELD_TIER_CEILING) };
     }
 }

@@ -1,0 +1,40 @@
+//! Regression gate on the hierarchical engine's pruning quality: the
+//! fraction of listener decisions that give up on the bracket and fall
+//! back to the exact scan must stay small at every probed size, or the
+//! "hierarchical tier is fast" claim silently erodes into "hierarchical
+//! tier is a slow wrapper around the exact scan".
+//!
+//! The bound (6%) sits above the committed snapshot's measured fractions
+//! (≤ ~4.5% across the sweep) with headroom for geometry jitter, and far
+//! below the ~100% a broken bracket would produce.
+
+use fading_bench::probe::run_probe;
+
+/// The quick-mode sizes (`bench-gate --quick` probes ≤ 4096) plus one
+/// mid-size point; kept small enough for a test-suite run.
+const SIZES: [usize; 3] = [1024, 4096, 16384];
+
+const MAX_FALLBACK_FRACTION: f64 = 0.06;
+
+#[test]
+fn hierarchical_fallback_fraction_stays_low() {
+    let samples = run_probe(&SIZES, |_| 5.0, |_| {});
+    assert_eq!(samples.len(), SIZES.len());
+    for s in &samples {
+        assert!(
+            s.hierarchical_fallback_fraction <= MAX_FALLBACK_FRACTION,
+            "hierarchical fallback fraction {:.4} at n={} exceeds {MAX_FALLBACK_FRACTION}",
+            s.hierarchical_fallback_fraction,
+            s.n
+        );
+        // The flat engine is probed at these sizes too and shares the
+        // decision ladder; hold it to the same bar so a shared-ladder
+        // regression cannot hide in either engine.
+        assert!(
+            s.farfield_fallback_fraction <= MAX_FALLBACK_FRACTION,
+            "flat farfield fallback fraction {:.4} at n={} exceeds {MAX_FALLBACK_FRACTION}",
+            s.farfield_fallback_fraction,
+            s.n
+        );
+    }
+}

@@ -4,7 +4,10 @@ use rand::rngs::SmallRng;
 
 use fading_geom::Point;
 
-use crate::{ChannelPerturbation, FarFieldEngine, GainCache, NodeId, Reception, SinrBreakdown};
+use crate::{
+    ChannelPerturbation, ChunkExecutor, FarFieldEngine, GainCache, HierarchicalFarFieldEngine,
+    NodeId, Reception, SinrBreakdown,
+};
 
 pub(crate) mod sealed {
     /// Prevents downstream implementations so the trait can evolve.
@@ -165,6 +168,36 @@ pub trait Channel: sealed::Sealed + Send + Sync + std::fmt::Debug {
         self.resolve_perturbed(positions, transmitters, listeners, None, perturbation, rng)
     }
 
+    /// Like [`Channel::resolve_farfield`], optionally consulting a
+    /// [`HierarchicalFarFieldEngine`] — the tile-tree engine that serves
+    /// deployments beyond the flat engine's tile-count cap — and running
+    /// listener chunks on `executor`.
+    ///
+    /// The contract is the same **decision-exactness** guarantee as
+    /// [`Channel::resolve_farfield`]: with an engine built by
+    /// [`Channel::build_hierarchical_engine`] over the same `positions`,
+    /// the `Reception` vector is **bit-identical** to
+    /// [`Channel::resolve_perturbed`] (and the rng is consumed
+    /// identically), *for any executor* — chunk boundaries are fixed and
+    /// outputs merge in chunk order, so scheduling cannot reach the
+    /// results. Passing `None`, a non-[matching](HierarchicalFarFieldEngine::matches)
+    /// engine, or calling on a channel without a pruned path falls back to
+    /// `resolve_perturbed` outright — which is this default implementation.
+    #[allow(clippy::too_many_arguments)] // mirrors resolve_farfield + the executor
+    fn resolve_hierarchical(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        engine: Option<&mut HierarchicalFarFieldEngine>,
+        executor: &dyn ChunkExecutor,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        let _ = (engine, executor);
+        self.resolve_perturbed(positions, transmitters, listeners, None, perturbation, rng)
+    }
+
     /// The received power at `to` of an external interferer (a jammer)
     /// transmitting from `from` with power `power`, under this channel's
     /// propagation model.
@@ -203,6 +236,19 @@ pub trait Channel: sealed::Sealed + Send + Sync + std::fmt::Debug {
     /// entries), not by `n²` — which is exactly what lets it serve the
     /// deployments the cache refuses.
     fn build_farfield_engine(&self, positions: &[Point]) -> Option<FarFieldEngine> {
+        let _ = positions;
+        None
+    }
+
+    /// Builds the [`HierarchicalFarFieldEngine`] this channel can exploit
+    /// for `positions`, or `None` under the same conditions as
+    /// [`Channel::build_farfield_engine`] (the contract is identical; only
+    /// the aggregation structure differs). Memory is linear in the fine
+    /// tile count, so there is no size guard in either direction.
+    fn build_hierarchical_engine(
+        &self,
+        positions: &[Point],
+    ) -> Option<HierarchicalFarFieldEngine> {
         let _ = positions;
         None
     }

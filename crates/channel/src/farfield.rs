@@ -480,7 +480,8 @@ impl FarFieldEngine {
             }
 
             let extra = perturbation.map(|pt| pt.extra_at(v));
-            let reception = self.decide(
+            let reception = decide_ladder(
+                &mut self.stats,
                 DecisionInputs {
                     near_sum,
                     best_sig,
@@ -515,87 +516,94 @@ impl FarFieldEngine {
         }
         out
     }
-
-    /// The decision ladder (module docs, "decision-exactness contract").
-    /// `fallback` runs the canonical exact scan when no rung is conclusive.
-    fn decide(&mut self, inp: DecisionInputs, fallback: impl FnOnce() -> Reception) -> Reception {
-        let DecisionInputs {
-            near_sum,
-            best_sig,
-            best_tx,
-            far_lo,
-            far_hi,
-            far_cap,
-            noise,
-            extra,
-            beta,
-        } = inp;
-        // Rung 1: any non-finite intermediate (overflow, coincident nodes,
-        // touching tile boxes) voids the bracket reasoning entirely.
-        if !(near_sum.is_finite() && far_hi.is_finite() && far_cap.is_finite()) {
-            self.stats.nonfinite_fallbacks += 1;
-            return fallback();
-        }
-        let base = match extra {
-            Some(e) => noise + e,
-            None => noise,
-        };
-        // Rung 2: certain silence — the exact denominator is ≥ base, and
-        // the exact best signal is ≤ max(near best, far cap).
-        if best_sig.max(far_cap) < beta * base {
-            self.stats.noise_floor_silences += 1;
-            return Reception::Silence;
-        }
-        // Rung 3: no near candidate, yet rung 2 could not rule out a far
-        // decode — only the exact scan can name the winner.
-        let Some(from) = best_tx else {
-            self.stats.no_near_winner_fallbacks += 1;
-            return fallback();
-        };
-        // Rung 4: the near best must strictly dominate every possible far
-        // signal, or the canonical winner might be a far transmitter.
-        if far_cap >= best_sig {
-            self.stats.far_rival_fallbacks += 1;
-            return fallback();
-        }
-        // Rung 5: bracket the canonical interference and require the
-        // decision to be invariant across it.
-        let interference_near = near_sum - best_sig;
-        let slack = FARFIELD_REL_SLACK * (near_sum + far_hi + best_sig);
-        let i_lo = ((interference_near + far_lo) - slack).max(0.0);
-        let i_hi = (interference_near + far_hi) + slack;
-        let (denom_lo, denom_hi) = match extra {
-            Some(e) => (noise + e + i_lo, noise + e + i_hi),
-            None => (noise + i_lo, noise + i_hi),
-        };
-        let msg_lo = best_sig >= beta * denom_lo;
-        let msg_hi = best_sig >= beta * denom_hi;
-        if msg_lo == msg_hi {
-            self.stats.bracket_decisions += 1;
-            if msg_hi {
-                Reception::Message { from }
-            } else {
-                Reception::Silence
-            }
-        } else {
-            self.stats.bracket_straddle_fallbacks += 1;
-            fallback()
-        }
-    }
 }
 
-/// Everything `decide` needs about one listener, bundled to keep the
-/// ladder's signature readable.
-struct DecisionInputs {
-    near_sum: f64,
-    best_sig: f64,
-    best_tx: Option<NodeId>,
-    far_lo: f64,
-    far_hi: f64,
-    far_cap: f64,
-    noise: f64,
-    extra: Option<f64>,
-    beta: f64,
+/// Everything [`decide_ladder`] needs about one listener, bundled to keep
+/// the ladder's signature readable.
+pub(crate) struct DecisionInputs {
+    pub(crate) near_sum: f64,
+    pub(crate) best_sig: f64,
+    pub(crate) best_tx: Option<NodeId>,
+    pub(crate) far_lo: f64,
+    pub(crate) far_hi: f64,
+    pub(crate) far_cap: f64,
+    pub(crate) noise: f64,
+    pub(crate) extra: Option<f64>,
+    pub(crate) beta: f64,
+}
+
+/// The decision ladder (module docs, "decision-exactness contract"),
+/// shared by the flat [`FarFieldEngine`] and the hierarchical engine — the
+/// correctness argument only depends on the *bracket* inputs, not on how
+/// they were aggregated. `fallback` runs the canonical exact scan when no
+/// rung is conclusive; `stats` receives exactly one rung increment.
+pub(crate) fn decide_ladder(
+    stats: &mut FarFieldStats,
+    inp: DecisionInputs,
+    fallback: impl FnOnce() -> Reception,
+) -> Reception {
+    let DecisionInputs {
+        near_sum,
+        best_sig,
+        best_tx,
+        far_lo,
+        far_hi,
+        far_cap,
+        noise,
+        extra,
+        beta,
+    } = inp;
+    // Rung 1: any non-finite intermediate (overflow, coincident nodes,
+    // touching tile boxes) voids the bracket reasoning entirely.
+    if !(near_sum.is_finite() && far_hi.is_finite() && far_cap.is_finite()) {
+        stats.nonfinite_fallbacks += 1;
+        return fallback();
+    }
+    let base = match extra {
+        Some(e) => noise + e,
+        None => noise,
+    };
+    // Rung 2: certain silence — the exact denominator is ≥ base, and
+    // the exact best signal is ≤ max(near best, far cap).
+    if best_sig.max(far_cap) < beta * base {
+        stats.noise_floor_silences += 1;
+        return Reception::Silence;
+    }
+    // Rung 3: no near candidate, yet rung 2 could not rule out a far
+    // decode — only the exact scan can name the winner.
+    let Some(from) = best_tx else {
+        stats.no_near_winner_fallbacks += 1;
+        return fallback();
+    };
+    // Rung 4: the near best must strictly dominate every possible far
+    // signal, or the canonical winner might be a far transmitter.
+    if far_cap >= best_sig {
+        stats.far_rival_fallbacks += 1;
+        return fallback();
+    }
+    // Rung 5: bracket the canonical interference and require the
+    // decision to be invariant across it.
+    let interference_near = near_sum - best_sig;
+    let slack = FARFIELD_REL_SLACK * (near_sum + far_hi + best_sig);
+    let i_lo = ((interference_near + far_lo) - slack).max(0.0);
+    let i_hi = (interference_near + far_hi) + slack;
+    let (denom_lo, denom_hi) = match extra {
+        Some(e) => (noise + e + i_lo, noise + e + i_hi),
+        None => (noise + i_lo, noise + i_hi),
+    };
+    let msg_lo = best_sig >= beta * denom_lo;
+    let msg_hi = best_sig >= beta * denom_hi;
+    if msg_lo == msg_hi {
+        stats.bracket_decisions += 1;
+        if msg_hi {
+            Reception::Message { from }
+        } else {
+            Reception::Silence
+        }
+    } else {
+        stats.bracket_straddle_fallbacks += 1;
+        fallback()
+    }
 }
 
 #[cfg(test)]

@@ -38,7 +38,11 @@
 //! gain matrix once and [`Channel::resolve_cached`] resolves rounds against
 //! it with results bit-identical to [`Channel::resolve`]; see the
 //! [`gain_cache`](GainCache) module docs for the exactness contract and
-//! the size guard.
+//! the size guard. Beyond the cache, two far-field engines prune the
+//! per-round work under the same bit-exactness contract:
+//! [`FarFieldEngine`] (flat tile-pair tables) and
+//! [`HierarchicalFarFieldEngine`] (a [`fading_geom::TileTree`] traversal
+//! with no quadratic precompute, parallelizable via [`ChunkExecutor`]).
 //!
 //! # Example
 //!
@@ -66,7 +70,9 @@
 mod breakdown;
 mod channel;
 mod error;
+mod exec;
 mod farfield;
+mod hierarchical;
 mod gain_cache;
 mod lossy;
 mod params;
@@ -79,9 +85,14 @@ mod sinr;
 pub use breakdown::SinrBreakdown;
 pub use channel::Channel;
 pub use error::ChannelError;
+pub use exec::{ChunkExecutor, SerialExecutor};
 pub use farfield::{
     FarFieldEngine, FarFieldStats, DEFAULT_TARGET_TILE_OCCUPANCY, FARFIELD_REL_SLACK,
     MAX_TILES_PER_SIDE, NEAR_RING,
+};
+pub use hierarchical::{
+    HierarchicalFarFieldEngine, HIER_ACCEPT_RATIO_SQ, HIER_CHUNK, HIER_MAX_TILES_PER_SIDE,
+    HIER_TARGET_TILE_OCCUPANCY,
 };
 pub use gain_cache::{ActiveInterference, GainCache, DEFAULT_MAX_CACHED_NODES};
 pub use lossy::LossySinrChannel;

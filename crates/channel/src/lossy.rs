@@ -7,8 +7,8 @@ use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
 use crate::{
-    ChannelPerturbation, FarFieldEngine, GainCache, NodeId, Reception, SinrBreakdown, SinrChannel,
-    SinrParams,
+    ChannelPerturbation, ChunkExecutor, FarFieldEngine, GainCache, HierarchicalFarFieldEngine,
+    NodeId, Reception, SinrBreakdown, SinrChannel, SinrParams,
 };
 
 /// A SINR channel in which every successfully decoded message is
@@ -213,6 +213,39 @@ impl Channel for LossySinrChannel {
         receptions
     }
 
+    fn resolve_hierarchical(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        engine: Option<&mut HierarchicalFarFieldEngine>,
+        executor: &dyn ChunkExecutor,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        // The inner SINR physics take the pruned path (drawing nothing
+        // from the rng, on any executor); the i.i.d. drop pass afterwards
+        // runs serially in listener order, drawing from the rng exactly as
+        // the other resolve paths do.
+        let mut receptions = self.inner.resolve_hierarchical(
+            positions,
+            transmitters,
+            listeners,
+            engine,
+            executor,
+            perturbation,
+            rng,
+        );
+        if self.drop_prob > 0.0 {
+            for r in &mut receptions {
+                if r.is_message() && rng.gen_bool(self.drop_prob) {
+                    *r = Reception::Silence;
+                }
+            }
+        }
+        receptions
+    }
+
     fn interferer_gain(&self, from: Point, to: Point, power: f64) -> f64 {
         self.inner.interferer_gain(from, to, power)
     }
@@ -223,6 +256,10 @@ impl Channel for LossySinrChannel {
 
     fn build_farfield_engine(&self, positions: &[Point]) -> Option<FarFieldEngine> {
         self.inner.build_farfield_engine(positions)
+    }
+
+    fn build_hierarchical_engine(&self, positions: &[Point]) -> Option<HierarchicalFarFieldEngine> {
+        self.inner.build_hierarchical_engine(positions)
     }
 
     fn name(&self) -> &'static str {

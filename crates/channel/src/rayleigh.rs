@@ -222,11 +222,12 @@ impl Channel for RayleighSinrChannel {
         GainCache::build(positions, &self.params)
     }
 
-    // No `build_farfield_engine` override: this channel draws one fade per
-    // (listener, transmitter) pair in canonical order, so skipping any pair
-    // would desynchronize the rng stream — pruning cannot be
-    // decision-exact here. The trait default (no engine, wholesale
-    // fallback) is the correct behavior, not an omission.
+    // No `build_farfield_engine` or `build_hierarchical_engine` override:
+    // this channel draws one fade per (listener, transmitter) pair in
+    // canonical order, so skipping any pair would desynchronize the rng
+    // stream — pruning cannot be decision-exact here. The trait defaults
+    // (no engine, wholesale fallback) are the correct behavior, not an
+    // omission.
 
     fn name(&self) -> &'static str {
         "rayleigh-sinr"

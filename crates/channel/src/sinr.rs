@@ -6,7 +6,8 @@ use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
 use crate::{
-    ChannelPerturbation, FarFieldEngine, GainCache, NodeId, Reception, SinrBreakdown, SinrParams,
+    ChannelPerturbation, ChunkExecutor, FarFieldEngine, GainCache, HierarchicalFarFieldEngine,
+    NodeId, Reception, SinrBreakdown, SinrParams,
 };
 
 /// Computes `d^alpha` given the *squared* distance `d_sq = d²`.
@@ -331,6 +332,36 @@ impl Channel for SinrChannel {
         }
     }
 
+    fn resolve_hierarchical(
+        &self,
+        positions: &[Point],
+        transmitters: &[NodeId],
+        listeners: &[NodeId],
+        engine: Option<&mut HierarchicalFarFieldEngine>,
+        executor: &dyn ChunkExecutor,
+        perturbation: &ChannelPerturbation<'_>,
+        rng: &mut SmallRng,
+    ) -> Vec<Reception> {
+        match engine.filter(|e| e.matches(positions, &self.params)) {
+            Some(e) => {
+                // A neutral perturbation routes to the clean denominator
+                // grouping, exactly as resolve_core's dispatch does.
+                let perturbation = Some(perturbation).filter(|pt| !pt.is_neutral());
+                e.resolve_sinr(
+                    &self.params,
+                    positions,
+                    transmitters,
+                    listeners,
+                    perturbation,
+                    executor,
+                )
+            }
+            None => {
+                self.resolve_perturbed(positions, transmitters, listeners, None, perturbation, rng)
+            }
+        }
+    }
+
     fn interferer_gain(&self, from: Point, to: Point, power: f64) -> f64 {
         power / pow_alpha(from.distance_sq(to), self.params.alpha())
     }
@@ -341,6 +372,10 @@ impl Channel for SinrChannel {
 
     fn build_farfield_engine(&self, positions: &[Point]) -> Option<FarFieldEngine> {
         FarFieldEngine::build(positions, &self.params)
+    }
+
+    fn build_hierarchical_engine(&self, positions: &[Point]) -> Option<HierarchicalFarFieldEngine> {
+        HierarchicalFarFieldEngine::build(positions, &self.params)
     }
 
     fn name(&self) -> &'static str {

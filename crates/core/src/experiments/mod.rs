@@ -21,6 +21,7 @@
 //! | E12 | Ablations: knockout rule, stochastic fading, deployment shape |
 //! | E13 | Robustness degradation under fault injection (jamming, churn, noise, burst loss) |
 //! | E14 | Engine-tier scaling: the far-field resolve tier vs the n² wall |
+//! | E15 | Hierarchical tier + parallel resolve: full runs at `n = 2²⁰` |
 //!
 //! Each `eNN` function is deterministic given its [`ExperimentConfig`];
 //! [`run_by_id`] provides a string-keyed registry for the CLI harness.
@@ -50,6 +51,7 @@ mod e11_high_probability;
 mod e12_ablations;
 mod e13_robustness;
 mod e14_engine_scaling;
+mod e15_parallel_scaling;
 
 pub use common::ExperimentConfig;
 pub use e01_rounds_vs_n::e01_rounds_vs_n;
@@ -66,15 +68,16 @@ pub use e11_high_probability::e11_high_probability;
 pub use e12_ablations::e12_ablations;
 pub use e13_robustness::e13_robustness;
 pub use e14_engine_scaling::e14_engine_scaling;
+pub use e15_parallel_scaling::e15_parallel_scaling;
 
 use crate::Table;
 
 /// The experiment ids accepted by [`run_by_id`], in canonical order.
-pub const ALL_IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
-/// Runs one experiment by id (`"e1"` … `"e14"`, case-insensitive).
+/// Runs one experiment by id (`"e1"` … `"e15"`, case-insensitive).
 /// Returns `None` for an unknown id.
 #[must_use]
 pub fn run_by_id(id: &str, cfg: &ExperimentConfig) -> Option<Table> {
@@ -103,6 +106,7 @@ pub fn run_by_id_with(id: &str, cfg: &ExperimentConfig, telemetry_dir: Option<&s
         "e12" => Some(e12_ablations(cfg)),
         "e13" => Some(e13_robustness(cfg)),
         "e14" => Some(e14_engine_scaling(cfg)),
+        "e15" => Some(e15_parallel_scaling(cfg)),
         _ => None,
     }
 }

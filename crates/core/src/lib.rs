@@ -82,8 +82,9 @@ pub mod prelude {
     pub use crate::table::Table;
     pub use fading_analysis::{ClassBoundSchedule, GoodNodes, LinkClasses, ScheduleParams};
     pub use fading_channel::{
-        ActiveInterference, Channel, FarFieldEngine, FarFieldStats, GainCache, RadioCdChannel,
-        RadioChannel, RayleighSinrChannel, Reception, SinrChannel, SinrParams,
+        ActiveInterference, Channel, ChunkExecutor, FarFieldEngine, FarFieldStats, GainCache,
+        HierarchicalFarFieldEngine, RadioCdChannel, RadioChannel, RayleighSinrChannel, Reception,
+        SerialExecutor, SinrChannel, SinrParams,
     };
     pub use fading_geom::{generators, Deployment, Point};
     pub use fading_hitting::{
@@ -96,7 +97,7 @@ pub mod prelude {
     };
     pub use fading_sim::{
         faults, montecarlo, Action, FaultPlan, Protocol, RunOutcome, RunResult, SimError,
-        Simulation, TraceLevel,
+        Simulation, StealPool, TraceLevel, HIERARCHICAL_AUTO_THRESHOLD,
     };
 }
 

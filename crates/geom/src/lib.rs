@@ -11,6 +11,9 @@
 //! * [`GridIndex`] — a uniform-grid spatial index supporting nearest-neighbor
 //!   and range queries over thousands of points in (amortized) constant time
 //!   per query for well-distributed inputs.
+//! * [`TileIndex`] / [`TileTree`] — fixed tilings (flat, and multi-resolution
+//!   with 2×2-merged aggregate levels) with certified tile-pair distance
+//!   brackets, the substrate of the far-field interference engines.
 //! * [`Deployment`] — an immutable set of node positions together with cached
 //!   link structure (nearest neighbors, shortest/longest links, the paper's
 //!   link-length ratio `R`).
@@ -45,6 +48,7 @@ mod hull;
 mod io;
 mod point;
 mod tiles;
+mod tiletree;
 
 pub use bbox::Bbox;
 pub use deployment::{Deployment, DeploymentBuilder};
@@ -53,6 +57,7 @@ pub use grid::GridIndex;
 pub use hull::{convex_hull, diameter};
 pub use point::Point;
 pub use tiles::TileIndex;
+pub use tiletree::TileTree;
 
 /// Numeric tolerance used when comparing squared distances and other derived
 /// floating-point quantities within this crate.

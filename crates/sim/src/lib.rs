@@ -75,6 +75,7 @@ mod action;
 pub mod faults;
 pub mod montecarlo;
 pub mod obs;
+mod pool;
 mod protocol;
 mod result;
 mod rng;
@@ -84,10 +85,11 @@ pub mod telemetry;
 pub use action::Action;
 pub use faults::{FaultError, FaultPlan};
 pub use obs::{EngineCounters, ResolvePath, SpanGuard, SpanRecord, Tracer};
+pub use pool::StealPool;
 pub use protocol::Protocol;
 pub use result::{RoundRecord, RunOutcome, RunResult, Trace, TraceLevel};
 pub use rng::{channel_rng, fault_rng, node_rng, split_mix64};
-pub use simulation::{SimError, Simulation, StepOutcome};
+pub use simulation::{SimError, Simulation, StepOutcome, HIERARCHICAL_AUTO_THRESHOLD};
 pub use telemetry::{
     MemorySink, MetricsRegistry, NoopSink, RoundEvent, TelemetryDetail, TelemetrySink,
 };

@@ -5,10 +5,11 @@ use fading_channel::FarFieldStats;
 /// Which resolve tier served one round's channel resolution.
 ///
 /// The step loop picks the path per round (see DESIGN.md §10's tier
-/// table): the far-field engine when enabled and no SINR detail is
-/// wanted, the instrumented scan when a sink asked for SINR breakdowns,
-/// the gain cache when built and enabled, the exact scan otherwise. The
-/// choice never changes receptions — all four paths are bit-identical by
+/// table): the hierarchical engine above the flat engine's comfort zone,
+/// the far-field engine when enabled and no SINR detail is wanted, the
+/// instrumented scan when a sink asked for SINR breakdowns, the gain
+/// cache when built and enabled, the exact scan otherwise. The choice
+/// never changes receptions — all five paths are bit-identical by
 /// contract — so recording it in [`RoundEvent`] is observability, not
 /// behavior.
 ///
@@ -22,16 +23,19 @@ pub enum ResolvePath {
     Cached,
     /// Tile-aggregated far-field engine.
     FarField,
+    /// Multi-resolution tile-tree far-field engine (parallelizable).
+    Hierarchical,
     /// Instrumented scan producing per-listener SINR breakdowns.
     Instrumented,
 }
 
 impl ResolvePath {
     /// Every path, in tier order.
-    pub const ALL: [ResolvePath; 4] = [
+    pub const ALL: [ResolvePath; 5] = [
         ResolvePath::Exact,
         ResolvePath::Cached,
         ResolvePath::FarField,
+        ResolvePath::Hierarchical,
         ResolvePath::Instrumented,
     ];
 
@@ -42,6 +46,7 @@ impl ResolvePath {
             ResolvePath::Exact => "exact",
             ResolvePath::Cached => "gain_cache",
             ResolvePath::FarField => "farfield",
+            ResolvePath::Hierarchical => "hierarchical",
             ResolvePath::Instrumented => "instrumented",
         }
     }
@@ -61,7 +66,7 @@ impl ResolvePath {
 /// serialize it with [`telemetry::jsonl::counters_to_json`] or
 /// [`obs::export::prometheus`](crate::obs::export::prometheus).
 ///
-/// Invariant (asserted in the equivalence/determinism suites): the four
+/// Invariant (asserted in the equivalence/determinism suites): the five
 /// `*_rounds` route counters sum to `rounds`, and
 /// `farfield.listeners_resolved()` equals the sum of the ladder's rung
 /// counters.
@@ -73,6 +78,8 @@ pub struct EngineCounters {
     pub rounds: u64,
     /// Rounds resolved by the far-field engine.
     pub farfield_rounds: u64,
+    /// Rounds resolved by the hierarchical (tile-tree) far-field engine.
+    pub hierarchical_rounds: u64,
     /// Rounds resolved through the gain cache.
     pub gain_cache_rounds: u64,
     /// Rounds resolved by the canonical exact scan.
@@ -96,8 +103,9 @@ pub struct EngineCounters {
     pub ge_dropped: u64,
     /// Churn events applied, total.
     pub churn_applied: u64,
-    /// The far-field engine's per-rung ladder counters (all zero when the
-    /// engine never served a round).
+    /// The per-rung decision-ladder counters, aggregated over **both**
+    /// far-field engines (flat and hierarchical — they share the same
+    /// 5-rung ladder; all zero when neither engine served a round).
     pub farfield: FarFieldStats,
 }
 
@@ -105,7 +113,11 @@ impl EngineCounters {
     /// Sum of the per-path route counters; equals `rounds` by invariant.
     #[must_use]
     pub fn routed_rounds(&self) -> u64 {
-        self.farfield_rounds + self.gain_cache_rounds + self.exact_rounds + self.instrumented_rounds
+        self.farfield_rounds
+            + self.hierarchical_rounds
+            + self.gain_cache_rounds
+            + self.exact_rounds
+            + self.instrumented_rounds
     }
 
     /// The route counter for one path.
@@ -115,6 +127,7 @@ impl EngineCounters {
             ResolvePath::Exact => self.exact_rounds,
             ResolvePath::Cached => self.gain_cache_rounds,
             ResolvePath::FarField => self.farfield_rounds,
+            ResolvePath::Hierarchical => self.hierarchical_rounds,
             ResolvePath::Instrumented => self.instrumented_rounds,
         }
     }
@@ -124,6 +137,7 @@ impl EngineCounters {
     pub fn merge(&mut self, other: &EngineCounters) {
         self.rounds += other.rounds;
         self.farfield_rounds += other.farfield_rounds;
+        self.hierarchical_rounds += other.hierarchical_rounds;
         self.gain_cache_rounds += other.gain_cache_rounds;
         self.exact_rounds += other.exact_rounds;
         self.instrumented_rounds += other.instrumented_rounds;
@@ -161,21 +175,22 @@ mod tests {
     #[test]
     fn routed_rounds_sums_paths() {
         let mut c = EngineCounters {
-            rounds: 10,
+            rounds: 15,
             farfield_rounds: 4,
+            hierarchical_rounds: 5,
             gain_cache_rounds: 3,
             exact_rounds: 2,
             instrumented_rounds: 1,
             ..EngineCounters::default()
         };
-        assert_eq!(c.routed_rounds(), 10);
+        assert_eq!(c.routed_rounds(), 15);
         for p in ResolvePath::ALL {
             assert!(c.rounds_for(p) > 0);
         }
         let other = c;
         c.merge(&other);
-        assert_eq!(c.rounds, 20);
-        assert_eq!(c.routed_rounds(), 20);
+        assert_eq!(c.rounds, 30);
+        assert_eq!(c.routed_rounds(), 30);
     }
 
     #[test]

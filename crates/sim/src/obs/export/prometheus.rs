@@ -397,6 +397,7 @@ pub fn counters_from_prometheus(text: &str) -> Result<EngineCounters, ExportErro
     Ok(EngineCounters {
         rounds: plain("fading_rounds_total")?,
         farfield_rounds: route(ResolvePath::FarField)?,
+        hierarchical_rounds: route(ResolvePath::Hierarchical)?,
         gain_cache_rounds: route(ResolvePath::Cached)?,
         exact_rounds: route(ResolvePath::Exact)?,
         instrumented_rounds: route(ResolvePath::Instrumented)?,

@@ -1,0 +1,230 @@
+//! A hand-rolled work-stealing thread pool for in-round data parallelism.
+//!
+//! [`StealPool`] implements `fading-channel`'s [`ChunkExecutor`]: it runs a
+//! batch of independent, identically-shaped tasks (the hierarchical
+//! engine's listener chunks) across OS threads. The vendored-dependency
+//! constraint rules out rayon, and the workload doesn't need a persistent
+//! pool — a round's resolve is one bulk-synchronous batch — so each
+//! [`StealPool::run`] spawns a `std::thread::scope`, which also keeps the
+//! crate `#![forbid(unsafe_code)]`-clean (scoped threads borrow the task
+//! closure safely).
+//!
+//! # Scheduling
+//!
+//! `0..num_tasks` is pre-split into one contiguous range per worker, each
+//! packed `(lo, hi)` into a single `AtomicU64`. A worker pops from the
+//! *front* of its own range; an idle worker steals from the *back* of a
+//! victim's range (one task at a time — chunk granularity is coarse enough
+//! that finer amortization buys nothing). Both operations are CAS loops on
+//! the packed word, so a task index is handed out exactly once. Ranges
+//! only ever shrink, so a full idle sweep finding every range empty is a
+//! correct termination proof.
+//!
+//! # Determinism
+//!
+//! Scheduling decides only *which thread* runs a task, never what the task
+//! computes or where its output lands — the [`ChunkExecutor`] contract.
+//! The dedicated suite (`tests/parallel_determinism.rs`) drives this pool
+//! with adversarial per-task sleeps to prove completion order cannot leak
+//! into results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fading_channel::ChunkExecutor;
+
+/// A scoped work-stealing executor over a fixed number of worker threads.
+///
+/// `threads = 1` runs every batch inline on the calling thread (no spawns,
+/// no atomics); results are byte-identical either way.
+#[derive(Debug, Clone, Copy)]
+pub struct StealPool {
+    threads: usize,
+}
+
+#[inline]
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(hi) << 32) | u64::from(lo)
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    (v as u32, (v >> 32) as u32)
+}
+
+/// Pops the front of a packed range, or `None` when it is empty.
+fn take_front(r: &AtomicU64) -> Option<usize> {
+    let mut cur = r.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        match r.compare_exchange_weak(cur, pack(lo + 1, hi), Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return Some(lo as usize),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Steals the back of a packed range, or `None` when it is empty.
+fn take_back(r: &AtomicU64) -> Option<usize> {
+    let mut cur = r.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        match r.compare_exchange_weak(cur, pack(lo, hi - 1), Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return Some((hi - 1) as usize),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+fn worker_loop(me: usize, ranges: &[AtomicU64], task: &(dyn Fn(usize) + Sync)) {
+    loop {
+        // Drain own range front-to-back.
+        if let Some(i) = take_front(&ranges[me]) {
+            task(i);
+            continue;
+        }
+        // Idle: sweep victims (round-robin from the right neighbor),
+        // stealing from the back to stay off the owner's front.
+        let mut stole = false;
+        for off in 1..ranges.len() {
+            let victim = (me + off) % ranges.len();
+            if let Some(i) = take_back(&ranges[victim]) {
+                task(i);
+                stole = true;
+                break;
+            }
+        }
+        if !stole {
+            // Every range was empty when swept, and ranges only shrink —
+            // no task remains unclaimed.
+            return;
+        }
+    }
+}
+
+impl StealPool {
+    /// A pool of `threads` workers (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        StealPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads a batch may use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `task(i)` for every `i in 0..num_tasks`, returning after all
+    /// completed (the [`ChunkExecutor`] contract). Worker threads are
+    /// scoped to this call; a panicking task propagates the panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tasks` exceeds `u32::MAX` (the packed-range format;
+    /// four billion chunks is far beyond any real batch).
+    pub fn run(&self, num_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        assert!(
+            u32::try_from(num_tasks).is_ok(),
+            "batch of {num_tasks} tasks exceeds the packed-range format"
+        );
+        let workers = self.threads.min(num_tasks);
+        if workers <= 1 {
+            for i in 0..num_tasks {
+                task(i);
+            }
+            return;
+        }
+        // Pre-split into one contiguous range per worker.
+        let ranges: Vec<AtomicU64> = (0..workers)
+            .map(|w| {
+                let lo = (w * num_tasks / workers) as u32;
+                let hi = ((w + 1) * num_tasks / workers) as u32;
+                AtomicU64::new(pack(lo, hi))
+            })
+            .collect();
+        let ranges = &ranges;
+        std::thread::scope(|s| {
+            for w in 1..workers {
+                s.spawn(move || worker_loop(w, ranges, task));
+            }
+            // The calling thread is worker 0.
+            worker_loop(0, ranges, task);
+        });
+    }
+}
+
+impl ChunkExecutor for StealPool {
+    fn run(&self, num_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        StealPool::run(self, num_tasks, task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn hit_counts(threads: usize, num_tasks: usize) -> Vec<u32> {
+        let pool = StealPool::new(threads);
+        let hits: Vec<AtomicU32> = (0..num_tasks).map(|_| AtomicU32::new(0)).collect();
+        pool.run(num_tasks, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        hits.into_iter().map(AtomicU32::into_inner).collect()
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        for threads in [1, 2, 3, 8] {
+            for num_tasks in [0, 1, 2, 7, 64, 1000] {
+                let hits = hit_counts(threads, num_tasks);
+                assert!(
+                    hits.iter().all(|&h| h == 1),
+                    "threads={threads} tasks={num_tasks}: {hits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = StealPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(hit_counts(0, 5), vec![1; 5]);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        assert_eq!(hit_counts(8, 3), vec![1; 3]);
+    }
+
+    #[test]
+    fn packed_range_round_trips() {
+        for (lo, hi) in [(0, 0), (0, 1), (7, 1000), (u32::MAX - 1, u32::MAX)] {
+            assert_eq!(unpack(pack(lo, hi)), (lo, hi));
+        }
+    }
+
+    #[test]
+    fn stealing_balances_a_skewed_batch() {
+        // One pathologically slow task at the front of worker 0's range;
+        // the rest must complete regardless (stolen by idle workers).
+        let pool = StealPool::new(4);
+        let hits: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        pool.run(64, &|i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

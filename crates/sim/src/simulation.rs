@@ -8,16 +8,28 @@ use rand::Rng;
 
 use fading_channel::{
     ActiveInterference, Channel, ChannelPerturbation, FarFieldEngine, FarFieldStats, GainCache,
-    NodeId, SinrBreakdown,
+    HierarchicalFarFieldEngine, NodeId, SinrBreakdown,
 };
 use fading_geom::{Deployment, Point};
 
 use crate::faults::{ChurnEvent, ChurnKind, FaultError, FaultPlan};
 use crate::obs::{EngineCounters, ResolvePath, SpanGuard, Tracer};
+use crate::pool::StealPool;
 use crate::result::{RoundRecord, RunResult, Trace, TraceLevel};
 use crate::rng::{channel_rng, fault_rng, node_rng};
 use crate::telemetry::{MetricsRegistry, Phase, RoundEvent, TelemetryDetail, TelemetrySink};
 use crate::{Action, Protocol};
+
+/// Deployment size above which a freshly built [`Simulation`] routes
+/// rounds through the hierarchical far-field engine by default.
+///
+/// Below this the flat [`FarFieldEngine`] (tier 3) is already fast — its
+/// tile-pair tables are capped at `MAX_TILES_PER_SIDE²` entries — and the
+/// tree traversal's extra bookkeeping buys nothing. Above it the flat
+/// engine's per-listener far-field refresh starts scanning tens of
+/// thousands of tiles and the `O(log)`-depth tree takes over (tier 4).
+/// [`Simulation::set_hierarchical_enabled`] overrides in either direction.
+pub const HIERARCHICAL_AUTO_THRESHOLD: usize = 65_536;
 
 /// Why a simulation could not be constructed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +108,17 @@ pub struct Simulation {
     // when the deployment exceeded the cache's size guard.
     farfield: Option<FarFieldEngine>,
     farfield_enabled: bool,
+    // Hierarchical (tile-tree) far-field engine, the tier above the flat
+    // engine. Built eagerly only when the deployment crosses
+    // HIERARCHICAL_AUTO_THRESHOLD; `set_hierarchical_enabled(true)` builds
+    // it on demand at any size. None when the channel cannot support the
+    // decision-exactness contract (radio and Rayleigh).
+    hierarchical: Option<HierarchicalFarFieldEngine>,
+    hierarchical_enabled: bool,
+    // Executor for the hierarchical engine's per-listener-chunk resolve.
+    // Thread count never changes results (the ChunkExecutor contract);
+    // defaults to 1, raised via `set_resolve_threads`.
+    resolve_pool: StealPool,
     // Scratch buffers reused across rounds.
     transmitters: Vec<NodeId>,
     listeners: Vec<NodeId>,
@@ -176,6 +199,21 @@ impl Simulation {
         // Engine-tier default: the far-field path picks up exactly where
         // the O(n²) gain cache bows out (n > DEFAULT_MAX_CACHED_NODES).
         let farfield_enabled = gain_cache.is_none();
+        // Tier above that: the hierarchical engine takes over once the
+        // flat engine's tile tables stop scaling.
+        let hierarchical_enabled = n > HIERARCHICAL_AUTO_THRESHOLD;
+        let mut hierarchical = if hierarchical_enabled {
+            channel.build_hierarchical_engine(&positions)
+        } else {
+            None
+        };
+        if let Some(engine) = &mut hierarchical {
+            for (i, &is_active) in active.iter().enumerate() {
+                if !is_active {
+                    engine.deactivate(i);
+                }
+            }
+        }
         Simulation {
             positions,
             channel,
@@ -195,6 +233,9 @@ impl Simulation {
             active_interference,
             farfield,
             farfield_enabled,
+            hierarchical,
+            hierarchical_enabled,
+            resolve_pool: StealPool::new(1),
             transmitters: Vec::new(),
             listeners: Vec::new(),
             fault_plan: None,
@@ -329,6 +370,9 @@ impl Simulation {
             if let Some(engine) = &mut self.farfield {
                 engine.deactivate(v);
             }
+            if let Some(engine) = &mut self.hierarchical {
+                engine.deactivate(v);
+            }
             true
         } else {
             false
@@ -348,6 +392,9 @@ impl Simulation {
                 engine.activate(cache, v);
             }
             if let Some(engine) = &mut self.farfield {
+                engine.activate(v);
+            }
+            if let Some(engine) = &mut self.hierarchical {
                 engine.activate(v);
             }
             true
@@ -450,6 +497,74 @@ impl Simulation {
     #[must_use]
     pub fn farfield_stats(&self) -> Option<FarFieldStats> {
         self.farfield.as_ref().map(FarFieldEngine::stats)
+    }
+
+    /// Enables or disables the hierarchical far-field engine for
+    /// subsequent rounds, building it on demand (occupancy synced to the
+    /// current active set) if the channel supports one.
+    ///
+    /// The engine is on by default exactly when the deployment exceeds
+    /// [`HIERARCHICAL_AUTO_THRESHOLD`], making it the fourth engine tier:
+    /// exact → gain-cache → far-field → hierarchical as `n` grows. The
+    /// hierarchical resolve is decision-exact (bit-identical receptions;
+    /// see [`Channel::resolve_hierarchical`]), so toggling this never
+    /// changes a run's outcome — only its speed. Exposed, like the other
+    /// tier toggles, so equivalence and determinism tests can cross every
+    /// tier at any size.
+    ///
+    /// [`Channel::resolve_hierarchical`]: fading_channel::Channel::resolve_hierarchical
+    pub fn set_hierarchical_enabled(&mut self, enabled: bool) {
+        self.hierarchical_enabled = enabled;
+        if enabled && self.hierarchical.is_none() {
+            let mut engine = self.channel.build_hierarchical_engine(&self.positions);
+            if let Some(e) = &mut engine {
+                for (i, &is_active) in self.active.iter().enumerate() {
+                    if !is_active {
+                        e.deactivate(i);
+                    }
+                }
+            }
+            self.hierarchical = engine;
+        }
+    }
+
+    /// Whether rounds currently resolve through the hierarchical engine
+    /// (an engine exists **and** it is enabled). Rounds that need SINR
+    /// breakdowns for telemetry still route through the instrumented exact
+    /// path regardless.
+    #[must_use]
+    pub fn hierarchical_active(&self) -> bool {
+        self.hierarchical_enabled && self.hierarchical.is_some()
+    }
+
+    /// The hierarchical far-field engine, when one has been built.
+    #[must_use]
+    pub fn hierarchical_engine(&self) -> Option<&HierarchicalFarFieldEngine> {
+        self.hierarchical.as_ref()
+    }
+
+    /// Decision counters of the hierarchical engine, when one exists.
+    #[must_use]
+    pub fn hierarchical_stats(&self) -> Option<FarFieldStats> {
+        self.hierarchical.as_ref().map(HierarchicalFarFieldEngine::stats)
+    }
+
+    /// Sets how many worker threads the hierarchical engine's parallel
+    /// per-listener resolve may use (clamped to at least 1; default 1).
+    ///
+    /// The thread count never changes results: listener chunking is fixed
+    /// (independent of `threads`), chunk outputs are merged in chunk
+    /// order, and the per-chunk ladder counters are commutative sums — so
+    /// `threads ∈ {1, 8}` produce byte-identical [`RunResult`]s (proven
+    /// by `tests/parallel_determinism.rs`).
+    pub fn set_resolve_threads(&mut self, threads: usize) {
+        self.resolve_pool = StealPool::new(threads);
+    }
+
+    /// Worker threads available to the hierarchical resolve.
+    #[must_use]
+    pub fn resolve_threads(&self) -> usize {
+        self.resolve_pool.threads()
     }
 
     /// The running total interference at node `v` from all still-active
@@ -570,7 +685,20 @@ impl Simulation {
     pub fn engine_counters(&self) -> EngineCounters {
         let mut c = self.counters;
         c.gain_cache_built = self.gain_cache.is_some();
-        c.farfield = self.farfield.as_ref().map(FarFieldEngine::stats).unwrap_or_default();
+        // Both engines share the same decision ladder; the counters view
+        // aggregates their per-rung stats into one block.
+        let mut ff = self.farfield.as_ref().map(FarFieldEngine::stats).unwrap_or_default();
+        if let Some(h) = self.hierarchical.as_ref().map(HierarchicalFarFieldEngine::stats) {
+            ff.rounds += h.rounds;
+            ff.empty_round_silences += h.empty_round_silences;
+            ff.nonfinite_fallbacks += h.nonfinite_fallbacks;
+            ff.noise_floor_silences += h.noise_floor_silences;
+            ff.no_near_winner_fallbacks += h.no_near_winner_fallbacks;
+            ff.far_rival_fallbacks += h.far_rival_fallbacks;
+            ff.bracket_decisions += h.bracket_decisions;
+            ff.bracket_straddle_fallbacks += h.bracket_straddle_fallbacks;
+        }
+        c.farfield = ff;
         c
     }
 
@@ -707,14 +835,20 @@ impl Simulation {
         } else {
             None
         };
-        // The far-field tier only serves uninstrumented rounds: SINR
+        // The far-field tiers only serve uninstrumented rounds: SINR
         // breakdowns require the full per-pair decomposition the pruned
-        // path exists to skip.
-        let use_farfield = self.farfield_enabled && !want_sinr && self.farfield.is_some();
+        // paths exist to skip. The hierarchical engine outranks the flat
+        // one when both exist and are enabled.
+        let use_hierarchical =
+            self.hierarchical_enabled && !want_sinr && self.hierarchical.is_some();
+        let use_farfield =
+            !use_hierarchical && self.farfield_enabled && !want_sinr && self.farfield.is_some();
         // Which tier serves this round. The classification is the same for
         // perturbed and unperturbed rounds: the fault plan changes what is
         // resolved, not which engine resolves it.
-        let resolve_path = if use_farfield {
+        let resolve_path = if use_hierarchical {
+            ResolvePath::Hierarchical
+        } else if use_farfield {
             ResolvePath::FarField
         } else if want_sinr {
             ResolvePath::Instrumented
@@ -725,7 +859,11 @@ impl Simulation {
         };
         // Snapshot the far-field fallback tally so telemetry can report the
         // per-round delta (plain field reads; negligible next to resolve).
-        let ff_fallbacks_before = if use_farfield {
+        let ff_fallbacks_before = if use_hierarchical {
+            self.hierarchical
+                .as_ref()
+                .map_or(0, |e| e.stats().exact_fallbacks())
+        } else if use_farfield {
             self.farfield
                 .as_ref()
                 .map_or(0, |e| e.stats().exact_fallbacks())
@@ -737,11 +875,21 @@ impl Simulation {
             ResolvePath::Exact => "resolve.exact",
             ResolvePath::Cached => "resolve.gain_cache",
             ResolvePath::FarField => "resolve.farfield",
+            ResolvePath::Hierarchical => "resolve.hierarchical",
             ResolvePath::Instrumented => "resolve.instrumented",
         });
         let mut event_noise_scale = 1.0;
         let mut event_jam_power = 0.0;
         let mut receptions = match &self.fault_plan {
+            None if use_hierarchical => self.channel.resolve_hierarchical(
+                &self.positions,
+                &self.transmitters,
+                &self.listeners,
+                self.hierarchical.as_mut(),
+                &self.resolve_pool,
+                &ChannelPerturbation::neutral(),
+                &mut self.chan_rng,
+            ),
             None if use_farfield => self.channel.resolve_farfield(
                 &self.positions,
                 &self.transmitters,
@@ -808,6 +956,16 @@ impl Simulation {
                         &mut self.chan_rng,
                         &mut self.sinr_scratch,
                     )
+                } else if use_hierarchical {
+                    self.channel.resolve_hierarchical(
+                        &self.positions,
+                        &self.transmitters,
+                        &self.listeners,
+                        self.hierarchical.as_mut(),
+                        &self.resolve_pool,
+                        &perturbation,
+                        &mut self.chan_rng,
+                    )
                 } else if use_farfield {
                     self.channel.resolve_farfield(
                         &self.positions,
@@ -838,6 +996,7 @@ impl Simulation {
             ResolvePath::Exact => self.counters.exact_rounds += 1,
             ResolvePath::Cached => self.counters.gain_cache_rounds += 1,
             ResolvePath::FarField => self.counters.farfield_rounds += 1,
+            ResolvePath::Hierarchical => self.counters.hierarchical_rounds += 1,
             ResolvePath::Instrumented => self.counters.instrumented_rounds += 1,
         }
         // A built cache counts as bypassed when this round was not served
@@ -893,6 +1052,9 @@ impl Simulation {
                     engine.deactivate(cache, v);
                 }
                 if let Some(engine) = &mut self.farfield {
+                    engine.deactivate(v);
+                }
+                if let Some(engine) = &mut self.hierarchical {
                     engine.deactivate(v);
                 }
             }
@@ -957,7 +1119,13 @@ impl Simulation {
 
         if telemetry_on {
             let _span_telemetry = self.span("telemetry");
-            let ff_fallbacks = if use_farfield {
+            let ff_fallbacks = if use_hierarchical {
+                let after = self
+                    .hierarchical
+                    .as_ref()
+                    .map_or(0, |e| e.stats().exact_fallbacks());
+                (after - ff_fallbacks_before) as usize
+            } else if use_farfield {
                 let after = self
                     .farfield
                     .as_ref()

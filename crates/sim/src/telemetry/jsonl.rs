@@ -625,7 +625,8 @@ pub fn counters_to_json(c: &EngineCounters) -> String {
     let mut s = String::with_capacity(512);
     let _ = write!(
         s,
-        "{{\"rounds\":{},\"farfield_rounds\":{},\"gain_cache_rounds\":{},\"exact_rounds\":{},\
+        "{{\"rounds\":{},\"farfield_rounds\":{},\"hierarchical_rounds\":{},\
+         \"gain_cache_rounds\":{},\"exact_rounds\":{},\
          \"instrumented_rounds\":{},\"gain_cache_built\":{},\"gain_cache_bypassed_rounds\":{},\
          \"perturbed_rounds\":{},\"jammed_rounds\":{},\"noise_scaled_rounds\":{},\
          \"ge_dropped\":{},\"churn_applied\":{},\"ff_rounds\":{},\"ff_empty_round_silences\":{},\
@@ -634,6 +635,7 @@ pub fn counters_to_json(c: &EngineCounters) -> String {
          \"ff_bracket_decisions\":{},\"ff_bracket_straddle_fallbacks\":{}}}",
         c.rounds,
         c.farfield_rounds,
+        c.hierarchical_rounds,
         c.gain_cache_rounds,
         c.exact_rounds,
         c.instrumented_rounds,
@@ -669,6 +671,7 @@ pub fn counters_from_json(line: &str) -> Result<EngineCounters, JsonlError> {
     Ok(EngineCounters {
         rounds: get_u64(f, "rounds")?,
         farfield_rounds: get_u64(f, "farfield_rounds")?,
+        hierarchical_rounds: get_u64(f, "hierarchical_rounds")?,
         gain_cache_rounds: get_u64(f, "gain_cache_rounds")?,
         exact_rounds: get_u64(f, "exact_rounds")?,
         instrumented_rounds: get_u64(f, "instrumented_rounds")?,
@@ -1068,7 +1071,8 @@ mod tests {
     fn sample_counters() -> EngineCounters {
         EngineCounters {
             rounds: 100,
-            farfield_rounds: 60,
+            farfield_rounds: 45,
+            hierarchical_rounds: 15,
             gain_cache_rounds: 30,
             exact_rounds: 8,
             instrumented_rounds: 2,
