@@ -55,9 +55,9 @@ impl LinkClasses {
             let index = GridIndex::build(&active_points);
             for (k, &id) in active.iter().enumerate() {
                 assert!(id < n, "active id {id} out of bounds");
-                let j = index
-                    .nearest(active_points[k], Some(k))
-                    .expect("at least two active nodes");
+                let Some(j) = index.nearest(active_points[k], Some(k)) else {
+                    unreachable!("at least two active nodes")
+                };
                 let d = active_points[k].distance(active_points[j]);
                 let ratio = d / unit;
                 assert!(

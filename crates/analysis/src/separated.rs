@@ -127,11 +127,9 @@ pub fn separated_subset(
     }
     let partners: Vec<NodeId> = members
         .iter()
-        .map(|&u| {
-            classes
-                .nearest_active(u)
-                .expect("a classed node has an active nearest neighbor")
-                .0
+        .map(|&u| match classes.nearest_active(u) {
+            Some((partner, _)) => partner,
+            None => unreachable!("a classed node has an active nearest neighbor"),
         })
         .collect();
     SeparatedSubset {

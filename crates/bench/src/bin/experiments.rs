@@ -6,19 +6,26 @@
 //! experiments [e1 e2 …] [--smoke|--quick|--full] [--out <dir>] [--telemetry <dir>]
 //! ```
 //!
-//! With no ids, runs all fifteen experiments. `--out <dir>` additionally
+//! With no ids, runs all sixteen experiments. `--out <dir>` additionally
 //! writes one CSV per table. `--telemetry <dir>` makes the
 //! telemetry-recording experiments (E8, E9) export their JSONL round-event
 //! streams into `<dir>` (seed-tagged trial blocks; tables are unchanged).
+//!
+//! The binary is interrupt-safe: on SIGINT/SIGTERM it finishes the
+//! experiment in flight, flushes the tables completed so far (including a
+//! partial `report.md` when `--out` is set), and exits with status 130.
+//! Experiments that persist per-trial manifests (E16) can then be resumed.
 
 use std::io::Write as _;
 use std::time::Instant;
 
+use fading_bench::interrupt;
 use fading_bench::{config_from_args, ids_from_args, out_dir_from_args, telemetry_dir_from_args};
 use fading_cr::experiments::{run_by_id_with, ALL_IDS};
 use fading_cr::report::Report;
 
 fn main() {
+    interrupt::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = config_from_args(&args);
     let mut ids = ids_from_args(&args);
@@ -43,7 +50,12 @@ fn main() {
         cfg.trials, cfg.threads, cfg.max_n_pow2, cfg.max_rounds, cfg.seed
     ));
 
+    let mut stopped_early = false;
     for id in &ids {
+        if interrupt::interrupted() {
+            stopped_early = true;
+            break;
+        }
         let start = Instant::now();
         match run_by_id_with(id, &cfg, telemetry_dir.as_deref()) {
             Some(table) => {
@@ -65,9 +77,18 @@ fn main() {
             }
         }
     }
+    if stopped_early {
+        report = report.preamble(
+            "NOTE: interrupted by SIGINT/SIGTERM; this report is partial.".to_string(),
+        );
+    }
     if let Some(dir) = &out_dir {
         let path = format!("{dir}/report.md");
         std::fs::write(&path, report.render()).expect("write report.md");
         eprintln!("wrote {path}");
+    }
+    if stopped_early {
+        eprintln!("interrupted: flushed completed tables, exiting");
+        std::process::exit(interrupt::INTERRUPT_EXIT_CODE);
     }
 }

@@ -16,11 +16,13 @@
 //! the Criterion bench `resolve_scaling` tracks the workload with proper
 //! sampling.
 
+use fading_bench::interrupt;
 use fading_bench::probe::{
     default_budget_ms, render_snapshot_json, run_probe, DEFAULT_SIZES, DENSITY, SEED,
 };
 
 fn main() {
+    interrupt::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = args
         .iter()
@@ -56,4 +58,8 @@ fn main() {
 
     std::fs::write(&out_path, render_snapshot_json(&samples)).expect("write snapshot JSON");
     println!("\nwrote {out_path}");
+    if interrupt::interrupted() {
+        eprintln!("interrupted: snapshot covers the sizes completed before the signal");
+        std::process::exit(interrupt::INTERRUPT_EXIT_CODE);
+    }
 }

@@ -1,0 +1,79 @@
+//! Best-effort SIGINT/SIGTERM interception for the long-running binaries.
+//!
+//! The experiment and scaling harnesses can run for minutes at the `--full`
+//! scale; a plain Ctrl-C would discard every table computed so far. This
+//! module installs a minimal signal handler that only flips an atomic flag —
+//! the binaries poll [`interrupted`] between experiments (never mid-trial,
+//! so determinism is untouched), flush whatever partial output they hold,
+//! and exit with the conventional `130` status.
+//!
+//! No external crates: the handler goes through the raw C `signal(2)` entry
+//! point, declared here directly. The handler body is a single atomic store,
+//! which is async-signal-safe. On non-unix targets installation is a no-op
+//! and [`interrupted`] never fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// `true` once a SIGINT or SIGTERM has been received (always `false` on
+/// non-unix targets or before [`install`]).
+#[must_use]
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Exit status conventionally reported by processes stopped by SIGINT.
+pub const INTERRUPT_EXIT_CODE: i32 = 130;
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, INTERRUPTED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // The only libc surface we need: `sighandler_t signal(int, sighandler_t)`.
+    // A function pointer is passed as a machine word on every supported unix.
+    #[allow(unsafe_code)]
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        #[allow(unsafe_code)]
+        // SAFETY: `on_signal` only performs an atomic store, which is
+        // async-signal-safe; the handler pointer outlives the process.
+        unsafe {
+            let handler = on_signal as *const () as usize;
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent; no-op off unix).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_install_is_idempotent() {
+        install();
+        install();
+        assert!(!interrupted());
+    }
+}

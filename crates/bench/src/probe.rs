@@ -105,6 +105,11 @@ impl SizeSample {
 /// [`EXACT_TIER_CEILING`], the flat far-field engine above it). `report`
 /// sees each completed [`SizeSample`] as it lands (the binaries print
 /// progressively; pass `|_| {}` for silence).
+///
+/// The probe polls [`crate::interrupt::interrupted`] between sizes: on
+/// SIGINT/SIGTERM it stops early and returns the sizes completed so far,
+/// letting the binaries flush a partial snapshot instead of losing
+/// everything.
 pub fn run_probe(
     sizes: &[usize],
     budget_ms_for: impl Fn(usize) -> f64,
@@ -113,6 +118,9 @@ pub fn run_probe(
     let pool = StealPool::new(HIER_PROBE_THREADS);
     let mut out = Vec::with_capacity(sizes.len());
     for &n in sizes {
+        if crate::interrupt::interrupted() {
+            break;
+        }
         let d = Deployment::uniform_density(n, DENSITY, SEED);
         let positions = d.points().to_vec();
         let tx: Vec<usize> = (0..n).step_by(4).collect();

@@ -1,0 +1,102 @@
+//! The recovery drill: SIGKILL a checkpointing run mid-flight, resume it
+//! from the surviving checkpoint, and require the resumed result to be
+//! byte-identical to an uninterrupted reference run.
+//!
+//! Drives the `checkpoint_demo` binary (built by Cargo for this test),
+//! whose single `RESULT …` stdout line digests the run. The demo run
+//! carries a full fault plan — jamming, a noise burst, churn, and
+//! Gilbert–Elliott loss — so the checkpoint must round-trip every fault
+//! cursor, not just the happy path.
+
+#![cfg(unix)]
+
+use std::path::Path;
+use std::process::{Command, Output, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_checkpoint_demo");
+const COMMON_ARGS: [&str; 6] = ["--n", "48", "--seed", "11", "--max-rounds", "4000"];
+
+fn result_line(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "checkpoint_demo failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .find(|l| l.starts_with("RESULT "))
+        .expect("checkpoint_demo must print a RESULT line")
+        .to_string()
+}
+
+fn run(extra: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(COMMON_ARGS)
+        .args(extra)
+        .output()
+        .expect("spawn checkpoint_demo")
+}
+
+#[test]
+fn sigkill_then_resume_is_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("fading-recover-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let ckpt = dir.join("demo.snap");
+    let ckpt_str = ckpt.to_str().expect("utf-8 temp path");
+
+    // Reference: one uninterrupted run, no checkpointing, full speed.
+    let reference = result_line(&run(&[]));
+
+    // Victim: same run, slowed to ~25 ms/round and checkpointing every
+    // round; SIGKILL it mid-flight (no chance to flush anything).
+    let mut child = Command::new(BIN)
+        .args(COMMON_ARGS)
+        .args(["--round-delay-ms", "25", "--checkpoint", ckpt_str])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+    std::thread::sleep(Duration::from_millis(500));
+    child.kill().expect("SIGKILL the victim");
+    child.wait().expect("reap the victim");
+    assert!(
+        Path::new(ckpt_str).exists(),
+        "the killed run must leave its last atomic checkpoint behind"
+    );
+
+    // Resume from whatever round the kill left behind, full speed.
+    let resumed = run(&["--checkpoint", ckpt_str, "--resume"]);
+    assert!(
+        String::from_utf8_lossy(&resumed.stderr).contains("resumed at round"),
+        "the resumed run must actually restore the checkpoint"
+    );
+    assert_eq!(
+        result_line(&resumed),
+        reference,
+        "resume after SIGKILL must reproduce the uninterrupted run byte for byte"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_checkpoint_fails_loudly() {
+    let dir = std::env::temp_dir().join(format!("fading-recover-corrupt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let ckpt = dir.join("bad.snap");
+    std::fs::write(&ckpt, b"FSNPgarbage-that-is-not-a-snapshot").expect("write garbage");
+
+    let out = run(&["--checkpoint", ckpt.to_str().expect("utf-8"), "--resume"]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "a corrupt checkpoint must be a loud typed error, not a silent fresh start"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unreadable checkpoint"),
+        "stderr must name the unreadable checkpoint"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

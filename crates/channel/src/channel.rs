@@ -253,6 +253,20 @@ pub trait Channel: sealed::Sealed + Send + Sync + std::fmt::Debug {
         None
     }
 
+    /// Whether [`Channel::resolve`] consumes randomness from its `rng`.
+    ///
+    /// `true` (the conservative default) for stochastic channels — Rayleigh
+    /// fading draws per-pair coefficients and the lossy channel draws
+    /// per-reception drops — and overridden to `false` by the
+    /// deterministic models (SINR and the radio channels). Consumers that
+    /// re-resolve a **subset** of listeners to audit an engine's output
+    /// (the simulator's opt-in self-check) must skip channels that draw:
+    /// a partial re-resolve would consume a different amount of
+    /// randomness and desynchronize the stream.
+    fn resolve_draws_rng(&self) -> bool {
+        true
+    }
+
     /// A short stable name for reports and tables (e.g. `"sinr"`).
     fn name(&self) -> &'static str;
 

@@ -377,6 +377,13 @@ impl FarFieldEngine {
         self.stats = FarFieldStats::default();
     }
 
+    /// Overwrites the decision counters (checkpoint restore: a rebuilt
+    /// engine resumes the counter totals the snapshotted engine had
+    /// accumulated, so `EngineCounters` reconciliation survives a resume).
+    pub fn set_stats(&mut self, stats: FarFieldStats) {
+        self.stats = stats;
+    }
+
     /// Resolves one round with the tile-aggregated fast path; reception
     /// semantics (and bits) are exactly those of
     /// [`SinrChannel::resolve`](crate::SinrChannel). `perturbation` must be

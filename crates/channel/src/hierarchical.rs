@@ -263,6 +263,13 @@ impl HierarchicalFarFieldEngine {
         self.stats = FarFieldStats::default();
     }
 
+    /// Overwrites the decision counters (checkpoint restore: a rebuilt
+    /// engine resumes the counter totals the snapshotted engine had
+    /// accumulated, so `EngineCounters` reconciliation survives a resume).
+    pub fn set_stats(&mut self, stats: FarFieldStats) {
+        self.stats = stats;
+    }
+
     /// One Barnes–Hut traversal: the far-field aggregate `(lo, hi, cap)`
     /// for listeners in fine tile `lt`, over this round's transmitter
     /// masses. `stack` is caller-provided scratch.
@@ -298,10 +305,10 @@ impl HierarchicalFarFieldEngine {
                     stack.extend(self.tree.children(l, idx).map(|c| (l - 1, c)));
                     continue;
                 }
-                let (d_min_sq, d_max_sq) = self
-                    .tree
-                    .distance_sq_bounds_to(lt, l, idx)
-                    .expect("listener tile and massive node are both non-empty");
+                let Some((d_min_sq, d_max_sq)) = self.tree.distance_sq_bounds_to(lt, l, idx)
+                else {
+                    unreachable!("listener tile and massive node are both non-empty")
+                };
                 if d_max_sq > HIER_ACCEPT_RATIO_SQ * d_min_sq {
                     // Too wide an opening angle: refine.
                     stack.extend(self.tree.children(l, idx).map(|c| (l - 1, c)));
@@ -321,10 +328,10 @@ impl HierarchicalFarFieldEngine {
                 if fine.chebyshev(lt, idx) <= NEAR_RING {
                     continue;
                 }
-                let (d_min_sq, d_max_sq) = self
-                    .tree
-                    .distance_sq_bounds_to(lt, 0, idx)
-                    .expect("listener tile and massive tile are both non-empty");
+                let Some((d_min_sq, d_max_sq)) = self.tree.distance_sq_bounds_to(lt, 0, idx)
+                else {
+                    unreachable!("listener tile and massive tile are both non-empty")
+                };
                 let m = f64::from(mass);
                 lo += m * (p / pow_alpha(d_max_sq, alpha));
                 let g_hi = p / pow_alpha(d_min_sq, alpha);
@@ -542,7 +549,9 @@ impl HierarchicalFarFieldEngine {
 
         let mut out = Vec::with_capacity(listeners.len());
         for slot in slots {
-            let (rx, local) = slot.expect("executor must complete every chunk");
+            let Some((rx, local)) = slot else {
+                unreachable!("executor must complete every chunk")
+            };
             out.extend(rx);
             // Per-rung counters are u64 sums, so any chunking yields the
             // same totals.

@@ -66,6 +66,10 @@ impl Channel for RadioChannel {
         vec![outcome; listeners.len()]
     }
 
+    fn resolve_draws_rng(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "radio"
     }
@@ -123,6 +127,10 @@ impl Channel for RadioCdChannel {
             _ => Reception::Collision,
         };
         vec![outcome; listeners.len()]
+    }
+
+    fn resolve_draws_rng(&self) -> bool {
+        false
     }
 
     fn name(&self) -> &'static str {

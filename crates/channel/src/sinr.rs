@@ -378,6 +378,10 @@ impl Channel for SinrChannel {
         HierarchicalFarFieldEngine::build(positions, &self.params)
     }
 
+    fn resolve_draws_rng(&self) -> bool {
+        false
+    }
+
     fn name(&self) -> &'static str {
         "sinr"
     }

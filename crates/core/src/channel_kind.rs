@@ -42,7 +42,14 @@ pub enum ChannelKind {
 
 impl ChannelKind {
     /// Instantiates the channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (e.g. a drop probability
+    /// outside `[0,1]`) — configurations are expected to be validated at
+    /// experiment-construction time.
     #[must_use]
+    #[allow(clippy::expect_used)] // panic on invalid config is this method's documented contract
     pub fn build(&self) -> Box<dyn Channel> {
         match *self {
             ChannelKind::Sinr(params) => Box::new(SinrChannel::new(params)),

@@ -22,6 +22,7 @@
 //! | E13 | Robustness degradation under fault injection (jamming, churn, noise, burst loss) |
 //! | E14 | Engine-tier scaling: the far-field resolve tier vs the n² wall |
 //! | E15 | Hierarchical tier + parallel resolve: full runs at `n = 2²⁰` |
+//! | E16 | Fault-tolerant execution: supervision, manifest resume, self-check demotion |
 //!
 //! Each `eNN` function is deterministic given its [`ExperimentConfig`];
 //! [`run_by_id`] provides a string-keyed registry for the CLI harness.
@@ -35,6 +36,11 @@
 //! let table = e05_probability_sweep(&cfg);
 //! assert!(!table.is_empty());
 //! ```
+
+// Experiment drivers build fixed, known-valid configurations; a construction
+// failure here is a programming error surfaced by each experiment's smoke
+// test, so panicking is the right response (unlike in the library layers).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 mod common;
 mod e01_rounds_vs_n;
@@ -52,6 +58,7 @@ mod e12_ablations;
 mod e13_robustness;
 mod e14_engine_scaling;
 mod e15_parallel_scaling;
+mod e16_recovery;
 
 pub use common::ExperimentConfig;
 pub use e01_rounds_vs_n::e01_rounds_vs_n;
@@ -69,15 +76,17 @@ pub use e12_ablations::e12_ablations;
 pub use e13_robustness::e13_robustness;
 pub use e14_engine_scaling::e14_engine_scaling;
 pub use e15_parallel_scaling::e15_parallel_scaling;
+pub use e16_recovery::e16_recovery;
 
 use crate::Table;
 
 /// The experiment ids accepted by [`run_by_id`], in canonical order.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
-/// Runs one experiment by id (`"e1"` … `"e15"`, case-insensitive).
+/// Runs one experiment by id (`"e1"` … `"e16"`, case-insensitive).
 /// Returns `None` for an unknown id.
 #[must_use]
 pub fn run_by_id(id: &str, cfg: &ExperimentConfig) -> Option<Table> {
@@ -107,6 +116,7 @@ pub fn run_by_id_with(id: &str, cfg: &ExperimentConfig, telemetry_dir: Option<&s
         "e13" => Some(e13_robustness(cfg)),
         "e14" => Some(e14_engine_scaling(cfg)),
         "e15" => Some(e15_parallel_scaling(cfg)),
+        "e16" => Some(e16_recovery(cfg)),
         _ => None,
     }
 }

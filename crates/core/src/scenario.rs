@@ -127,8 +127,9 @@ impl Scenario {
             move |id| protocol.build(id),
         );
         if let Some(plan) = &self.fault_plan {
-            sim.set_fault_plan(plan.clone())
-                .expect("plan validated at scenario build time");
+            if sim.set_fault_plan(plan.clone()).is_err() {
+                unreachable!("plan validated at scenario build time")
+            }
         }
         sim.set_trace_level(self.trace_level);
         sim

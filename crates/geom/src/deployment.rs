@@ -65,9 +65,9 @@ impl Deployment {
         let mut nn_distance = Vec::with_capacity(points.len());
         let mut min_link = f64::INFINITY;
         for (i, &p) in points.iter().enumerate() {
-            let j = index
-                .nearest(p, Some(i))
-                .expect("n >= 2 guarantees a neighbor");
+            let Some(j) = index.nearest(p, Some(i)) else {
+                unreachable!("n >= 2 guarantees a neighbor")
+            };
             let d = p.distance(points[j]);
             if d == 0.0 {
                 return Err(GeomError::CoincidentNodes {
@@ -186,7 +186,10 @@ impl Deployment {
     pub fn normalized(&self) -> Deployment {
         let scale = 1.0 / self.min_link;
         let points = self.points.iter().map(|&p| p * scale).collect();
-        Deployment::from_points(points).expect("rescaling preserves validity")
+        match Deployment::from_points(points) {
+            Ok(d) => d,
+            Err(_) => unreachable!("rescaling by a positive finite factor preserves validity"),
+        }
     }
 
     /// Builds a fresh spatial index over the node positions.

@@ -414,6 +414,7 @@ impl Deployment {
     /// astronomically unlikely event of coincident random points. Use
     /// [`uniform_square`] for a fallible version.
     #[must_use]
+    #[allow(clippy::expect_used)] // panic is this constructor's documented contract
     pub fn uniform_square(n: usize, side: f64, seed: u64) -> Deployment {
         uniform_square(n, side, seed).expect("valid uniform_square parameters")
     }
@@ -426,6 +427,7 @@ impl Deployment {
     /// Panics on invalid parameters. Use [`uniform_density`] for a fallible
     /// version.
     #[must_use]
+    #[allow(clippy::expect_used)] // panic is this constructor's documented contract
     pub fn uniform_density(n: usize, density: f64, seed: u64) -> Deployment {
         uniform_density(n, density, seed).expect("valid uniform_density parameters")
     }

@@ -40,11 +40,7 @@ fn cross(o: Point, a: Point, b: Point) -> f64 {
 #[must_use]
 pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| {
-        a.x.partial_cmp(&b.x)
-            .unwrap()
-            .then(a.y.partial_cmp(&b.y).unwrap())
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     pts.dedup_by(|a, b| a.x == b.x && a.y == b.y);
     let n = pts.len();
     if n < 3 {

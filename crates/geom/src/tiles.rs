@@ -69,7 +69,7 @@ impl TileIndex {
         if points.is_empty() || tiles_per_side == 0 || points.len() > u32::MAX as usize {
             return None;
         }
-        let bbox = Bbox::containing(points.iter().copied()).expect("points is nonempty");
+        let bbox = Bbox::containing(points.iter().copied())?;
         let cols = tiles_per_side;
         let rows = tiles_per_side;
         let cell_w = bbox.width() / cols as f64;

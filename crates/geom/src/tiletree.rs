@@ -104,8 +104,7 @@ impl TileTree {
                 .collect(),
         };
         let mut levels = vec![base];
-        while levels.last().map(|l| l.cols * l.rows > 1) == Some(true) {
-            let prev = levels.last().expect("just checked non-empty");
+        while let Some(prev) = levels.last().filter(|l| l.cols * l.rows > 1) {
             let cols = prev.cols.div_ceil(2);
             let rows = prev.rows.div_ceil(2);
             let mut counts = vec![0u32; cols * rows];

@@ -69,6 +69,11 @@ impl WinDistribution {
 /// Plays `trials` independent seeded games of size `k` (referee seed =
 /// player seed = `seed_base + trial`) and collects the win-round
 /// distribution. `make_player` builds a fresh player per trial.
+///
+/// # Panics
+///
+/// Panics when `k < 2` — the restricted hitting game needs at least two
+/// candidate elements.
 pub fn win_distribution<F>(
     k: usize,
     trials: usize,
@@ -83,7 +88,9 @@ where
     let mut failures = 0;
     for t in 0..trials as u64 {
         let seed = seed_base + t;
-        let mut game = RestrictedHitting::new(k, seed).expect("k >= 2");
+        let Ok(mut game) = RestrictedHitting::new(k, seed) else {
+            panic!("win_distribution requires k >= 2, got {k}")
+        };
         let mut player = make_player(seed);
         match game.play(player.as_mut(), max_rounds, seed) {
             Some(r) => rounds.push(r),

@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use fading_sim::{Action, Protocol, Reception};
+use fading_sim::{Action, Protocol, ProtocolStateError, Reception};
 
 /// The `Θ(log n)` elimination protocol for the radio network model **with
 /// receiver collision detection** (the comparison point cited by the paper
@@ -66,6 +66,24 @@ impl Protocol for CdElection {
 
     fn is_active(&self) -> bool {
         !self.eliminated
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![u64::from(self.eliminated)]
+    }
+
+    fn load_state(&mut self, state: &[u64]) -> Result<(), ProtocolStateError> {
+        match state {
+            [eliminated] => {
+                self.eliminated = *eliminated != 0;
+                Ok(())
+            }
+            _ => Err(ProtocolStateError {
+                protocol: self.name(),
+                expected: 1,
+                got: state.len(),
+            }),
+        }
     }
 
     fn name(&self) -> &'static str {

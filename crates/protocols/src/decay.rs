@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use fading_sim::{Action, Protocol, Reception};
+use fading_sim::{Action, Protocol, ProtocolStateError, Reception};
 
 /// The classical *Decay* strategy (Bar-Yehuda, Goldreich, Itai), in the
 /// uniform-knowledge-free form used for the wake-up problem: the execution
@@ -106,6 +106,26 @@ impl Protocol for Decay {
         self.active
     }
 
+    fn save_state(&self) -> Vec<u64> {
+        vec![self.block, self.pos, u64::from(self.active)]
+    }
+
+    fn load_state(&mut self, state: &[u64]) -> Result<(), ProtocolStateError> {
+        match state {
+            [block, pos, active] => {
+                self.block = *block;
+                self.pos = *pos;
+                self.active = *active != 0;
+                Ok(())
+            }
+            _ => Err(ProtocolStateError {
+                protocol: self.name(),
+                expected: 3,
+                got: state.len(),
+            }),
+        }
+    }
+
     fn name(&self) -> &'static str {
         "decay"
     }
@@ -153,6 +173,29 @@ mod tests {
             d.feedback(r, &Reception::Silence);
         }
         assert!(d.is_active());
+    }
+
+    #[test]
+    fn state_round_trips_mid_sweep() {
+        let mut d = Decay::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for r in 0..13 {
+            let _ = d.act(r, &mut rng);
+        }
+        let saved = d.save_state();
+        let mut fresh = Decay::new();
+        fresh.load_state(&saved).unwrap();
+        assert_eq!(fresh.current_probability(), d.current_probability());
+        assert_eq!(fresh.save_state(), saved);
+    }
+
+    #[test]
+    fn load_state_rejects_wrong_length() {
+        let mut d = Decay::new();
+        let err = d.load_state(&[1, 2]).unwrap_err();
+        assert_eq!(err.expected, 3);
+        assert_eq!(err.got, 2);
+        assert_eq!(err.protocol, "decay");
     }
 
     #[test]

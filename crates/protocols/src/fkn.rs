@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use fading_sim::{Action, Protocol, Reception};
+use fading_sim::{Action, Protocol, ProtocolStateError, Reception};
 
 /// The default broadcast probability.
 ///
@@ -114,6 +114,24 @@ impl Protocol for Fkn {
 
     fn is_active(&self) -> bool {
         self.active
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![u64::from(self.active)]
+    }
+
+    fn load_state(&mut self, state: &[u64]) -> Result<(), ProtocolStateError> {
+        match state {
+            [active] => {
+                self.active = *active != 0;
+                Ok(())
+            }
+            _ => Err(ProtocolStateError {
+                protocol: self.name(),
+                expected: 1,
+                got: state.len(),
+            }),
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -2,7 +2,7 @@
 
 use rand::rngs::SmallRng;
 
-use fading_sim::{Action, Protocol, Reception};
+use fading_sim::{Action, Protocol, ProtocolStateError, Reception};
 
 /// Runs two protocols in alternating rounds: odd rounds drive `A`, even
 /// rounds drive `B`, each seeing its own contiguous virtual round counter.
@@ -88,6 +88,51 @@ impl<A: Protocol, B: Protocol> Protocol for Interleave<A, B> {
         self.a.is_active() && self.b.is_active()
     }
 
+    fn save_state(&self) -> Vec<u64> {
+        // Layout: [a_rounds, b_rounds, last_was_a, |A|, A…, |B|, B…] — the
+        // length prefixes let load_state split the flat word stream back
+        // into the two components' own encodings.
+        let a = self.a.save_state();
+        let b = self.b.save_state();
+        let mut out = Vec::with_capacity(5 + a.len() + b.len());
+        out.push(self.a_rounds);
+        out.push(self.b_rounds);
+        out.push(u64::from(self.last_was_a));
+        out.push(a.len() as u64);
+        out.extend_from_slice(&a);
+        out.push(b.len() as u64);
+        out.extend_from_slice(&b);
+        out
+    }
+
+    fn load_state(&mut self, state: &[u64]) -> Result<(), ProtocolStateError> {
+        let err = |expected: usize| ProtocolStateError {
+            protocol: "interleave",
+            expected,
+            got: state.len(),
+        };
+        let [a_rounds, b_rounds, last_was_a, rest @ ..] = state else {
+            return Err(err(5));
+        };
+        let a_len = *rest.first().ok_or_else(|| err(5))? as usize;
+        let rest = &rest[1..];
+        if rest.len() < a_len + 1 {
+            return Err(err(5 + a_len));
+        }
+        let (a_state, rest) = rest.split_at(a_len);
+        let b_len = rest[0] as usize;
+        let rest = &rest[1..];
+        if rest.len() != b_len {
+            return Err(err(5 + a_len + b_len));
+        }
+        self.a.load_state(a_state)?;
+        self.b.load_state(rest)?;
+        self.a_rounds = *a_rounds;
+        self.b_rounds = *b_rounds;
+        self.last_was_a = *last_was_a != 0;
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "interleave"
     }
@@ -159,6 +204,31 @@ mod tests {
         assert!(combo.second().is_active());
         // …but the combined node is now inactive.
         assert!(!combo.is_active());
+    }
+
+    #[test]
+    fn state_round_trips_through_length_prefixed_layout() {
+        let mut combo = Interleave::new(Fkn::new(), Decay::new());
+        let mut rng = SmallRng::seed_from_u64(11);
+        for round in 1..=9 {
+            let _ = combo.act(round, &mut rng);
+        }
+        combo.feedback(9, &Reception::Message { from: 2 });
+        let saved = combo.save_state();
+        let mut fresh = Interleave::new(Fkn::new(), Decay::new());
+        fresh.load_state(&saved).unwrap();
+        assert_eq!(fresh.save_state(), saved);
+        assert_eq!(fresh.is_active(), combo.is_active());
+    }
+
+    #[test]
+    fn load_state_rejects_truncated_stream() {
+        let combo = Interleave::new(Fkn::new(), Decay::new());
+        let mut saved = combo.save_state();
+        saved.pop();
+        let mut fresh = Interleave::new(Fkn::new(), Decay::new());
+        let err = fresh.load_state(&saved).unwrap_err();
+        assert_eq!(err.protocol, "interleave");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use fading_sim::{Action, Protocol, Reception};
+use fading_sim::{Action, Protocol, ProtocolStateError, Reception};
 
 /// A faithful-in-spirit implementation of the schedule of Jurdziński &
 /// Stachowiak (PODC 2015) — the best previous bound for contention
@@ -128,6 +128,27 @@ impl Protocol for JurdzinskiStachowiak {
 
     fn is_active(&self) -> bool {
         self.active
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![u64::from(self.rung), u64::from(self.tick), u64::from(self.active)]
+    }
+
+    fn load_state(&mut self, state: &[u64]) -> Result<(), ProtocolStateError> {
+        let err = || ProtocolStateError {
+            protocol: "js15",
+            expected: 3,
+            got: state.len(),
+        };
+        match state {
+            [rung, tick, active] => {
+                self.rung = u32::try_from(*rung).map_err(|_| err())?;
+                self.tick = u32::try_from(*tick).map_err(|_| err())?;
+                self.active = *active != 0;
+                Ok(())
+            }
+            _ => Err(err()),
+        }
     }
 
     fn name(&self) -> &'static str {

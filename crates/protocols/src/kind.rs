@@ -81,6 +81,7 @@ impl ProtocolKind {
     /// `n == 0`) — configurations are expected to be validated at
     /// experiment-construction time.
     #[must_use]
+    #[allow(clippy::expect_used)] // panic on invalid config is this method's documented contract
     pub fn build(&self, _node: NodeId) -> Box<dyn Protocol> {
         match *self {
             ProtocolKind::Fkn { p } => {

@@ -4,7 +4,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use fading_sim::{Action, Protocol, Reception};
+use fading_sim::{Action, Protocol, ProtocolStateError, Reception};
 
 /// Cyclic probability sweep with a known upper bound `N ≥ n`: round `r`
 /// uses transmit probability `2^{-(1 + (r−1) mod ⌈log₂ N⌉)}`.
@@ -83,6 +83,26 @@ impl Protocol for CyclicSweep {
 
     fn is_active(&self) -> bool {
         self.active
+    }
+
+    fn save_state(&self) -> Vec<u64> {
+        vec![u64::from(self.step), u64::from(self.active)]
+    }
+
+    fn load_state(&mut self, state: &[u64]) -> Result<(), ProtocolStateError> {
+        let err = || ProtocolStateError {
+            protocol: "cyclic-sweep",
+            expected: 2,
+            got: state.len(),
+        };
+        match state {
+            [step, active] => {
+                self.step = u32::try_from(*step).map_err(|_| err())?;
+                self.active = *active != 0;
+                Ok(())
+            }
+            _ => Err(err()),
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -30,6 +30,13 @@
 //!   resolve tiers and the far-field decision ladder
 //!   ([`Simulation::engine_counters`]), and Prometheus / Chrome-trace /
 //!   flamegraph exporters.
+//! * [`recover`] — fault-tolerant execution: checksummed
+//!   checkpoint/resume ([`Simulation::snapshot`] / [`Simulation::restore`]),
+//!   supervised trials with panic isolation and a watchdog
+//!   ([`montecarlo::run_trials_supervised`]), resume manifests
+//!   ([`montecarlo::run_trials_with_manifest`]), and opt-in self-checking
+//!   engines with graceful tier degradation
+//!   ([`Simulation::set_self_check`]).
 //!
 //! Everything is deterministic given the master seed: node RNGs are derived
 //! by SplitMix64 from `(seed, node id)`, the channel RNG from `seed`, and
@@ -70,6 +77,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod action;
 pub mod faults;
@@ -77,6 +86,7 @@ pub mod montecarlo;
 pub mod obs;
 mod pool;
 mod protocol;
+pub mod recover;
 mod result;
 mod rng;
 mod simulation;
@@ -86,9 +96,13 @@ pub use action::Action;
 pub use faults::{FaultError, FaultPlan};
 pub use obs::{EngineCounters, ResolvePath, SpanGuard, SpanRecord, Tracer};
 pub use pool::StealPool;
-pub use protocol::Protocol;
+pub use protocol::{Protocol, ProtocolStateError};
+pub use recover::{
+    FleetSummary, PanicKind, SimSnapshot, SnapshotError, SupervisedRun, SupervisorConfig,
+    TrialManifest, TrialOutcome,
+};
 pub use result::{RoundRecord, RunOutcome, RunResult, Trace, TraceLevel};
-pub use rng::{channel_rng, fault_rng, node_rng, split_mix64};
+pub use rng::{channel_rng, fault_rng, node_rng, self_check_rng, split_mix64};
 pub use simulation::{SimError, Simulation, StepOutcome, HIERARCHICAL_AUTO_THRESHOLD};
 pub use telemetry::{
     MemorySink, MetricsRegistry, NoopSink, RoundEvent, TelemetryDetail, TelemetrySink,

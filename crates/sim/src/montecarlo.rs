@@ -8,10 +8,14 @@
 //! produce byte-identical output.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
+use crate::recover::{
+    supervise_trial, FleetSummary, SnapshotError, SupervisedRun, SupervisorConfig, TrialFn,
+    TrialManifest, TrialOutcome,
+};
 use crate::RunResult;
 
 /// Runs `trials` independent trials with seeds `seed_base..seed_base+trials`,
@@ -107,7 +111,138 @@ where
         .into_iter()
         .enumerate()
         .map(|(i, r)| {
-            r.unwrap_or_else(|| panic!("trial {i} finished without storing a result"))
+            r.unwrap_or_else(|| unreachable!("trial {i} finished without storing a result"))
+        })
+        .collect()
+}
+
+/// Like [`run_trials`], but every trial runs under the
+/// [`recover::supervisor`](crate::recover::supervisor): panics are caught
+/// and classified, panicked trials are retried (same seed) up to
+/// `cfg.max_retries` times, and — when `cfg.timeout` is set — a hung
+/// trial becomes a typed [`TrialOutcome::TimedOut`] instead of wedging
+/// the pool. One poisoned trial no longer takes the whole batch down.
+///
+/// Outcomes come back **in seed order** with a [`FleetSummary`] tally
+/// (`succeeded`/`retried`/`timed_out`/`poisoned`). Successful results are
+/// available via [`SupervisedRun::results`].
+///
+/// `f` must be `Send + Sync + 'static` because the watchdog path hands it
+/// to a detached thread; with `cfg.timeout == None` trials run inline
+/// under `catch_unwind` only, which keeps supervision overhead within the
+/// bench gate's 2% budget.
+pub fn run_trials_supervised<F>(
+    trials: usize,
+    threads: usize,
+    seed_base: u64,
+    cfg: &SupervisorConfig,
+    f: F,
+) -> SupervisedRun
+where
+    F: Fn(u64) -> RunResult + Send + Sync + 'static,
+{
+    let trial: Arc<TrialFn> = Arc::new(f);
+    let threads = threads.max(1).min(trials.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<TrialOutcome>>> = Mutex::new((0..trials).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let outcome = supervise_trial(cfg, seed_base + i as u64, &trial);
+                // `supervise_trial` never unwinds, but mirror
+                // `run_trials_with`'s poison recovery for uniformity.
+                slots
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
+            });
+        }
+    });
+    let outcomes: Vec<TrialOutcome> = slots
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| {
+            o.unwrap_or_else(|| unreachable!("trial {i} finished without storing an outcome"))
+        })
+        .collect();
+    let mut summary = FleetSummary::default();
+    for outcome in &outcomes {
+        summary.record(outcome);
+    }
+    SupervisedRun { outcomes, summary }
+}
+
+/// Like [`run_trials`], but completed trials are recorded in (and resumed
+/// from) a [`TrialManifest`]: trials whose seed is already on record are
+/// **skipped**, and every freshly-completed trial is appended and synced
+/// to the manifest *as it finishes* — so a crash or SIGKILL mid-batch
+/// loses at most the trials that were in flight.
+///
+/// Returns the results for **all** `trials` seeds in seed order, resumed
+/// and fresh alike, each read back from the manifest store. Manifests do
+/// not persist traces, so a resumed batch is byte-identical to an
+/// uninterrupted one exactly when trials run at
+/// [`TraceLevel::None`](crate::TraceLevel::None) (the fleet default).
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] when appending to the manifest fails;
+/// [`SnapshotError::Corrupt`] if the manifest ends up missing a completed
+/// trial (cannot happen through this API).
+pub fn run_trials_with_manifest<F>(
+    trials: usize,
+    threads: usize,
+    seed_base: u64,
+    manifest: &mut TrialManifest,
+    f: F,
+) -> Result<Vec<RunResult>, SnapshotError>
+where
+    F: Fn(u64) -> RunResult + Sync,
+{
+    let pending: Vec<u64> = (0..trials as u64)
+        .map(|i| seed_base + i)
+        .filter(|&seed| !manifest.is_done(seed))
+        .collect();
+    let threads = threads.max(1).min(pending.len().max(1));
+    let next = AtomicUsize::new(0);
+    // Workers compute trials in parallel but append under one lock, so
+    // each manifest line lands intact. The first IO failure is latched;
+    // later completions still compute but stop recording.
+    let sink: Mutex<(&mut TrialManifest, Option<SnapshotError>)> = Mutex::new((manifest, None));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pending.len() {
+                    break;
+                }
+                let seed = pending[i];
+                let result = f(seed);
+                let mut guard = sink.lock().unwrap_or_else(PoisonError::into_inner);
+                let (manifest, err) = &mut *guard;
+                if err.is_none() {
+                    if let Err(e) = manifest.record(seed, &result) {
+                        *err = Some(e);
+                    }
+                }
+            });
+        }
+    });
+    let (manifest, err) = sink.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = err {
+        return Err(e);
+    }
+    (0..trials as u64)
+        .map(|i| {
+            let seed = seed_base + i;
+            manifest.get(seed).cloned().ok_or_else(|| SnapshotError::Corrupt {
+                detail: format!("manifest missing completed trial for seed {seed}"),
+            })
         })
         .collect()
 }
@@ -193,7 +328,7 @@ impl Summary {
             min_rounds: sorted[0],
             median_rounds: percentile(&sorted, 50.0),
             p95_rounds: percentile(&sorted, 95.0),
-            max_rounds: *sorted.last().expect("nonempty"),
+            max_rounds: sorted.last().copied().unwrap_or_default(),
             mean_transmissions: 0.0,
         }
     }
@@ -414,6 +549,84 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn percentile_f64_rejects_empty() {
         let _ = percentile_f64(&[], 50.0);
+    }
+
+    #[test]
+    fn run_trials_supervised_isolates_panics_and_keeps_seed_order() {
+        let cfg = SupervisorConfig::default();
+        let run = run_trials_supervised(8, 4, 10, &cfg, |seed| {
+            assert!(seed != 13, "injected poison for seed 13");
+            result_with_rounds(Some(seed))
+        });
+        assert_eq!(run.outcomes.len(), 8);
+        assert_eq!(run.summary.trials, 8);
+        assert_eq!(run.summary.succeeded, 7);
+        assert_eq!(run.summary.poisoned, 1);
+        assert_eq!(run.summary.timed_out, 0);
+        // Default config retries a panicked trial once before poisoning.
+        assert_eq!(run.summary.retried, 1);
+        for (i, outcome) in run.outcomes.iter().enumerate() {
+            assert_eq!(outcome.seed(), 10 + i as u64, "outcomes stay seed-ordered");
+            assert_eq!(outcome.is_success(), outcome.seed() != 13);
+        }
+        let results = run.results();
+        assert_eq!(results.len(), 7);
+        assert_eq!(results[0].resolved_at(), Some(10));
+    }
+
+    #[test]
+    fn run_trials_supervised_matches_unsupervised_results() {
+        let f = |seed: u64| result_with_rounds(Some(seed * 3 + 1));
+        let plain = run_trials(6, 2, 40, f);
+        let supervised = run_trials_supervised(6, 2, 40, &SupervisorConfig::default(), f);
+        let resumed: Vec<&RunResult> = supervised.results();
+        assert_eq!(resumed.len(), plain.len());
+        for (a, b) in plain.iter().zip(resumed) {
+            assert_eq!(a, b, "supervision must not change a healthy trial");
+        }
+    }
+
+    #[test]
+    fn run_trials_with_manifest_skips_completed_trials_on_resume() {
+        use std::sync::atomic::AtomicUsize;
+
+        let dir = std::env::temp_dir().join("fading-sim-montecarlo-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.jsonl");
+        std::fs::remove_file(&path).ok();
+
+        let calls = AtomicUsize::new(0);
+        let f = |seed: u64| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            result_with_rounds(Some(seed + 1))
+        };
+
+        // First pass: only 3 of 6 trials "complete" before the crash.
+        let mut first = crate::TrialManifest::open(&path).unwrap();
+        let partial = run_trials_with_manifest(3, 2, 50, &mut first, f).unwrap();
+        assert_eq!(partial.len(), 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        drop(first);
+
+        // Resume: the full batch only runs the 3 missing seeds.
+        let mut resumed = crate::TrialManifest::open(&path).unwrap();
+        assert_eq!(resumed.completed(), 3);
+        let full = run_trials_with_manifest(6, 2, 50, &mut resumed, f).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 6, "completed seeds are not re-run");
+        assert_eq!(full.len(), 6);
+        for (i, r) in full.iter().enumerate() {
+            assert_eq!(r.resolved_at(), Some(50 + i as u64 + 1), "seed order preserved");
+        }
+
+        // A fresh uninterrupted run over a clean manifest produces the
+        // identical result vector.
+        let clean = dir.join("fresh.jsonl");
+        std::fs::remove_file(&clean).ok();
+        let mut fresh = crate::TrialManifest::open(&clean).unwrap();
+        let uninterrupted = run_trials_with_manifest(6, 2, 50, &mut fresh, f).unwrap();
+        assert_eq!(uninterrupted, full, "resumed == uninterrupted");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&clean).ok();
     }
 
     #[test]

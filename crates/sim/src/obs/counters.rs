@@ -103,6 +103,18 @@ pub struct EngineCounters {
     pub ge_dropped: u64,
     /// Churn events applied, total.
     pub churn_applied: u64,
+    /// Rounds in which the opt-in self-check audited sampled listeners
+    /// against the exact resolve path (see
+    /// [`Simulation::set_self_check`](crate::Simulation::set_self_check)).
+    pub self_check_rounds: u64,
+    /// Listener decisions re-resolved by the self-check, total.
+    pub self_check_samples: u64,
+    /// Self-check violations observed (reception mismatch or non-finite
+    /// SINR intermediate), total.
+    pub self_check_violations: u64,
+    /// Engine-tier demotions triggered by self-check violations
+    /// (hierarchical → farfield → gain-cache → exact), total.
+    pub tier_demotions: u64,
     /// The per-rung decision-ladder counters, aggregated over **both**
     /// far-field engines (flat and hierarchical — they share the same
     /// 5-rung ladder; all zero when neither engine served a round).
@@ -148,6 +160,10 @@ impl EngineCounters {
         self.noise_scaled_rounds += other.noise_scaled_rounds;
         self.ge_dropped += other.ge_dropped;
         self.churn_applied += other.churn_applied;
+        self.self_check_rounds += other.self_check_rounds;
+        self.self_check_samples += other.self_check_samples;
+        self.self_check_violations += other.self_check_violations;
+        self.tier_demotions += other.tier_demotions;
         let f = &other.farfield;
         self.farfield.rounds += f.rounds;
         self.farfield.empty_round_silences += f.empty_round_silences;

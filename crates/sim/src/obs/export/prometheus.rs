@@ -141,6 +141,26 @@ pub fn counters_to_prometheus(c: &EngineCounters) -> String {
             c.churn_applied,
         ),
         (
+            "fading_self_check_rounds_total",
+            "Rounds audited by the self-checking engines",
+            c.self_check_rounds,
+        ),
+        (
+            "fading_self_check_samples_total",
+            "Listener samples re-resolved by the self-check",
+            c.self_check_samples,
+        ),
+        (
+            "fading_self_check_violations_total",
+            "Self-check samples that disagreed with the serving tier",
+            c.self_check_violations,
+        ),
+        (
+            "fading_tier_demotions_total",
+            "Engine tiers demoted after a self-check violation",
+            c.tier_demotions,
+        ),
+        (
             "fading_farfield_engine_rounds_total",
             "Rounds the far-field engine resolved",
             c.farfield.rounds,
@@ -408,6 +428,10 @@ pub fn counters_from_prometheus(text: &str) -> Result<EngineCounters, ExportErro
         noise_scaled_rounds: plain("fading_noise_scaled_rounds_total")?,
         ge_dropped: plain("fading_ge_dropped_total")?,
         churn_applied: plain("fading_churn_applied_total")?,
+        self_check_rounds: plain("fading_self_check_rounds_total")?,
+        self_check_samples: plain("fading_self_check_samples_total")?,
+        self_check_violations: plain("fading_self_check_violations_total")?,
+        tier_demotions: plain("fading_tier_demotions_total")?,
         farfield: FarFieldStats {
             rounds: plain("fading_farfield_engine_rounds_total")?,
             empty_round_silences: rung("empty_round_silence")?,

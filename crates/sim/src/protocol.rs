@@ -45,7 +45,67 @@ pub trait Protocol: Send + std::fmt::Debug {
 
     /// A short stable name for reports and tables (e.g. `"fkn"`).
     fn name(&self) -> &'static str;
+
+    /// Serializes this instance's **mutable** state as a flat word vector
+    /// for checkpointing (constructor parameters are *not* included — a
+    /// snapshot is restored onto an identically constructed instance).
+    /// Encode `f64`s via [`f64::to_bits`] so the round trip is bit-exact.
+    ///
+    /// The default returns an empty vector, which is correct only for
+    /// protocols whose entire behavior is a function of their constructor
+    /// arguments and the RNG/feedback streams (e.g. a stateless fixed-rate
+    /// transmitter). **Any protocol with mutable fields must override both
+    /// this and [`Protocol::load_state`]**, or checkpoint/resume silently
+    /// resets it; `fading-protocols` overrides them for every shipped
+    /// algorithm.
+    fn save_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Protocol::save_state`] from an
+    /// identically constructed instance.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolStateError`] when `state` does not have the shape this
+    /// protocol saves (wrong length or an invalid discriminant) — the
+    /// snapshot belongs to a different protocol or configuration.
+    fn load_state(&mut self, state: &[u64]) -> Result<(), ProtocolStateError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolStateError {
+                protocol: self.name(),
+                expected: 0,
+                got: state.len(),
+            })
+        }
+    }
 }
+
+/// A protocol rejected a checkpointed state vector: the snapshot does not
+/// match this protocol's shape (see [`Protocol::load_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolStateError {
+    /// The protocol that rejected the state.
+    pub protocol: &'static str,
+    /// Number of words the protocol expected.
+    pub expected: usize,
+    /// Number of words the snapshot supplied.
+    pub got: usize,
+}
+
+impl std::fmt::Display for ProtocolStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "protocol {:?} rejected checkpoint state: expected {} words, got {}",
+            self.protocol, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ProtocolStateError {}
 
 #[cfg(test)]
 mod tests {
@@ -55,5 +115,32 @@ mod tests {
     fn protocol_trait_is_object_safe() {
         fn _takes_dyn(_p: &dyn Protocol) {}
         fn _takes_boxed(_p: Box<dyn Protocol>) {}
+    }
+
+    #[derive(Debug)]
+    struct Stateless;
+    impl Protocol for Stateless {
+        fn act(&mut self, _round: u64, _rng: &mut rand::rngs::SmallRng) -> Action {
+            Action::Listen
+        }
+        fn feedback(&mut self, _round: u64, _reception: &Reception) {}
+        fn is_active(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &'static str {
+            "stateless"
+        }
+    }
+
+    #[test]
+    fn default_state_hooks_round_trip_empty() {
+        let mut p = Stateless;
+        assert!(p.save_state().is_empty());
+        assert!(p.load_state(&[]).is_ok());
+        let err = p.load_state(&[1, 2]).unwrap_err();
+        assert_eq!(err.protocol, "stateless");
+        assert_eq!(err.expected, 0);
+        assert_eq!(err.got, 2);
+        assert!(err.to_string().contains("expected 0 words"));
     }
 }

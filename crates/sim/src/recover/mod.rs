@@ -1,0 +1,33 @@
+//! Fault-tolerant execution: checkpoint/resume, trial supervision, and
+//! resume manifests.
+//!
+//! Three pillars (DESIGN.md §13):
+//!
+//! * [`snapshot`] — a serializable, checksummed [`SimSnapshot`] captured
+//!   by [`Simulation::snapshot`](crate::Simulation::snapshot) and loaded
+//!   by [`Simulation::restore`](crate::Simulation::restore); a restored
+//!   run is **byte-identical** to an uninterrupted one across every
+//!   engine tier, with active fault plans included.
+//! * [`supervisor`] — per-trial panic isolation (`catch_unwind` + a
+//!   panic taxonomy), bounded same-seed retry, a wall-clock watchdog
+//!   producing typed [`TrialOutcome::TimedOut`]s, and the
+//!   [`FleetSummary`] tally; driven by
+//!   [`montecarlo::run_trials_supervised`](crate::montecarlo::run_trials_supervised).
+//! * [`manifest`] — append-only JSONL [`TrialManifest`]s letting
+//!   [`montecarlo::run_trials_with_manifest`](crate::montecarlo::run_trials_with_manifest)
+//!   skip already-completed trials on resume.
+//!
+//! The third robustness pillar — opt-in self-checking engines with
+//! graceful tier degradation — lives on [`Simulation`](crate::Simulation)
+//! itself (see [`Simulation::set_self_check`](crate::Simulation::set_self_check)).
+
+pub mod manifest;
+pub mod snapshot;
+pub mod supervisor;
+
+pub use manifest::TrialManifest;
+pub use snapshot::{SimSnapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use supervisor::{
+    supervise_trial, FleetSummary, PanicKind, SupervisedRun, SupervisorConfig, TrialFn,
+    TrialOutcome,
+};

@@ -56,6 +56,11 @@ impl Trace {
     /// Default maximum number of [`RoundRecord`]s retained per run.
     pub const DEFAULT_RECORD_CAP: usize = 65_536;
 
+    /// Reassembles a trace from checkpointed parts (snapshot restore).
+    pub(crate) fn from_parts(rounds: Vec<RoundRecord>, truncated: bool) -> Self {
+        Trace { rounds, truncated }
+    }
+
     /// Appends `record` unless `cap` records are already held, in which
     /// case the record is dropped and the trace is marked truncated.
     pub(crate) fn push_capped(&mut self, cap: usize, record: RoundRecord) {

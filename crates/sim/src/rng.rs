@@ -53,6 +53,18 @@ pub fn fault_rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(split_mix64(seed ^ 0xFA17_1A4E_0000_0002))
 }
 
+/// The engine self-check RNG lane (listener sampling for the opt-in
+/// [`SelfCheck`](crate::Simulation::set_self_check) re-resolution audit)
+/// for master seed `seed`.
+///
+/// Kept separate from every other lane so that enabling self-checks never
+/// perturbs the node, channel, or fault streams: a run with self-checks on
+/// is byte-identical to the same run with them off.
+#[must_use]
+pub fn self_check_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(split_mix64(seed ^ 0x5E1F_C8EC_0000_0003))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +112,17 @@ mod tests {
         let a: u64 = fault_rng(1).gen();
         let b: u64 = fault_rng(2).gen();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn self_check_lane_is_independent() {
+        let s: u64 = self_check_rng(7).gen();
+        assert_ne!(s, channel_rng(7).gen::<u64>());
+        assert_ne!(s, fault_rng(7).gen::<u64>());
+        for node in 0..64 {
+            let n: u64 = node_rng(7, node).gen();
+            assert_ne!(s, n, "self-check lane collided with node {node}");
+        }
     }
 
     #[test]

@@ -15,8 +15,9 @@ use fading_geom::{Deployment, Point};
 use crate::faults::{ChurnEvent, ChurnKind, FaultError, FaultPlan};
 use crate::obs::{EngineCounters, ResolvePath, SpanGuard, Tracer};
 use crate::pool::StealPool;
+use crate::recover::snapshot::{fnv1a64, SimSnapshot, SnapshotError};
 use crate::result::{RoundRecord, RunResult, Trace, TraceLevel};
-use crate::rng::{channel_rng, fault_rng, node_rng};
+use crate::rng::{channel_rng, fault_rng, node_rng, self_check_rng};
 use crate::telemetry::{MetricsRegistry, Phase, RoundEvent, TelemetryDetail, TelemetrySink};
 use crate::{Action, Protocol};
 
@@ -71,6 +72,19 @@ pub enum StepOutcome {
     },
 }
 
+/// Opt-in self-checking state: per-round sampled re-resolution of
+/// listeners through the exact path (see [`Simulation::set_self_check`]).
+#[derive(Debug)]
+struct SelfCheck {
+    /// Listeners audited per eligible round (0 never constructed).
+    samples: usize,
+    /// Dedicated RNG lane for sample selection — drawing from the node or
+    /// channel lanes would perturb the run under audit.
+    rng: SmallRng,
+    /// Test hook: force the next audited sample to report a violation.
+    inject_violation: bool,
+}
+
 /// A synchronous-round simulation: one deployment, one channel, one protocol
 /// instance per node.
 ///
@@ -85,6 +99,9 @@ pub enum StepOutcome {
 pub struct Simulation {
     positions: Vec<Point>,
     channel: Box<dyn Channel>,
+    // Master seed, retained for snapshot fingerprinting and the
+    // self-check RNG lane.
+    seed: u64,
     protocols: Vec<Box<dyn Protocol>>,
     node_rngs: Vec<SmallRng>,
     chan_rng: SmallRng,
@@ -158,6 +175,10 @@ pub struct Simulation {
     revived_scratch: Vec<NodeId>,
     // Maximum RoundRecords retained in the trace (keep-first).
     trace_cap: usize,
+    // Opt-in self-checking engines (None = disabled, the default); the
+    // scratch holds the audit resolve's SINR breakdowns.
+    self_check: Option<SelfCheck>,
+    self_check_scratch: Vec<SinrBreakdown>,
 }
 
 impl Simulation {
@@ -217,6 +238,7 @@ impl Simulation {
         Simulation {
             positions,
             channel,
+            seed,
             protocols,
             node_rngs,
             chan_rng: channel_rng(seed),
@@ -256,6 +278,8 @@ impl Simulation {
             crashed_scratch: Vec::new(),
             revived_scratch: Vec::new(),
             trace_cap: Trace::DEFAULT_RECORD_CAP,
+            self_check: None,
+            self_check_scratch: Vec::new(),
         }
     }
 
@@ -702,6 +726,263 @@ impl Simulation {
         c
     }
 
+    /// Enables self-checking engines: on every eligible round, `samples`
+    /// randomly chosen listeners are re-resolved through the **exact**
+    /// instrumented path and compared against the fast tier's receptions.
+    /// `samples == 0` disables the check. Call before stepping.
+    ///
+    /// A round is eligible when it was served by a fast tier (gain cache,
+    /// far-field, or hierarchical) on a channel whose resolve draws no
+    /// randomness — a partial re-resolve on an RNG-drawing channel would
+    /// desynchronize the stream. On any mismatch, or a non-finite signal /
+    /// interference / noise intermediate, the serving tier is **demoted**
+    /// for the rest of the run (hierarchical → far-field → gain-cache →
+    /// exact), recorded in [`EngineCounters::tier_demotions`] and the span
+    /// stream. The check never panics, and because the tiers are
+    /// bit-identical, demotion never changes a healthy run's outcome.
+    ///
+    /// Sample selection draws from a dedicated RNG lane derived from the
+    /// master seed, so enabling the check does not perturb the run.
+    pub fn set_self_check(&mut self, samples: usize) {
+        self.self_check = if samples == 0 {
+            None
+        } else {
+            Some(SelfCheck {
+                samples,
+                rng: self_check_rng(self.seed),
+                inject_violation: false,
+            })
+        };
+    }
+
+    /// Whether self-checking is currently enabled.
+    #[must_use]
+    pub fn self_check_enabled(&self) -> bool {
+        self.self_check.is_some()
+    }
+
+    /// Test hook: forces the next audited self-check sample to report a
+    /// violation, driving the demotion path without a real engine defect.
+    /// No-op when self-checking is disabled.
+    pub fn inject_self_check_violation(&mut self) {
+        if let Some(sc) = &mut self.self_check {
+            sc.inject_violation = true;
+        }
+    }
+
+    /// Fingerprint over the construction inputs (node count, seed, channel,
+    /// positions, fault-plan shape). A snapshot only restores into a
+    /// simulation with the same fingerprint.
+    fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(40 + self.positions.len() * 16);
+        bytes.extend_from_slice(&(self.positions.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.seed.to_le_bytes());
+        bytes.extend_from_slice(self.channel.name().as_bytes());
+        for p in &self.positions {
+            bytes.extend_from_slice(&p.x.to_le_bytes());
+            bytes.extend_from_slice(&p.y.to_le_bytes());
+        }
+        match &self.fault_plan {
+            None => bytes.push(0xFF),
+            Some(plan) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&(plan.jammers().len() as u64).to_le_bytes());
+                bytes.extend_from_slice(&(plan.noise_bursts().len() as u64).to_le_bytes());
+                bytes.extend_from_slice(&(plan.churn().len() as u64).to_le_bytes());
+                bytes.push(u8::from(plan.loss().is_some()));
+            }
+        }
+        fnv1a64(&bytes)
+    }
+
+    /// Captures a checksummed [`SimSnapshot`] of every piece of mutable run
+    /// state: round counter, all RNG lanes (including the fault lane), the
+    /// active mask, per-node protocol states, fault-plan progress
+    /// (churn cursor, Gilbert–Elliott burst state), engine-tier toggles
+    /// with occupancy-bearing stats, counters, and the trace.
+    ///
+    /// Restoring into an identically constructed simulation (same
+    /// deployment, channel, seed, protocol factory, and fault plan) via
+    /// [`Simulation::restore`] resumes the run **byte-identically**: the
+    /// resumed [`RunResult`] equals the uninterrupted one across every
+    /// engine tier.
+    #[must_use]
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            n: self.positions.len() as u64,
+            seed: self.seed,
+            fingerprint: self.fingerprint(),
+            round: self.round,
+            total_transmissions: self.total_transmissions,
+            resolved_at: self.resolved_at,
+            winner: self.winner.map(|w| w as u64),
+            active: self.active.clone(),
+            node_rngs: self.node_rngs.iter().map(SmallRng::state).collect(),
+            chan_rng: self.chan_rng.state(),
+            fault_rng: self.fault_rng.state(),
+            self_check_samples: self
+                .self_check
+                .as_ref()
+                .map_or(0, |sc| sc.samples as u64),
+            self_check_rng: self
+                .self_check
+                .as_ref()
+                .map_or([0; 4], |sc| sc.rng.state()),
+            protocol_states: self.protocols.iter().map(|p| p.save_state()).collect(),
+            churn_cursor: self.churn_cursor as u64,
+            loss_in_burst: self.loss_in_burst,
+            trace_level: match self.trace_level {
+                TraceLevel::None => 0,
+                TraceLevel::Counts => 1,
+                TraceLevel::Full => 2,
+            },
+            trace_cap: self.trace_cap as u64,
+            trace_truncated: self.trace.truncated(),
+            trace_rounds: self.trace.rounds().to_vec(),
+            cache_enabled: self.cache_enabled,
+            farfield_enabled: self.farfield_enabled,
+            hierarchical_enabled: self.hierarchical_enabled,
+            resolve_threads: self.resolve_pool.threads() as u64,
+            counters: self.counters,
+            farfield_stats: self.farfield.as_ref().map(FarFieldEngine::stats),
+            hierarchical_stats: self
+                .hierarchical
+                .as_ref()
+                .map(HierarchicalFarFieldEngine::stats),
+        }
+    }
+
+    /// Restores a [`SimSnapshot`] into this simulation, which must be
+    /// **freshly constructed** with the same inputs as the snapshot's
+    /// source (deployment, channel, seed, protocol factory) and have the
+    /// same fault plan already attached. After a successful restore the
+    /// simulation continues exactly where the snapshot was taken.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Incompatible`] when this simulation has already
+    /// stepped, the node counts differ, the construction fingerprint does
+    /// not match, or an engine the snapshot recorded cannot be built here;
+    /// [`SnapshotError::ProtocolState`] when a protocol rejects its
+    /// checkpointed state words.
+    pub fn restore(&mut self, snap: &SimSnapshot) -> Result<(), SnapshotError> {
+        if self.round != 0 {
+            return Err(SnapshotError::Incompatible {
+                detail: format!(
+                    "restore target must be freshly constructed, but {} round(s) already ran",
+                    self.round
+                ),
+            });
+        }
+        if snap.n as usize != self.positions.len() {
+            return Err(SnapshotError::Incompatible {
+                detail: format!(
+                    "snapshot holds {} nodes, this simulation has {}",
+                    snap.n,
+                    self.positions.len()
+                ),
+            });
+        }
+        if snap.fingerprint != self.fingerprint() {
+            return Err(SnapshotError::Incompatible {
+                detail: "construction fingerprint mismatch (different deployment, seed, \
+                         channel, or fault plan)"
+                    .to_string(),
+            });
+        }
+
+        // 1. Protocol states first: the active-mask reconciliation below
+        // consults `Protocol::is_active` (revive semantics).
+        for (p, state) in self.protocols.iter_mut().zip(&snap.protocol_states) {
+            p.load_state(state)?;
+        }
+        // 2. Reconcile the active mask in both directions; the forced
+        // transitions keep every engine's occupancy in sync.
+        for i in 0..self.positions.len() {
+            if self.active[i] && !snap.active[i] {
+                self.force_deactivate(i);
+            } else if !self.active[i] && snap.active[i] {
+                self.force_activate(i);
+            }
+        }
+        // A knocked-out protocol must never be counted active again; if
+        // the mask still disagrees, the snapshot belongs to a different
+        // protocol configuration.
+        if self.active != snap.active {
+            return Err(SnapshotError::Incompatible {
+                detail: "active mask could not be reconciled (protocol states disagree \
+                         with the snapshot's activity)"
+                    .to_string(),
+            });
+        }
+        // 3. RNG lanes.
+        for (rng, state) in self.node_rngs.iter_mut().zip(&snap.node_rngs) {
+            *rng = SmallRng::from_state(*state);
+        }
+        self.chan_rng = SmallRng::from_state(snap.chan_rng);
+        self.fault_rng = SmallRng::from_state(snap.fault_rng);
+        // 4. Engine tiers. The hierarchical engine is built on demand when
+        // the snapshot recorded one (its occupancy syncs to the active
+        // mask reconciled above); a channel that cannot build it is
+        // incompatible with the snapshot.
+        self.cache_enabled = snap.cache_enabled;
+        self.farfield_enabled = snap.farfield_enabled;
+        self.hierarchical_enabled = snap.hierarchical_enabled;
+        if snap.hierarchical_stats.is_some() && self.hierarchical.is_none() {
+            let mut engine = self.channel.build_hierarchical_engine(&self.positions);
+            if let Some(e) = &mut engine {
+                for (i, &is_active) in self.active.iter().enumerate() {
+                    if !is_active {
+                        e.deactivate(i);
+                    }
+                }
+            }
+            self.hierarchical = engine;
+        }
+        if snap.farfield_stats.is_some() != self.farfield.is_some()
+            || snap.hierarchical_stats.is_some() != self.hierarchical.is_some()
+        {
+            return Err(SnapshotError::Incompatible {
+                detail: "engine availability differs from the snapshot's \
+                         (different channel capabilities)"
+                    .to_string(),
+            });
+        }
+        if let (Some(engine), Some(stats)) = (&mut self.farfield, snap.farfield_stats) {
+            engine.set_stats(stats);
+        }
+        if let (Some(engine), Some(stats)) = (&mut self.hierarchical, snap.hierarchical_stats) {
+            engine.set_stats(stats);
+        }
+        // 5. Scalars, fault progress, counters, trace.
+        self.round = snap.round;
+        self.total_transmissions = snap.total_transmissions;
+        self.resolved_at = snap.resolved_at;
+        self.winner = snap.winner.map(|w| w as NodeId);
+        self.churn_cursor = snap.churn_cursor as usize;
+        self.loss_in_burst = snap.loss_in_burst;
+        self.counters = snap.counters;
+        self.trace_level = match snap.trace_level {
+            0 => TraceLevel::None,
+            1 => TraceLevel::Counts,
+            _ => TraceLevel::Full,
+        };
+        self.trace_cap = snap.trace_cap as usize;
+        self.trace = Trace::from_parts(snap.trace_rounds.clone(), snap.trace_truncated);
+        self.set_resolve_threads(snap.resolve_threads as usize);
+        // 6. Self-check lane.
+        self.self_check = if snap.self_check_samples == 0 {
+            None
+        } else {
+            Some(SelfCheck {
+                samples: snap.self_check_samples as usize,
+                rng: SmallRng::from_state(snap.self_check_rng),
+                inject_violation: false,
+            })
+        };
+        Ok(())
+    }
+
     /// Number of nodes in the deployment.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -1011,6 +1292,87 @@ impl Simulation {
         }
         self.counters.churn_applied += churn_applied as u64;
 
+        // Self-checking engines (opt-in): re-resolve a few sampled
+        // listeners through the exact instrumented path and compare with
+        // the fast tier's receptions. Only tier-served rounds on channels
+        // whose resolve draws no RNG are auditable — a partial re-resolve
+        // on an RNG-drawing channel would desynchronize the stream. On a
+        // mismatch or non-finite intermediate the serving tier is demoted
+        // for the rest of the run; the check itself never panics.
+        if self.self_check.is_some()
+            && matches!(
+                resolve_path,
+                ResolvePath::Cached | ResolvePath::FarField | ResolvePath::Hierarchical
+            )
+            && !self.listeners.is_empty()
+            && !self.channel.resolve_draws_rng()
+        {
+            if let Some(mut sc) = self.self_check.take() {
+                let _span_check = self.span("self_check");
+                self.counters.self_check_rounds += 1;
+                let m = self.listeners.len();
+                let samples = sc.samples.min(m);
+                let inject = std::mem::take(&mut sc.inject_violation);
+                // Rebuild the round's perturbation exactly as the main
+                // resolve saw it (jam_scratch was filled above iff the
+                // round is jammed).
+                let (noise_scale, jamming) = match &self.fault_plan {
+                    Some(plan) => (
+                        plan.noise_scale(self.round),
+                        plan.any_jammer_active(self.round),
+                    ),
+                    None => (1.0, false),
+                };
+                let extra: &[f64] = if jamming { &self.jam_scratch } else { &[] };
+                let perturbation = ChannelPerturbation::new(noise_scale, extra);
+                let mut violated = false;
+                for s in 0..samples {
+                    let idx = sc.rng.gen_range(0..m);
+                    let audit = [self.listeners[idx]];
+                    // The audited channels are deterministic (no RNG
+                    // draws); the clone just keeps the signature happy
+                    // without touching the real stream.
+                    let mut audit_rng = self.chan_rng.clone();
+                    let expected = self.channel.resolve_instrumented(
+                        &self.positions,
+                        &self.transmitters,
+                        &audit,
+                        None,
+                        &perturbation,
+                        &mut audit_rng,
+                        &mut self.self_check_scratch,
+                    );
+                    self.counters.self_check_samples += 1;
+                    let nonfinite = self.self_check_scratch.first().is_some_and(|b| {
+                        !b.signal.is_finite()
+                            || !b.interference.is_finite()
+                            || !b.noise.is_finite()
+                    });
+                    if expected.first() != Some(&receptions[idx])
+                        || nonfinite
+                        || (inject && s == 0)
+                    {
+                        self.counters.self_check_violations += 1;
+                        violated = true;
+                    }
+                }
+                if violated {
+                    // Graceful degradation: drop exactly the tier that
+                    // served this round; the next round re-selects among
+                    // the remaining ones (hierarchical → far-field →
+                    // gain-cache → exact).
+                    let _span_demote = self.span("self_check.demote");
+                    match resolve_path {
+                        ResolvePath::Hierarchical => self.hierarchical_enabled = false,
+                        ResolvePath::FarField => self.farfield_enabled = false,
+                        _ => self.cache_enabled = false,
+                    }
+                    self.counters.tier_demotions += 1;
+                }
+                self.self_check = Some(sc);
+            }
+        }
+
         // Gilbert–Elliott burst loss: advance the channel state once per
         // round, then drop each decoded message with the state's drop
         // probability. Draws come from the dedicated fault RNG lane, and
@@ -1257,6 +1619,22 @@ mod tests {
         }
         fn name(&self) -> &'static str {
             "test-knockout"
+        }
+        fn save_state(&self) -> Vec<u64> {
+            vec![u64::from(self.active)]
+        }
+        fn load_state(&mut self, state: &[u64]) -> Result<(), crate::ProtocolStateError> {
+            match state {
+                [active] => {
+                    self.active = *active != 0;
+                    Ok(())
+                }
+                _ => Err(crate::ProtocolStateError {
+                    protocol: self.name(),
+                    expected: 1,
+                    got: state.len(),
+                }),
+            }
         }
     }
 
@@ -1728,6 +2106,134 @@ mod tests {
             sim.run_until_resolved(5_000)
         };
         assert_eq!(run(true), run(false), "fault path must be cache-invariant");
+    }
+
+    #[test]
+    fn self_check_on_a_healthy_run_never_demotes() {
+        let clean = {
+            let mut sim = knockout_sim(31);
+            sim.set_trace_level(TraceLevel::Full);
+            sim.run_until_resolved(5_000)
+        };
+        let mut sim = knockout_sim(31);
+        sim.set_trace_level(TraceLevel::Full);
+        sim.set_self_check(4);
+        assert!(sim.self_check_enabled());
+        let checked = sim.run_until_resolved(5_000);
+        let counters = sim.engine_counters();
+        assert!(counters.self_check_rounds > 0, "cached rounds must be audited");
+        assert!(counters.self_check_samples >= counters.self_check_rounds);
+        assert_eq!(counters.self_check_violations, 0);
+        assert_eq!(counters.tier_demotions, 0);
+        assert!(sim.gain_cache_active(), "no demotion on a healthy run");
+        assert_eq!(checked, clean, "auditing must not perturb the run");
+    }
+
+    #[test]
+    fn injected_violation_demotes_the_tier_without_panicking() {
+        let clean = {
+            let mut sim = knockout_sim(31);
+            sim.set_trace_level(TraceLevel::Full);
+            sim.run_until_resolved(5_000)
+        };
+        let mut sim = knockout_sim(31);
+        sim.set_trace_level(TraceLevel::Full);
+        sim.set_self_check(2);
+        sim.inject_self_check_violation();
+        let result = sim.run_until_resolved(5_000);
+        let counters = sim.engine_counters();
+        assert_eq!(counters.tier_demotions, 1, "exactly one demotion");
+        assert!(counters.self_check_violations >= 1);
+        assert!(
+            !sim.gain_cache_active(),
+            "the serving gain-cache tier must be demoted"
+        );
+        // The tiers are bit-identical, so a (spurious) demotion degrades
+        // speed, never the outcome.
+        assert_eq!(result, clean);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        let make = || {
+            let mut sim = knockout_sim(55);
+            sim.set_trace_level(TraceLevel::Full);
+            sim
+        };
+        let uninterrupted = make().run_until_resolved(5_000);
+
+        let mut interrupted = make();
+        for _ in 0..3 {
+            interrupted.step();
+        }
+        let bytes = interrupted.snapshot().to_bytes();
+        drop(interrupted);
+
+        let decoded = crate::recover::SimSnapshot::from_bytes(&bytes).unwrap();
+        let mut resumed = make();
+        resumed.restore(&decoded).unwrap();
+        let result = resumed.run_until_resolved(5_000);
+        assert_eq!(result, uninterrupted, "resume must be byte-identical");
+    }
+
+    #[test]
+    fn restore_rejects_a_foreign_or_stepped_target() {
+        let mut source = knockout_sim(1);
+        source.step();
+        let snap = source.snapshot();
+
+        // Different seed → different fingerprint.
+        let mut wrong_seed = knockout_sim(2);
+        assert!(matches!(
+            wrong_seed.restore(&snap),
+            Err(SnapshotError::Incompatible { .. })
+        ));
+
+        // A target that has already stepped is refused.
+        let mut stepped = knockout_sim(1);
+        stepped.step();
+        let err = stepped.restore(&snap).unwrap_err();
+        assert!(err.to_string().contains("freshly constructed"), "{err}");
+
+        // The identical fresh target accepts it.
+        let mut fresh = knockout_sim(1);
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.round(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_fault_plan_progress() {
+        use crate::faults::{ChurnEvent, GilbertElliott, Jammer, NoiseBurst};
+        let plan = || {
+            let power = SinrParams::default_single_hop().power() * 10.0;
+            FaultPlan::new()
+                .with_jammer(Jammer::new(Point::new(6.0, 6.0), power, 3, 5, 2, Some(20)).unwrap())
+                .with_noise_burst(NoiseBurst::new(4, 6, 3.0).unwrap())
+                .with_churn(ChurnEvent::crash(5, 0).unwrap())
+                .with_churn(ChurnEvent::revive(9, 0).unwrap())
+                .with_churn(ChurnEvent::late_wake(3, 1).unwrap())
+                .with_loss(GilbertElliott::new(0.2, 0.3, 0.05, 0.8).unwrap())
+        };
+        let make = || {
+            let mut sim = knockout_sim(9);
+            sim.set_fault_plan(plan()).unwrap();
+            sim.set_trace_level(TraceLevel::Full);
+            sim
+        };
+        let uninterrupted = make().run_until_resolved(5_000);
+
+        // Interrupt mid-churn: after round 6 the crash fired (round 5) but
+        // the revive (round 9) is still pending, and the GE chain and
+        // jammer budget are mid-flight.
+        let mut interrupted = make();
+        for _ in 0..6 {
+            interrupted.step();
+        }
+        let snap = interrupted.snapshot();
+        let mut resumed = make();
+        resumed.restore(&snap).unwrap();
+        let result = resumed.run_until_resolved(5_000);
+        assert_eq!(result, uninterrupted, "mid-churn resume must be byte-identical");
     }
 
     #[test]

@@ -629,7 +629,9 @@ pub fn counters_to_json(c: &EngineCounters) -> String {
          \"gain_cache_rounds\":{},\"exact_rounds\":{},\
          \"instrumented_rounds\":{},\"gain_cache_built\":{},\"gain_cache_bypassed_rounds\":{},\
          \"perturbed_rounds\":{},\"jammed_rounds\":{},\"noise_scaled_rounds\":{},\
-         \"ge_dropped\":{},\"churn_applied\":{},\"ff_rounds\":{},\"ff_empty_round_silences\":{},\
+         \"ge_dropped\":{},\"churn_applied\":{},\"self_check_rounds\":{},\
+         \"self_check_samples\":{},\"self_check_violations\":{},\"tier_demotions\":{},\
+         \"ff_rounds\":{},\"ff_empty_round_silences\":{},\
          \"ff_nonfinite_fallbacks\":{},\"ff_noise_floor_silences\":{},\
          \"ff_no_near_winner_fallbacks\":{},\"ff_far_rival_fallbacks\":{},\
          \"ff_bracket_decisions\":{},\"ff_bracket_straddle_fallbacks\":{}}}",
@@ -646,6 +648,10 @@ pub fn counters_to_json(c: &EngineCounters) -> String {
         c.noise_scaled_rounds,
         c.ge_dropped,
         c.churn_applied,
+        c.self_check_rounds,
+        c.self_check_samples,
+        c.self_check_violations,
+        c.tier_demotions,
         f.rounds,
         f.empty_round_silences,
         f.nonfinite_fallbacks,
@@ -682,6 +688,10 @@ pub fn counters_from_json(line: &str) -> Result<EngineCounters, JsonlError> {
         noise_scaled_rounds: get_u64(f, "noise_scaled_rounds")?,
         ge_dropped: get_u64(f, "ge_dropped")?,
         churn_applied: get_u64(f, "churn_applied")?,
+        self_check_rounds: get_u64(f, "self_check_rounds")?,
+        self_check_samples: get_u64(f, "self_check_samples")?,
+        self_check_violations: get_u64(f, "self_check_violations")?,
+        tier_demotions: get_u64(f, "tier_demotions")?,
         farfield: FarFieldStats {
             rounds: get_u64(f, "ff_rounds")?,
             empty_round_silences: get_u64(f, "ff_empty_round_silences")?,
@@ -1083,6 +1093,10 @@ mod tests {
             noise_scaled_rounds: 7,
             ge_dropped: 3,
             churn_applied: 2,
+            self_check_rounds: 25,
+            self_check_samples: 50,
+            self_check_violations: 1,
+            tier_demotions: 1,
             farfield: FarFieldStats {
                 rounds: 60,
                 empty_round_silences: 11,
