@@ -23,11 +23,21 @@
 //! * `--budget-ms <x>` — per-tier wall budget in milliseconds.
 //! * `--inject-slowdown <f>` — multiply measured times by `f` (test hook
 //!   proving the gate trips on a synthetic regression).
+//!
+//! With `--service` the gate switches to the service-throughput baseline
+//! instead: it parses `BENCH_service.json` (or `--baseline <path>`),
+//! replays the exact workload mix recorded in it through an in-process
+//! `fading-server`, and fails when throughput drops — or the p95 latency
+//! tail grows — beyond the threshold. `--check` and `--inject-slowdown`
+//! behave the same in both modes.
 
 use std::process::ExitCode;
 
 use fading_bench::gate::{judge, parse_baseline, render_verdicts};
 use fading_bench::probe::{default_budget_ms, run_probe, DEFAULT_SIZES};
+use fading_bench::service::{
+    judge_service, parse_service_baseline, render_service_verdict, run_loadgen,
+};
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -36,10 +46,70 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// The `--service` mode: replay the baseline's recorded mix and gate on
+/// throughput / latency-tail ratios.
+fn service_gate(baseline_path: &str, threshold: f64, check_only: bool, inject: f64) -> ExitCode {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+    let baseline = parse_service_baseline(&text).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+
+    eprintln!(
+        "# bench-gate --service: replaying {} small + {} huge jobs against {baseline_path}",
+        baseline.mix.small_jobs, baseline.mix.huge_jobs
+    );
+    let root = std::env::temp_dir().join(format!("fading-service-gate-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let mut measured = match run_loadgen(&root, &baseline.mix) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-gate: loadgen replay failed: {e}");
+            std::fs::remove_dir_all(&root).ok();
+            return ExitCode::FAILURE;
+        }
+    };
+    std::fs::remove_dir_all(&root).ok();
+    if inject != 1.0 {
+        eprintln!("# injecting synthetic {inject}x slowdown");
+        measured.jobs_per_sec /= inject;
+        measured.p50_ms *= inject;
+        measured.p95_ms *= inject;
+        measured.p99_ms *= inject;
+        measured.max_ms *= inject;
+    }
+
+    let verdict = judge_service(&baseline, &measured, threshold);
+    print!(
+        "{}",
+        render_service_verdict(&baseline, &measured, &verdict, threshold)
+    );
+    if measured.failed > 0 {
+        println!("bench-gate: {} jobs failed during the replay", measured.failed);
+        return ExitCode::FAILURE;
+    }
+    if verdict.regressed {
+        println!(
+            "bench-gate: service regressed beyond {threshold:.2}x{}",
+            if check_only { " (check mode: not failing)" } else { "" }
+        );
+        if !check_only {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("bench-gate: service throughput and latency within {threshold:.2}x of baseline");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let baseline_path =
-        flag_value(&args, "--baseline").unwrap_or_else(|| "BENCH_scaling.json".to_string());
+    let service = args.iter().any(|a| a == "--service");
+    let baseline_path = flag_value(&args, "--baseline").unwrap_or_else(|| {
+        if service {
+            "BENCH_service.json".to_string()
+        } else {
+            "BENCH_scaling.json".to_string()
+        }
+    });
     let threshold: f64 = flag_value(&args, "--threshold")
         .map(|v| v.parse().expect("--threshold wants a number"))
         .unwrap_or(1.5);
@@ -52,6 +122,9 @@ fn main() -> ExitCode {
     let inject: f64 = flag_value(&args, "--inject-slowdown")
         .map(|v| v.parse().expect("--inject-slowdown wants a number"))
         .unwrap_or(1.0);
+    if service {
+        return service_gate(&baseline_path, threshold, check_only, inject);
+    }
 
     let sizes: Vec<usize> = match flag_value(&args, "--sizes") {
         Some(list) => list

@@ -1,70 +1,16 @@
 //! Best-effort SIGINT/SIGTERM interception for the long-running binaries.
 //!
-//! The experiment and scaling harnesses can run for minutes at the `--full`
-//! scale; a plain Ctrl-C would discard every table computed so far. This
-//! module installs a minimal signal handler that only flips an atomic flag —
-//! the binaries poll [`interrupted`] between experiments (never mid-trial,
-//! so determinism is untouched), flush whatever partial output they hold,
-//! and exit with the conventional `130` status.
+//! The canonical implementation lives in [`fading_server::interrupt`]
+//! (the one place in the workspace allowed a scoped `unsafe` for the raw
+//! `signal(2)` declaration); this module re-exports it so the experiment
+//! and scaling harnesses keep their `crate::interrupt::interrupted()`
+//! polling loops unchanged. The server flavor also adds [`claim_flush`]
+//! (a single-winner token for shutdown flushing) and escalation: a second
+//! signal during a slow flush forces immediate `_exit(130)`.
 //!
-//! No external crates: the handler goes through the raw C `signal(2)` entry
-//! point, declared here directly. The handler body is a single atomic store,
-//! which is async-signal-safe. On non-unix targets installation is a no-op
-//! and [`interrupted`] never fires.
+//! [`claim_flush`]: fading_server::interrupt::claim_flush
 
-use std::sync::atomic::{AtomicBool, Ordering};
-
-static INTERRUPTED: AtomicBool = AtomicBool::new(false);
-
-/// `true` once a SIGINT or SIGTERM has been received (always `false` on
-/// non-unix targets or before [`install`]).
-#[must_use]
-pub fn interrupted() -> bool {
-    INTERRUPTED.load(Ordering::SeqCst)
-}
-
-/// Exit status conventionally reported by processes stopped by SIGINT.
-pub const INTERRUPT_EXIT_CODE: i32 = 130;
-
-#[cfg(unix)]
-mod imp {
-    use super::{Ordering, INTERRUPTED};
-
-    const SIGINT: i32 = 2;
-    const SIGTERM: i32 = 15;
-
-    // The only libc surface we need: `sighandler_t signal(int, sighandler_t)`.
-    // A function pointer is passed as a machine word on every supported unix.
-    #[allow(unsafe_code)]
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-
-    extern "C" fn on_signal(_signum: i32) {
-        INTERRUPTED.store(true, Ordering::SeqCst);
-    }
-
-    pub fn install() {
-        #[allow(unsafe_code)]
-        // SAFETY: `on_signal` only performs an atomic store, which is
-        // async-signal-safe; the handler pointer outlives the process.
-        unsafe {
-            let handler = on_signal as *const () as usize;
-            signal(SIGINT, handler);
-            signal(SIGTERM, handler);
-        }
-    }
-}
-
-#[cfg(not(unix))]
-mod imp {
-    pub fn install() {}
-}
-
-/// Installs the SIGINT/SIGTERM handler (idempotent; no-op off unix).
-pub fn install() {
-    imp::install();
-}
+pub use fading_server::interrupt::*;
 
 #[cfg(test)]
 mod tests {
@@ -75,5 +21,6 @@ mod tests {
         install();
         install();
         assert!(!interrupted());
+        assert_eq!(INTERRUPT_EXIT_CODE, 130);
     }
 }

@@ -12,14 +12,13 @@
 //! This crate's library part holds the small helpers shared between the
 //! binaries and the benches.
 
-// `deny` rather than `forbid`: the interrupt module needs one scoped
-// `#[allow(unsafe_code)]` for its raw `signal(2)` declaration.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gate;
 pub mod interrupt;
 pub mod probe;
+pub mod service;
 
 use fading_cr::experiments::ExperimentConfig;
 

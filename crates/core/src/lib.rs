@@ -60,6 +60,7 @@
 
 mod channel_kind;
 pub mod experiments;
+pub mod jobspec;
 pub mod plot;
 pub mod report;
 mod scenario;
@@ -67,6 +68,7 @@ mod table;
 pub mod theory;
 
 pub use channel_kind::ChannelKind;
+pub use jobspec::{ChannelSpec, JobSpec, JobSpecError};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioError};
 pub use table::Table;
 

@@ -1,0 +1,46 @@
+//! Simulation-as-a-service: a persistent job server over the fading-
+//! channel simulator.
+//!
+//! The crate turns the library's batch entry points into a long-running
+//! service. Clients drop [`JobSpec`](fading_cr::jobspec::JobSpec) files
+//! into a queue directory (or push them over a local JSONL socket); the
+//! [`server`] claims each spec, validates it into a `Scenario`, shards
+//! its trials across a supervised worker pool with a per-job resume
+//! manifest, streams per-trial telemetry into the job's output
+//! directory, and serves aggregate Prometheus metrics on a scrape
+//! endpoint.
+//!
+//! Module map:
+//!
+//! - [`queue`] — the atomic on-disk job queue (incoming/running/done/
+//!   failed + per-job output dirs).
+//! - [`protocol`] — the JSONL socket request/response framing.
+//! - [`server`] — the worker pool, job execution, and the socket and
+//!   metrics listeners.
+//! - [`metrics`] — service-level tallies rendered as Prometheus text.
+//! - [`interrupt`] — process-global idempotent SIGINT/SIGTERM handling
+//!   (the one place in the workspace allowed to touch `unsafe`).
+//!
+//! Crash safety is layered: a SIGKILL mid-fleet loses only in-flight
+//! trials (the manifest has everything finished), the spec itself stays
+//! in `running/` and is re-enqueued on restart, and the re-run produces
+//! byte-identical `trials.jsonl` output because results are recorded
+//! seed-ordered from deterministic per-seed RNG streams.
+
+#![deny(unsafe_code)] // narrowly allowed inside `interrupt` only
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+#![allow(clippy::missing_panics_doc)]
+#![allow(clippy::cast_precision_loss)]
+
+pub mod interrupt;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use metrics::ServerMetrics;
+pub use protocol::{JobState, Request};
+pub use queue::JobQueue;
+pub use server::{ExitPolicy, JobReport, Server, ServerConfig};

@@ -1,0 +1,267 @@
+//! Server-wide metrics, aggregated across jobs and served as Prometheus
+//! text.
+//!
+//! The scrape body is composed from the existing `obs::export` writers —
+//! [`counters_to_prometheus`] for the merged engine counters,
+//! [`registry_to_prometheus`] for the merged span histograms — plus
+//! service-level series rendered here in the same format: job/trial
+//! tallies, the [`FleetSummary`] supervision counters, queue-depth and
+//! in-flight gauges, and a job-latency [`Histogram`]. Everything round-
+//! trips through the paired [`parse_prometheus`] parser, which CI uses to
+//! check the scrape.
+//!
+//! [`parse_prometheus`]: fading_cr::sim::obs::export::prometheus::parse_prometheus
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use fading_cr::sim::obs::export::prometheus::{counters_to_prometheus, registry_to_prometheus};
+use fading_cr::sim::obs::EngineCounters;
+use fading_cr::sim::recover::FleetSummary;
+use fading_cr::sim::telemetry::{Histogram, MetricsRegistry};
+
+/// Aggregated service metrics behind one lock (server threads record,
+/// the scrape endpoint renders).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    jobs_submitted: u64,
+    jobs_completed: u64,
+    jobs_failed: u64,
+    jobs_rejected: u64,
+    trials_completed: u64,
+    trials_resumed: u64,
+    fleet: FleetSummary,
+    counters: EngineCounters,
+    registry: MetricsRegistry,
+    job_latency_ms: Histogram,
+    queue_depth: u64,
+    jobs_in_flight: u64,
+}
+
+impl ServerMetrics {
+    /// A fresh, all-zero tally.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Records a spec accepted into the queue.
+    pub fn record_submitted(&self) {
+        self.lock().jobs_submitted += 1;
+    }
+
+    /// Records a spec rejected before execution (parse/validation).
+    pub fn record_rejected(&self) {
+        self.lock().jobs_rejected += 1;
+    }
+
+    /// Records a worker picking a job up.
+    pub fn record_started(&self) {
+        self.lock().jobs_in_flight += 1;
+    }
+
+    /// Records a completed job: its submit→complete latency, supervision
+    /// tally, resumed-trial count, and merged engine metrics.
+    pub fn record_completed(
+        &self,
+        latency: Duration,
+        fleet: &FleetSummary,
+        resumed: u64,
+        counters: &EngineCounters,
+        registry: Option<&MetricsRegistry>,
+    ) {
+        let mut m = self.lock();
+        m.jobs_completed += 1;
+        m.jobs_in_flight = m.jobs_in_flight.saturating_sub(1);
+        m.trials_completed += fleet.succeeded;
+        m.trials_resumed += resumed;
+        m.fleet.merge(fleet);
+        m.counters.merge(counters);
+        if let Some(r) = registry {
+            m.registry.merge(r);
+        }
+        m.job_latency_ms.record(latency.as_secs_f64() * 1e3);
+    }
+
+    /// Records a job that errored during execution.
+    pub fn record_failed(&self) {
+        let mut m = self.lock();
+        m.jobs_failed += 1;
+        m.jobs_in_flight = m.jobs_in_flight.saturating_sub(1);
+    }
+
+    /// Updates the queue-depth gauge.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.lock().queue_depth = depth;
+    }
+
+    /// Completed-job count (used by pollers and the idle-exit check).
+    #[must_use]
+    pub fn jobs_completed(&self) -> u64 {
+        self.lock().jobs_completed
+    }
+
+    /// Failed-job count.
+    #[must_use]
+    pub fn jobs_failed(&self) -> u64 {
+        self.lock().jobs_failed
+    }
+
+    /// In-flight job count.
+    #[must_use]
+    pub fn jobs_in_flight(&self) -> u64 {
+        self.lock().jobs_in_flight
+    }
+
+    /// Renders the full scrape body (see the module docs for what's in
+    /// it). The output parses with `parse_prometheus`.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let m = self.lock();
+        let mut out = String::with_capacity(4096);
+
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "fading_jobs_submitted_total",
+            "Specs accepted into the queue.",
+            m.jobs_submitted,
+        );
+        counter(
+            "fading_jobs_completed_total",
+            "Jobs that ran to completion.",
+            m.jobs_completed,
+        );
+        counter(
+            "fading_jobs_failed_total",
+            "Jobs that errored during execution.",
+            m.jobs_failed,
+        );
+        counter(
+            "fading_jobs_rejected_total",
+            "Submissions rejected before execution.",
+            m.jobs_rejected,
+        );
+        counter(
+            "fading_trials_completed_total",
+            "Trials completed across all jobs.",
+            m.trials_completed,
+        );
+        counter(
+            "fading_trials_resumed_total",
+            "Trials satisfied from manifests without re-running.",
+            m.trials_resumed,
+        );
+        counter(
+            "fading_fleet_trials_total",
+            "Supervised trials tallied (FleetSummary.trials).",
+            m.fleet.trials,
+        );
+        counter(
+            "fading_fleet_succeeded_total",
+            "Supervised trials that succeeded (FleetSummary.succeeded).",
+            m.fleet.succeeded,
+        );
+        counter(
+            "fading_fleet_retried_total",
+            "Trial retries performed (FleetSummary.retried).",
+            m.fleet.retried,
+        );
+        counter(
+            "fading_fleet_timed_out_total",
+            "Trials that hit the watchdog timeout (FleetSummary.timed_out).",
+            m.fleet.timed_out,
+        );
+        counter(
+            "fading_fleet_poisoned_total",
+            "Trials that exhausted retries panicking (FleetSummary.poisoned).",
+            m.fleet.poisoned,
+        );
+
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "fading_queue_depth",
+            "Unclaimed submissions in the queue.",
+            m.queue_depth,
+        );
+        gauge(
+            "fading_jobs_in_flight",
+            "Jobs currently executing.",
+            m.jobs_in_flight,
+        );
+
+        out.push_str(&fading_cr::sim::obs::export::prometheus::histogram_to_prometheus(
+            "fading_job_latency_ms",
+            "Submit-to-complete latency per job, milliseconds.",
+            &m.job_latency_ms,
+        ));
+        out.push_str(&counters_to_prometheus(&m.counters));
+        out.push_str(&registry_to_prometheus(&m.registry));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fading_cr::sim::obs::export::prometheus::parse_prometheus;
+
+    fn sample(samples: &[fading_cr::sim::obs::export::prometheus::PromSample], name: &str) -> f64 {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing sample {name}"))
+            .value
+    }
+
+    #[test]
+    fn scrape_parses_with_paired_parser_and_tallies() {
+        let metrics = ServerMetrics::new();
+        metrics.record_submitted();
+        metrics.record_submitted();
+        metrics.record_started();
+        let mut fleet = FleetSummary::default();
+        fleet.trials = 4;
+        fleet.succeeded = 4;
+        metrics.record_completed(
+            Duration::from_millis(12),
+            &fleet,
+            1,
+            &EngineCounters::default(),
+            None,
+        );
+        metrics.record_started();
+        metrics.record_failed();
+        metrics.set_queue_depth(5);
+
+        let text = metrics.render_prometheus();
+        let samples = parse_prometheus(&text).expect("scrape must parse");
+        assert_eq!(sample(&samples, "fading_jobs_submitted_total"), 2.0);
+        assert_eq!(sample(&samples, "fading_jobs_completed_total"), 1.0);
+        assert_eq!(sample(&samples, "fading_jobs_failed_total"), 1.0);
+        assert_eq!(sample(&samples, "fading_queue_depth"), 5.0);
+        assert_eq!(sample(&samples, "fading_jobs_in_flight"), 0.0);
+        assert_eq!(sample(&samples, "fading_fleet_succeeded_total"), 4.0);
+        assert_eq!(sample(&samples, "fading_trials_resumed_total"), 1.0);
+        assert_eq!(sample(&samples, "fading_job_latency_ms_count"), 1.0);
+    }
+}

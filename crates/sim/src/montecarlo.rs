@@ -247,6 +247,118 @@ where
         .collect()
 }
 
+/// The outcome of one supervised, manifest-backed shard of trials: the
+/// seed-ordered results (where available), the supervision tally, and how
+/// many trials were resumed from disk instead of re-run.
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// Per-seed results in seed order; `None` where the trial poisoned or
+    /// timed out and therefore never reached the manifest.
+    pub results: Vec<Option<RunResult>>,
+    /// Supervision tally over **all** `trials` seeds; resumed trials count
+    /// as succeeded (they completed in an earlier incarnation).
+    pub summary: FleetSummary,
+    /// How many trials were satisfied from the manifest without re-running.
+    pub resumed: u64,
+}
+
+impl ShardedRun {
+    /// `true` when every trial has a result on record.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.results.iter().all(Option::is_some)
+    }
+}
+
+/// The full service-path trial runner: combines [`run_trials_supervised`]
+/// (panic capture, same-seed retries, watchdog timeouts) with
+/// [`run_trials_with_manifest`] (skip completed seeds, append+sync each
+/// fresh success). This is what a long-running job server shards work
+/// through: a SIGKILL loses at most the in-flight trials, and a poisoned
+/// trial is tallied instead of taking the job down.
+///
+/// Trials already in `manifest` are counted as succeeded without re-running;
+/// only successful outcomes are recorded (a panicked or timed-out trial
+/// leaves no manifest line, so a later resume retries it from scratch).
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] when appending to the manifest fails; the first
+/// failure is latched and aborts recording (in-flight trials still finish).
+pub fn run_trials_supervised_with_manifest<F>(
+    trials: usize,
+    threads: usize,
+    seed_base: u64,
+    cfg: &SupervisorConfig,
+    manifest: &mut TrialManifest,
+    f: F,
+) -> Result<ShardedRun, SnapshotError>
+where
+    F: Fn(u64) -> RunResult + Send + Sync + 'static,
+{
+    let trial: Arc<TrialFn> = Arc::new(f);
+    let pending: Vec<u64> = (0..trials as u64)
+        .map(|i| seed_base + i)
+        .filter(|&seed| !manifest.is_done(seed))
+        .collect();
+    let resumed = (trials - pending.len()) as u64;
+    let threads = threads.max(1).min(pending.len().max(1));
+    let next = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<Option<TrialOutcome>>> =
+        Mutex::new((0..pending.len()).map(|_| None).collect());
+    // As in `run_trials_with_manifest`: compute in parallel, append under
+    // one lock so each line lands intact, latch the first IO failure.
+    let sink: Mutex<(&mut TrialManifest, Option<SnapshotError>)> = Mutex::new((manifest, None));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pending.len() {
+                    break;
+                }
+                let outcome = supervise_trial(cfg, pending[i], &trial);
+                if let Some(result) = outcome.result() {
+                    let mut guard = sink.lock().unwrap_or_else(PoisonError::into_inner);
+                    let (manifest, err) = &mut *guard;
+                    if err.is_none() {
+                        if let Err(e) = manifest.record(pending[i], result) {
+                            *err = Some(e);
+                        }
+                    }
+                }
+                outcomes
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)[i] = Some(outcome);
+            });
+        }
+    });
+    let (manifest, err) = sink.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = err {
+        return Err(e);
+    }
+    let mut summary = FleetSummary {
+        trials: resumed,
+        succeeded: resumed,
+        ..FleetSummary::default()
+    };
+    for outcome in outcomes
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .flatten()
+    {
+        summary.record(outcome);
+    }
+    let results = (0..trials as u64)
+        .map(|i| manifest.get(seed_base + i).cloned())
+        .collect();
+    Ok(ShardedRun {
+        results,
+        summary,
+        resumed,
+    })
+}
+
 /// Distribution summary of a batch of trials.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
@@ -627,6 +739,52 @@ mod tests {
         assert_eq!(uninterrupted, full, "resumed == uninterrupted");
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&clean).ok();
+    }
+
+    #[test]
+    fn supervised_manifest_run_resumes_and_tallies_failures() {
+        let dir = std::env::temp_dir().join("fading-sim-supmanifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.jsonl");
+        std::fs::remove_file(&path).ok();
+        let cfg = SupervisorConfig {
+            max_retries: 0,
+            timeout: None,
+        };
+        // Seed 72 always panics; everything else succeeds.
+        let f = |seed: u64| {
+            assert_ne!(seed, 72, "poisoned trial");
+            result_with_rounds(Some(seed + 1))
+        };
+
+        let mut first = crate::TrialManifest::open(&path).unwrap();
+        let run = run_trials_supervised_with_manifest(4, 2, 70, &cfg, &mut first, f).unwrap();
+        assert_eq!(run.summary.trials, 4);
+        assert_eq!(run.summary.succeeded, 3);
+        assert_eq!(run.summary.poisoned, 1);
+        assert_eq!(run.resumed, 0);
+        assert!(!run.complete());
+        assert!(run.results[2].is_none(), "poisoned seed has no result");
+        drop(first);
+
+        // Resume with a healthy trial fn: only the poisoned seed re-runs
+        // (`resumed` counts the seeds satisfied straight from the manifest).
+        let mut second = crate::TrialManifest::open(&path).unwrap();
+        let run2 =
+            run_trials_supervised_with_manifest(4, 2, 70, &cfg, &mut second, |seed: u64| {
+                result_with_rounds(Some(seed + 1))
+            })
+            .unwrap();
+        assert_eq!(run2.resumed, 3);
+        assert_eq!(run2.summary.succeeded, 4);
+        assert!(run2.complete());
+        let rounds: Vec<_> = run2
+            .results
+            .iter()
+            .map(|r| r.as_ref().unwrap().resolved_at().unwrap())
+            .collect();
+        assert_eq!(rounds, vec![71, 72, 73, 74], "seed order preserved");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -26,33 +26,84 @@ use crate::result::{RunResult, Trace};
 pub struct TrialManifest {
     path: PathBuf,
     completed: BTreeMap<u64, RunResult>,
+    torn_tail: bool,
 }
 
 impl TrialManifest {
     /// Opens (or creates) the manifest at `path`, loading every completed
     /// trial already recorded there.
     ///
+    /// A manifest whose **final** line does not parse is treated as a torn
+    /// append — the expected wreckage of a SIGKILL landing mid-`record` —
+    /// not as corruption: the partial record is truncated away (with a
+    /// warning on stderr), the trial it would have recorded simply re-runs,
+    /// and [`torn_tail`](Self::torn_tail) reports the repair. Damage
+    /// *before* the final line can't be produced by a torn append and still
+    /// fails loudly.
+    ///
     /// # Errors
     ///
-    /// [`SnapshotError::Io`] when the file exists but cannot be read;
-    /// [`SnapshotError::Corrupt`] when a line does not parse — a damaged
-    /// manifest fails loudly rather than silently re-running or skipping
-    /// trials.
+    /// [`SnapshotError::Io`] when the file exists but cannot be read (or a
+    /// torn tail cannot be truncated); [`SnapshotError::Corrupt`] when a
+    /// non-final line does not parse — a damaged manifest fails loudly
+    /// rather than silently re-running or skipping trials.
     pub fn open(path: &Path) -> Result<Self, SnapshotError> {
         let mut completed = BTreeMap::new();
+        let mut torn_tail = false;
         match std::fs::read_to_string(path) {
             Ok(contents) => {
-                for (lineno, line) in contents.lines().enumerate() {
-                    if line.trim().is_empty() {
-                        continue;
+                // `record` writes each `line\n` in a single append, so a kill
+                // can only leave a *strict prefix* of the final record — a
+                // last line with no trailing newline. Track byte offsets so
+                // that torn tail can be truncated off in place, keeping the
+                // file append-clean.
+                let ends_with_newline = contents.ends_with('\n');
+                let mut records: Vec<(usize, usize, &str)> = Vec::new();
+                let mut offset = 0usize;
+                for (lineno, line) in contents.split('\n').enumerate() {
+                    if !line.trim().is_empty() {
+                        records.push((lineno, offset, line));
                     }
-                    let (seed, result) = parse_line(line).ok_or_else(|| SnapshotError::Corrupt {
-                        detail: format!(
-                            "manifest line {} is not a valid trial record",
-                            lineno + 1
-                        ),
-                    })?;
-                    completed.insert(seed, result);
+                    offset += line.len() + 1;
+                }
+                let last_start = records.last().map(|&(_, start, _)| start);
+                for &(lineno, start, line) in &records {
+                    let is_tail = Some(start) == last_start && !ends_with_newline;
+                    match parse_line(line) {
+                        Some((seed, result)) => {
+                            completed.insert(seed, result);
+                            if is_tail {
+                                // Complete record that lost only its newline:
+                                // keep it, but restore the separator so the
+                                // next append starts on a fresh line.
+                                let mut f = std::fs::OpenOptions::new()
+                                    .append(true)
+                                    .open(path)?;
+                                f.write_all(b"\n")?;
+                                f.sync_all()?;
+                            }
+                        }
+                        None if is_tail => {
+                            eprintln!(
+                                "warning: manifest {} ends in a torn record ({} bytes); \
+                                 truncating and re-running that trial",
+                                path.display(),
+                                contents.len() - start,
+                            );
+                            let f = std::fs::OpenOptions::new().write(true).open(path)?;
+                            f.set_len(start as u64)?;
+                            f.sync_all()?;
+                            torn_tail = true;
+                        }
+                        None => {
+                            return Err(SnapshotError::Corrupt {
+                                detail: format!(
+                                    "manifest line {} is not a valid trial record",
+                                    lineno + 1
+                                ),
+                            });
+                        }
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -61,7 +112,15 @@ impl TrialManifest {
         Ok(TrialManifest {
             path: path.to_path_buf(),
             completed,
+            torn_tail,
         })
+    }
+
+    /// Whether [`open`](Self::open) found (and truncated) a torn final
+    /// record left by a kill mid-append.
+    #[must_use]
+    pub fn torn_tail(&self) -> bool {
+        self.torn_tail
     }
 
     /// The manifest's file path.
@@ -107,6 +166,15 @@ impl TrialManifest {
         self.completed.insert(seed, strip_trace(result));
         Ok(())
     }
+}
+
+/// Renders the canonical manifest line for one completed trial — the same
+/// serialization [`TrialManifest::record`] appends, without the trailing
+/// newline. Exposed so job runners can emit seed-ordered trial artifacts
+/// that are byte-comparable across resumed and uninterrupted runs.
+#[must_use]
+pub fn trial_line(seed: u64, result: &RunResult) -> String {
+    format_line(seed, result)
 }
 
 /// The persisted summary: the result minus its trace.
@@ -235,6 +303,84 @@ mod tests {
     fn damaged_manifest_fails_loudly() {
         let path = tmp("damaged.jsonl");
         std::fs::write(&path, "{\"seed\":1,\"resolved_at\":oops}\n").unwrap();
+        match TrialManifest::open(&path) {
+            Err(SnapshotError::Corrupt { detail }) => {
+                assert!(detail.contains("line 1"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    // SIGKILL mid-append leaves a strict prefix of the final `line\n`
+    // write. Every such prefix must open cleanly: the torn bytes are
+    // truncated away (or the lost newline restored), earlier records
+    // survive, and a subsequent append lands on its own line.
+    #[test]
+    fn torn_tail_tolerated_at_every_byte_offset() {
+        let full_path = tmp("torn-full.jsonl");
+        std::fs::remove_file(&full_path).ok();
+        {
+            let mut m = TrialManifest::open(&full_path).unwrap();
+            m.record(10, &result(3)).unwrap();
+            m.record(11, &result(5)).unwrap();
+            m.record(12, &result(8)).unwrap();
+        }
+        let bytes = std::fs::read(&full_path).unwrap();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        // Byte offset where the last record (line 3) begins.
+        let last_start = text.trim_end_matches('\n').rfind('\n').unwrap() + 1;
+
+        for cut in last_start..bytes.len() {
+            let path = tmp("torn-cut.jsonl");
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let mut m = TrialManifest::open(&path)
+                .unwrap_or_else(|e| panic!("cut at byte {cut} failed to open: {e:?}"));
+            let full_line_no_newline = cut == bytes.len() - 1;
+            if full_line_no_newline {
+                // Only the newline was lost: the record itself is intact.
+                assert_eq!(m.completed(), 3, "cut at byte {cut}");
+                assert!(!m.torn_tail(), "cut at byte {cut}");
+            } else if cut == last_start {
+                // The whole record vanished; nothing torn remains on disk.
+                assert_eq!(m.completed(), 2, "cut at byte {cut}");
+                assert!(!m.torn_tail(), "cut at byte {cut}");
+            } else {
+                assert_eq!(m.completed(), 2, "cut at byte {cut}");
+                assert!(m.torn_tail(), "cut at byte {cut}");
+                assert!(!m.is_done(12), "cut at byte {cut}");
+            }
+            // The repaired file must stay append-clean: a fresh record and
+            // a reopen must round-trip every surviving trial.
+            m.record(99, &result(21)).unwrap();
+            let reopened = TrialManifest::open(&path).unwrap();
+            assert!(!reopened.torn_tail(), "cut at byte {cut}");
+            assert_eq!(
+                reopened.completed(),
+                m.completed(),
+                "cut at byte {cut}: reopen lost records"
+            );
+            assert_eq!(reopened.get(99), Some(&result(21)), "cut at byte {cut}");
+            std::fs::remove_file(&path).ok();
+        }
+        std::fs::remove_file(&full_path).ok();
+    }
+
+    // A torn append can only be the *final* line; an unparseable line with
+    // records after it (or with its newline intact) is real corruption and
+    // must still fail loudly.
+    #[test]
+    fn mid_file_damage_still_fails_loudly() {
+        let path = tmp("mid-damage.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut m = TrialManifest::open(&path).unwrap();
+            m.record(1, &result(4)).unwrap();
+            m.record(2, &result(6)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let damaged = text.replacen("\"seed\":1", "\"seed\":??", 1);
+        std::fs::write(&path, damaged).unwrap();
         match TrialManifest::open(&path) {
             Err(SnapshotError::Corrupt { detail }) => {
                 assert!(detail.contains("line 1"), "unexpected detail: {detail}");

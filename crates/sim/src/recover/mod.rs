@@ -25,7 +25,7 @@ pub mod manifest;
 pub mod snapshot;
 pub mod supervisor;
 
-pub use manifest::TrialManifest;
+pub use manifest::{trial_line, TrialManifest};
 pub use snapshot::{SimSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use supervisor::{
     supervise_trial, FleetSummary, PanicKind, SupervisedRun, SupervisorConfig, TrialFn,

@@ -436,3 +436,84 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Histogram::merge with overflow-bucket mass (≥ 2^62, +∞): q = 1.0 on the
+// merged histogram must resolve to the true exact max across both sides —
+// not either side's own max — because the overflow bucket's nominal edge is
+// not an upper bound for the values it absorbs.
+// ---------------------------------------------------------------------------
+
+/// Values spanning the normal buckets, the overflow bucket (≥ 2^62), and
+/// the +∞ clamp path.
+fn overflow_heavy_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0_f64..1.0e12,
+        4.7e18_f64..8.0e21,
+        Just(f64::INFINITY),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_overflow_matches_concatenated(
+        xs in prop::collection::vec(overflow_heavy_value(), 0..48),
+        ys in prop::collection::vec(overflow_heavy_value(), 1..48),
+    ) {
+        let mut left = Histogram::new();
+        for &x in &xs {
+            left.record(x);
+        }
+        let mut right = Histogram::new();
+        for &y in &ys {
+            right.record(y);
+        }
+        let mut concat = Histogram::new();
+        for &v in xs.iter().chain(&ys) {
+            concat.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.bucket_counts(), concat.bucket_counts());
+        prop_assert_eq!(left.count(), concat.count());
+        prop_assert_eq!(left.min(), concat.min());
+        prop_assert_eq!(left.max(), concat.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            prop_assert_eq!(left.quantile_upper_bound(q), concat.quantile_upper_bound(q));
+        }
+        // The pinned contract: q = 1.0 is the true exact max of the union.
+        let true_max = xs.iter().chain(&ys).copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(left.quantile_upper_bound(1.0), Some(true_max));
+    }
+}
+
+#[test]
+fn histogram_merge_overflow_only_side_resolves_true_max() {
+    // One side recorded *only* overflow-bucket values, the other only
+    // normal-bucket values; merged q = 1.0 must be the overflow side's
+    // exact max regardless of merge direction.
+    let big = 6.5e18; // ≥ 2^62 ≈ 4.61e18
+    let bigger = 9.2e18;
+    let mut overflow_only = Histogram::new();
+    overflow_only.record(big);
+    overflow_only.record(bigger);
+    let mut normal_only = Histogram::new();
+    normal_only.record(3.0);
+    normal_only.record(700.0);
+
+    let mut a = overflow_only.clone();
+    a.merge(&normal_only);
+    assert_eq!(a.quantile_upper_bound(1.0), Some(bigger));
+
+    let mut b = normal_only.clone();
+    b.merge(&overflow_only);
+    assert_eq!(b.quantile_upper_bound(1.0), Some(bigger));
+
+    // Both sides in the overflow bucket: the union max wins, not the
+    // receiving side's.
+    let mut c = overflow_only;
+    let mut d = Histogram::new();
+    d.record(8.8e20);
+    c.merge(&d);
+    assert_eq!(c.quantile_upper_bound(1.0), Some(8.8e20));
+    assert_eq!(c.count(), 3);
+}
