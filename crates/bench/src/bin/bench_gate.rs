@@ -1,8 +1,10 @@
 //! `bench-gate` — the perf-regression gate: re-runs the resolve-tier
 //! scaling probe (the same workload as the `scaling` snapshot binary) and
 //! diffs the fresh timings against a committed `BENCH_scaling.json`
-//! baseline, per (tier, n). Exits nonzero when any cell slows down beyond
-//! the relative threshold; speedups never fail.
+//! baseline, per (tier, n). When the baseline carries the per-α kernel
+//! micro-probe (`"kernels"`), those cells are re-measured and diffed too
+//! (shown as `kernel:<class>` rows). Exits nonzero when any cell slows
+//! down beyond the relative threshold; speedups never fail.
 //!
 //! Usage:
 //!
@@ -33,8 +35,10 @@
 
 use std::process::ExitCode;
 
-use fading_bench::gate::{judge, parse_baseline, render_verdicts};
-use fading_bench::probe::{default_budget_ms, run_probe, DEFAULT_SIZES};
+use fading_bench::gate::{
+    judge, judge_kernels, parse_baseline, parse_kernel_baseline, render_verdicts,
+};
+use fading_bench::probe::{default_budget_ms, run_kernel_probe, run_probe, DEFAULT_SIZES};
 use fading_bench::service::{
     judge_service, parse_service_baseline, render_service_verdict, run_loadgen,
 };
@@ -140,8 +144,15 @@ fn main() -> ExitCode {
     let text = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
     let baseline = parse_baseline(&text).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
+    let kernel_baseline =
+        parse_kernel_baseline(&text).unwrap_or_else(|e| panic!("{baseline_path}: {e}"));
 
     eprintln!("# bench-gate: probing n = {sizes:?} against {baseline_path}");
+    let mut measured_kernels = if kernel_baseline.is_empty() {
+        Vec::new()
+    } else {
+        run_kernel_probe(if quick { 20.0 } else { 200.0 })
+    };
     let mut measured = run_probe(
         &sizes,
         |n| budget_ms.unwrap_or_else(|| if quick { 50.0 } else { default_budget_ms(n) }),
@@ -154,9 +165,13 @@ fn main() -> ExitCode {
                 t.ms_per_round *= inject;
             }
         }
+        for k in &mut measured_kernels {
+            k.ms_per_mpoint *= inject;
+        }
     }
 
-    let verdicts = judge(&baseline, &measured, threshold);
+    let mut verdicts = judge_kernels(&kernel_baseline, &measured_kernels, threshold);
+    verdicts.extend(judge(&baseline, &measured, threshold));
     print!("{}", render_verdicts(&verdicts, threshold));
     if verdicts.is_empty() {
         eprintln!("bench-gate: no baseline cells matched the probed sizes");

@@ -18,7 +18,8 @@
 
 use fading_bench::interrupt;
 use fading_bench::probe::{
-    default_budget_ms, render_snapshot_json, run_probe, DEFAULT_SIZES, DENSITY, SEED,
+    default_budget_ms, render_snapshot_json, run_kernel_probe, run_probe, DEFAULT_SIZES, DENSITY,
+    SEED,
 };
 
 fn main() {
@@ -31,6 +32,11 @@ fn main() {
         .unwrap_or_else(|| "BENCH_scaling.json".to_string());
 
     println!("# resolve-tier scaling (25% transmitters, density {DENSITY}, seed {SEED})");
+    println!("# per-α kernel micro-probe (fused gain_batch + fold, ms per million points)");
+    let kernels = run_kernel_probe(200.0);
+    for k in &kernels {
+        println!("{:>9} (α = {:<4}) {:>10.4} ms/Mpoint", k.class, k.alpha, k.ms_per_mpoint);
+    }
     println!(
         "{:>7} {:>11} {:>6} {:>14}",
         "n", "tier", "iters", "ms/round"
@@ -56,7 +62,8 @@ fn main() {
         }
     });
 
-    std::fs::write(&out_path, render_snapshot_json(&samples)).expect("write snapshot JSON");
+    std::fs::write(&out_path, render_snapshot_json(&samples, &kernels))
+        .expect("write snapshot JSON");
     println!("\nwrote {out_path}");
     if interrupt::interrupted() {
         eprintln!("interrupted: snapshot covers the sizes completed before the signal");

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 
 use fading_cr::sim::telemetry::jsonl::{parse_json, JsonValue};
 
-use crate::probe::SizeSample;
+use crate::probe::{KernelSample, SizeSample};
 
 /// One (tier, n) cell of a parsed baseline snapshot.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,6 +25,76 @@ pub struct BaselineEntry {
     pub tier: String,
     /// Committed mean wall time per resolve round, in milliseconds.
     pub ms_per_round: f64,
+}
+
+/// One kernel-class cell of a parsed baseline snapshot (the per-α
+/// `gain_batch` micro-probe under the top-level `"kernels"` key).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelBaselineEntry {
+    /// Class label as committed (`"alpha2"` … `"generic"`).
+    pub class: String,
+    /// Committed milliseconds per million fused kernel points.
+    pub ms_per_mpoint: f64,
+}
+
+/// Parses the optional top-level `"kernels"` array of a baseline snapshot.
+/// Snapshots written before the kernel micro-probe existed simply lack
+/// the key and yield an empty vector.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem (not JSON, or a
+/// kernel cell missing `class` / a positive `ms_per_mpoint`).
+pub fn parse_kernel_baseline(text: &str) -> Result<Vec<KernelBaselineEntry>, String> {
+    let doc = parse_json(text).map_err(|e| format!("baseline is not JSON: {e}"))?;
+    let Some(kernels) = doc.get("kernels").and_then(JsonValue::as_array) else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    for (i, k) in kernels.iter().enumerate() {
+        let class = k
+            .get("class")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("kernels[{i}] has no \"class\" label"))?;
+        let ms = k
+            .get("ms_per_mpoint")
+            .and_then(JsonValue::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("kernels[{i}] has no positive \"ms_per_mpoint\""))?;
+        out.push(KernelBaselineEntry {
+            class: class.to_string(),
+            ms_per_mpoint: ms,
+        });
+    }
+    Ok(out)
+}
+
+/// Compares fresh kernel micro-probe samples against kernel baseline
+/// cells, reusing the tier [`Verdict`] shape (`n` = 0 marks a kernel
+/// cell; the renderer prints the class in the tier column). The same
+/// skip rules as [`judge`] apply: only matched classes are judged.
+#[must_use]
+pub fn judge_kernels(
+    baseline: &[KernelBaselineEntry],
+    measured: &[KernelSample],
+    threshold: f64,
+) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
+    for b in baseline {
+        let Some(k) = measured.iter().find(|k| k.class == b.class) else {
+            continue;
+        };
+        let ratio = k.ms_per_mpoint / b.ms_per_mpoint;
+        verdicts.push(Verdict {
+            n: 0,
+            tier: format!("kernel:{}", b.class),
+            baseline_ms: b.ms_per_mpoint,
+            measured_ms: k.ms_per_mpoint,
+            ratio,
+            regressed: ratio > threshold,
+        });
+    }
+    verdicts
 }
 
 /// Parses the `BENCH_scaling.json` schema into baseline cells.
@@ -248,6 +318,54 @@ mod tests {
         let mut other_size = measured(1.0, 1.0);
         other_size[0].n = 2048;
         assert!(judge(&baseline, &other_size, 1.5).is_empty());
+    }
+
+    #[test]
+    fn kernel_baseline_parses_and_judges() {
+        let json = r#"{
+  "bench": "resolve_scaling",
+  "kernels": [{"class": "alpha3", "alpha": 3, "ms_per_mpoint": 1.0},
+              {"class": "generic", "alpha": 2.5, "ms_per_mpoint": 4.0}],
+  "sizes": [{"n": 4, "tiers": [{"tier": "exact", "ms_per_round": 1.0}]}]
+}"#;
+        let kernels = parse_kernel_baseline(json).unwrap();
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(kernels[0].class, "alpha3");
+
+        let measured = vec![
+            KernelSample {
+                class: "alpha3",
+                alpha: 3.0,
+                ms_per_mpoint: 2.5,
+            },
+            KernelSample {
+                class: "generic",
+                alpha: 2.5,
+                ms_per_mpoint: 4.0,
+            },
+            KernelSample {
+                class: "alpha6",
+                alpha: 6.0,
+                ms_per_mpoint: 1.0,
+            },
+        ];
+        let verdicts = judge_kernels(&kernels, &measured, 1.5);
+        assert_eq!(verdicts.len(), 2, "unmatched classes are skipped");
+        assert!(verdicts[0].regressed, "2.5x must gate at 1.5x");
+        assert!(!verdicts[1].regressed);
+        assert_eq!(verdicts[0].tier, "kernel:alpha3");
+        let table = render_verdicts(&verdicts, 1.5);
+        assert!(table.contains("kernel:alpha3"));
+    }
+
+    #[test]
+    fn baselines_without_kernels_yield_empty() {
+        assert_eq!(parse_kernel_baseline(baseline_json()).unwrap(), vec![]);
+        assert!(parse_kernel_baseline("not json").is_err());
+        assert!(parse_kernel_baseline(
+            "{\"kernels\": [{\"class\": \"alpha2\", \"ms_per_mpoint\": 0}]}"
+        )
+        .is_err());
     }
 
     #[test]

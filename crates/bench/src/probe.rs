@@ -37,6 +37,13 @@ pub const FARFIELD_TIER_CEILING: usize = 262_144;
 /// Worker threads for the hierarchical tier's [`StealPool`] — the
 /// committed snapshot's parallel configuration.
 pub const HIER_PROBE_THREADS: usize = 8;
+/// Points per `gain_batch` call in the kernel micro-probe: big enough to
+/// amortize dispatch, small enough to stay L2-resident so the probe
+/// measures arithmetic, not memory bandwidth.
+pub const KERNEL_PROBE_POINTS: usize = 1 << 16;
+/// One representative exponent per kernel class, in class order
+/// (`alpha2`, `alpha3`, `alpha4`, `alpha6`, `generic`).
+pub const KERNEL_PROBE_ALPHAS: [f64; 5] = [2.0, 3.0, 4.0, 6.0, 2.5];
 
 /// Times `f` with one warm-up call plus enough iterations to roughly fill
 /// `budget_ms` (clamped to [3, 200]); returns `(iters, ms_per_call)`.
@@ -96,6 +103,53 @@ impl SizeSample {
             .find(|t| t.tier == tier)
             .map(|t| t.ms_per_round)
     }
+}
+
+/// One timed kernel class from the per-α micro-probe.
+#[derive(Clone, Debug)]
+pub struct KernelSample {
+    /// Stable class label (`AlphaClass::label`): `"alpha2"`, `"alpha3"`,
+    /// `"alpha4"`, `"alpha6"`, or `"generic"`.
+    pub class: &'static str,
+    /// The representative exponent probed for this class.
+    pub alpha: f64,
+    /// Measured milliseconds per million fused `gain_batch` points.
+    pub ms_per_mpoint: f64,
+}
+
+/// Times the fused [`gain_batch`](fading_cr::channel::kernels::gain_batch)
+/// kernel per exponent class over an L2-resident SoA buffer
+/// ([`KERNEL_PROBE_POINTS`] points), reporting ms per million points. This
+/// is the per-kernel cell of `BENCH_scaling.json` ("kernels"), diffed by
+/// `bench-gate` alongside the tier cells.
+#[must_use]
+pub fn run_kernel_probe(budget_ms: f64) -> Vec<KernelSample> {
+    use fading_cr::channel::kernels::{gain_batch, AlphaClass};
+    use fading_cr::geom::PointsSoA;
+
+    let n = KERNEL_PROBE_POINTS;
+    let d = Deployment::uniform_density(n, DENSITY, SEED);
+    let soa = PointsSoA::from_points(d.points());
+    let v = d.points()[0];
+    let mut gains = vec![0.0f64; n];
+    let mut out = Vec::with_capacity(KERNEL_PROBE_ALPHAS.len());
+    for &alpha in &KERNEL_PROBE_ALPHAS {
+        let (_, ms_per_call) = time_ms(
+            || {
+                gain_batch(1e9, alpha, soa.xs(), soa.ys(), v.x, v.y, &mut gains);
+                // The fold is part of every consumer's hot path; include
+                // it so the cell reflects what the engines actually pay.
+                std::hint::black_box(fading_cr::channel::kernels::fold_scan(&gains));
+            },
+            budget_ms,
+        );
+        out.push(KernelSample {
+            class: AlphaClass::of(alpha).label(),
+            alpha,
+            ms_per_mpoint: ms_per_call * 1e6 / n as f64,
+        });
+    }
+    out
 }
 
 /// Runs the scaling probe over `sizes`, timing each tier against
@@ -287,9 +341,23 @@ pub fn default_budget_ms(n: usize) -> f64 {
     }
 }
 
-/// Renders probe output in the `BENCH_scaling.json` schema.
+/// Renders probe output in the `BENCH_scaling.json` schema. `kernels` is
+/// the per-α micro-probe ([`run_kernel_probe`]); pass `&[]` to omit the
+/// section (older snapshots without it still parse).
 #[must_use]
-pub fn render_snapshot_json(samples: &[SizeSample]) -> String {
+pub fn render_snapshot_json(samples: &[SizeSample], kernels: &[KernelSample]) -> String {
+    let mut kernels_json = String::new();
+    for (i, k) in kernels.iter().enumerate() {
+        if i > 0 {
+            kernels_json.push_str(", ");
+        }
+        write!(
+            kernels_json,
+            "{{\"class\": \"{}\", \"alpha\": {}, \"ms_per_mpoint\": {:.6}}}",
+            k.class, k.alpha, k.ms_per_mpoint
+        )
+        .expect("write to String cannot fail");
+    }
     let mut size_blocks = Vec::with_capacity(samples.len());
     for s in samples {
         let mut tiers_json = String::new();
@@ -317,11 +385,16 @@ pub fn render_snapshot_json(samples: &[SizeSample]) -> String {
             s.hierarchical_fallback_fraction
         ));
     }
+    let kernels_section = if kernels.is_empty() {
+        String::new()
+    } else {
+        format!("  \"kernels\": [{kernels_json}],\n")
+    };
     format!(
         "{{\n  \"bench\": \"resolve_scaling\",\n  \"workload\": {{\n    \
          \"tx_fraction\": 0.25,\n    \"density\": {DENSITY},\n    \"seed\": {SEED},\n    \
          \"channel\": \"sinr-single-hop\",\n    \"hierarchical_threads\": {HIER_PROBE_THREADS}\n  \
-         }},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+         }},\n{kernels_section}  \"sizes\": [\n{}\n  ]\n}}\n",
         size_blocks.join(",\n")
     )
 }
@@ -342,11 +415,30 @@ mod tests {
         );
         assert!(samples[0].tier_ms("farfield").is_some());
         assert!(samples[0].speedup_hierarchical_vs_exact > 0.0);
-        let json = render_snapshot_json(&samples);
+        let json = render_snapshot_json(&samples, &[]);
         assert!(json.contains("\"bench\": \"resolve_scaling\""));
         assert!(json.contains("\"n\": 256"));
         assert!(json.contains("\"tier\": \"hierarchical\""));
         assert!(json.contains("\"hierarchical_fallback_fraction\""));
+        assert!(
+            !json.contains("\"kernels\""),
+            "empty kernel probe must omit the section"
+        );
+    }
+
+    #[test]
+    fn kernel_probe_covers_every_class_and_renders() {
+        let kernels = run_kernel_probe(2.0);
+        let labels: Vec<&str> = kernels.iter().map(|k| k.class).collect();
+        assert_eq!(
+            labels,
+            vec!["alpha2", "alpha3", "alpha4", "alpha6", "generic"]
+        );
+        assert!(kernels.iter().all(|k| k.ms_per_mpoint > 0.0));
+        let json = render_snapshot_json(&[], &kernels);
+        assert!(json.contains("\"kernels\""));
+        assert!(json.contains("\"class\": \"alpha2\""));
+        assert!(json.contains("\"ms_per_mpoint\""));
     }
 
     #[test]

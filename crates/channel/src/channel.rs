@@ -225,6 +225,23 @@ pub trait Channel: sealed::Sealed + Send + Sync + std::fmt::Debug {
         None
     }
 
+    /// Whether a [`GainCache`] actually speeds this channel up at
+    /// deployment size `n`. The simulator consults this before calling
+    /// [`Channel::build_gain_cache`]; since cached and uncached resolves
+    /// are bit-identical by contract, declining the cache is purely a
+    /// performance policy and can never change results.
+    ///
+    /// Default `true`: for the deterministic SINR family a cached row
+    /// replaces the entire scan arithmetic, which wins at every size the
+    /// cache's own guard admits. The Rayleigh channel overrides this — its
+    /// per-pair fade work dwarfs the deterministic-gain recompute, so
+    /// beyond [`RAYLEIGH_CACHE_PROFITABLE_NODES`](crate::RAYLEIGH_CACHE_PROFITABLE_NODES)
+    /// the memory-bound row reads lose to the batched kernels.
+    fn gain_cache_profitable(&self, n: usize) -> bool {
+        let _ = n;
+        true
+    }
+
     /// Builds the [`FarFieldEngine`] this channel can exploit for
     /// `positions`, or `None` when the model cannot support the
     /// decision-exactness contract: the radio channels are geometry-free,

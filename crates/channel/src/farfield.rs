@@ -62,10 +62,11 @@
 //! pruning would desynchronize the rng stream. `RayleighSinrChannel`
 //! therefore builds no engine and `resolve_farfield` falls back wholesale.
 
-use fading_geom::{Point, TileIndex};
+use fading_geom::{Point, PointsSoA, TileIndex};
 
-use crate::sinr::{scan_transmitters, ScanOutcome};
-use crate::{pow_alpha, ChannelPerturbation, NodeId, Reception, SinrParams};
+use crate::kernels::{gain_batch, pow_alpha_batch, ScanScratch};
+use crate::sinr::{scan_transmitters_batched, ScanOutcome};
+use crate::{ChannelPerturbation, NodeId, Reception, SinrParams};
 
 /// Average number of nodes per tile the engine aims for when sizing the
 /// grid (see [`TileIndex::with_target_occupancy`]).
@@ -195,10 +196,22 @@ pub struct FarFieldEngine {
     /// `ActiveInterference`.
     alive_per_tile: Vec<u32>,
     num_alive: usize,
+    /// SoA mirror of the build positions, feeding the batched kernels
+    /// (coherent with `positions` whenever `matches` holds).
+    soa: PointsSoA,
     /// Per-round transmitter buckets: `(node, slice index)` per tile.
     tx_in_tile: Vec<Vec<(u32, u32)>>,
+    /// Per-tile contiguous transmitter coordinates, parallel to
+    /// `tx_in_tile` (bucket order), so near-ring scans run as one fused
+    /// gain batch per tile.
+    tx_x_in_tile: Vec<Vec<f64>>,
+    tx_y_in_tile: Vec<Vec<f64>>,
     /// Tiles with at least one transmitter this round.
     occupied: Vec<u32>,
+    /// Round-level gathered transmitter coordinates + gain buffer for the
+    /// batched exact fallback, and the near-scan gain buffer.
+    scan: ScanScratch,
+    near_gains: Vec<f64>,
     /// Lazily computed per-listener-tile far aggregates, validated by
     /// `far_stamp` against the current round's `stamp`.
     far_lo: Vec<f64>,
@@ -246,18 +259,37 @@ impl FarFieldEngine {
         let num_tiles = tiles.num_tiles();
         let p = params.power();
         let alpha = params.alpha();
+        // Row-batched pair-table build: per source tile, gather the
+        // distance bounds for the whole row, then one per-α pow batch and
+        // one division pass each for the lower and upper gains. Pairs with
+        // an empty side keep the `∞` sentinel distance, whose gain
+        // `p / ∞ = 0` matches the scalar build's untouched 0.0 slot;
+        // d_min_sq = 0 (overlapping/touching content boxes) yields an
+        // infinite upper bound, which forces the exact fallback for any
+        // listener near such a pair — conservative, never wrong.
         let mut pair_g_lo = vec![0.0; num_tiles * num_tiles];
         let mut pair_g_hi = vec![0.0; num_tiles * num_tiles];
+        let mut d_far = vec![f64::INFINITY; num_tiles];
+        let mut d_near = vec![f64::INFINITY; num_tiles];
+        let mut powed = vec![0.0; num_tiles];
         for t in 0..num_tiles {
+            d_far.fill(f64::INFINITY);
+            d_near.fill(f64::INFINITY);
             for s in 0..num_tiles {
                 if let Some((d_min_sq, d_max_sq)) = tiles.distance_sq_bounds(t, s) {
-                    // d_min_sq = 0 (overlapping/touching content boxes)
-                    // yields an infinite upper bound, which forces the
-                    // exact fallback for any listener near such a pair —
-                    // conservative, never wrong.
-                    pair_g_lo[t * num_tiles + s] = p / pow_alpha(d_max_sq, alpha);
-                    pair_g_hi[t * num_tiles + s] = p / pow_alpha(d_min_sq, alpha);
+                    d_far[s] = d_max_sq;
+                    d_near[s] = d_min_sq;
                 }
+            }
+            let row_lo = &mut pair_g_lo[t * num_tiles..(t + 1) * num_tiles];
+            pow_alpha_batch(alpha, &d_far, &mut powed);
+            for (slot, &pw) in row_lo.iter_mut().zip(&powed) {
+                *slot = p / pw;
+            }
+            let row_hi = &mut pair_g_hi[t * num_tiles..(t + 1) * num_tiles];
+            pow_alpha_batch(alpha, &d_near, &mut powed);
+            for (slot, &pw) in row_hi.iter_mut().zip(&powed) {
+                *slot = p / pw;
             }
         }
         let alive_per_tile = (0..num_tiles).map(|t| tiles.count(t) as u32).collect();
@@ -273,8 +305,13 @@ impl FarFieldEngine {
             alive: vec![true; positions.len()],
             alive_per_tile,
             num_alive: positions.len(),
+            soa: PointsSoA::from_points(positions),
             tx_in_tile: vec![Vec::new(); num_tiles],
+            tx_x_in_tile: vec![Vec::new(); num_tiles],
+            tx_y_in_tile: vec![Vec::new(); num_tiles],
             occupied: Vec::new(),
+            scan: ScanScratch::new(),
+            near_gains: Vec::new(),
             far_lo: vec![0.0; num_tiles],
             far_hi: vec![0.0; num_tiles],
             far_cap: vec![0.0; num_tiles],
@@ -416,9 +453,13 @@ impl FarFieldEngine {
 
         // Bucket this round's transmitters by tile, remembering each
         // transmitter's slice index so the near scan can reproduce the
-        // canonical first-strict-max tie-break.
+        // canonical first-strict-max tie-break — and each transmitter's
+        // coordinates in bucket order, so near scans run as contiguous
+        // gain batches.
         for &t in &self.occupied {
             self.tx_in_tile[t as usize].clear();
+            self.tx_x_in_tile[t as usize].clear();
+            self.tx_y_in_tile[t as usize].clear();
         }
         self.occupied.clear();
         for (idx, &u) in transmitters.iter().enumerate() {
@@ -427,8 +468,17 @@ impl FarFieldEngine {
                 self.occupied.push(t as u32);
             }
             self.tx_in_tile[t].push((u as u32, idx as u32));
+            self.tx_x_in_tile[t].push(self.soa.xs()[u]);
+            self.tx_y_in_tile[t].push(self.soa.ys()[u]);
         }
         self.stamp += 1;
+        // Round-level gather for the batched exact fallback (shared with
+        // the canonical resolve's uncached path), plus the near-scan gain
+        // buffer — both moved out of `self` so the listener loop can
+        // borrow tiles and buckets immutably alongside them.
+        let mut scan = std::mem::take(&mut self.scan);
+        self.soa.gather(transmitters, &mut scan.xs, &mut scan.ys);
+        let mut near_gains = std::mem::take(&mut self.near_gains);
 
         let num_tiles = self.tiles.num_tiles();
         let mut out = Vec::with_capacity(listeners.len());
@@ -462,18 +512,33 @@ impl FarFieldEngine {
             // and powf non-monotonicity; see FARFIELD_REL_SLACK).
             let far_cap = self.far_cap[lt] * (1.0 + FARFIELD_REL_SLACK);
 
-            // Exact near-field scan: canonical per-pair expression, winner
-            // = minimal slice index among the strict maxima, which is
-            // exactly the canonical fold's first-strict-max.
+            // Exact near-field scan: one fused gain batch per near tile
+            // (canonical per-pair expression, bucket order), folded in
+            // bucket order with winner = minimal slice index among the
+            // strict maxima — exactly the canonical fold's
+            // first-strict-max.
             let mut near_sum = 0.0f64;
             let mut best_sig = 0.0f64;
             let mut best_tx: Option<NodeId> = None;
             let mut best_idx = u32::MAX;
             for near_t in self.tiles.neighborhood(lt, NEAR_RING) {
-                for &(u, idx) in &self.tx_in_tile[near_t] {
+                let bucket = &self.tx_in_tile[near_t];
+                if bucket.is_empty() {
+                    continue;
+                }
+                near_gains.resize(bucket.len(), 0.0);
+                gain_batch(
+                    p,
+                    alpha,
+                    &self.tx_x_in_tile[near_t],
+                    &self.tx_y_in_tile[near_t],
+                    vp.x,
+                    vp.y,
+                    &mut near_gains,
+                );
+                for (&sig, &(u, idx)) in near_gains.iter().zip(bucket) {
                     let u = u as usize;
                     debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
-                    let sig = p / pow_alpha(positions[u].distance_sq(vp), alpha);
                     near_sum += sig;
                     if sig > best_sig {
                         best_sig = sig;
@@ -501,14 +566,14 @@ impl FarFieldEngine {
                     beta,
                 },
                 || {
-                    // Exact fallback: the canonical scan over *all*
-                    // transmitters — bit-identical to SinrChannel by
-                    // sharing its loop.
+                    // Exact fallback: the canonical batched scan over
+                    // *all* transmitters — bit-identical to SinrChannel by
+                    // sharing its kernels and fold.
                     let ScanOutcome {
                         total,
                         best_sig,
                         best_tx,
-                    } = scan_transmitters(p, alpha, positions, None, v, vp, transmitters);
+                    } = scan_transmitters_batched(p, alpha, v, vp, transmitters, &mut scan);
                     let denom = match extra {
                         Some(e) => noise + e + (total - best_sig),
                         None => noise + (total - best_sig),
@@ -521,6 +586,8 @@ impl FarFieldEngine {
             );
             out.push(reception);
         }
+        self.scan = scan;
+        self.near_gains = near_gains;
         out
     }
 }

@@ -30,9 +30,9 @@
 //! The paper's analysis (Lemmas 3–4) bounds exactly this quantity, so the
 //! engine gives the analysis/metrics layer cheap per-round access to it.
 
-use fading_geom::Point;
+use fading_geom::{Point, PointsSoA};
 
-use crate::sinr::pow_alpha;
+use crate::kernels::gain_batch;
 use crate::{NodeId, SinrParams};
 
 /// Default node-count limit for [`GainCache::build`].
@@ -99,17 +99,19 @@ impl GainCache {
         }
         let power = params.power();
         let alpha = params.alpha();
+        // Row-batched build over an SoA mirror: each row is one fused
+        // per-α gain batch, bit-identical per element to the uncached
+        // resolve expression (same pow_alpha fast path, same division —
+        // see the kernels module's summation-order contract). The batch
+        // fills the diagonal with `P / pow_alpha(0, α)`; it is overwritten
+        // with the canonical 0 (a node never hears itself) before the row
+        // is ever read.
+        let soa = PointsSoA::from_points(positions);
         let mut gains = vec![0.0; n * n];
         for (v, &vp) in positions.iter().enumerate() {
             let row = &mut gains[v * n..(v + 1) * n];
-            for ((u, &up), slot) in positions.iter().enumerate().zip(row.iter_mut()) {
-                if u != v {
-                    // Must match the uncached resolve expression exactly
-                    // (same pow_alpha fast path, same division) so cached
-                    // resolution is bit-identical.
-                    *slot = power / pow_alpha(up.distance_sq(vp), alpha);
-                }
-            }
+            gain_batch(power, alpha, soa.xs(), soa.ys(), vp.x, vp.y, row);
+            row[v] = 0.0;
         }
         Some(GainCache {
             n,
@@ -328,6 +330,7 @@ impl ActiveInterference {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sinr::pow_alpha;
 
     fn params() -> SinrParams {
         SinrParams::builder()

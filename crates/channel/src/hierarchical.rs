@@ -49,11 +49,12 @@
 
 use std::sync::Mutex;
 
-use fading_geom::{Point, TileTree};
+use fading_geom::{Point, PointsSoA, TileTree};
 
 use crate::exec::ChunkExecutor;
 use crate::farfield::{decide_ladder, DecisionInputs};
-use crate::sinr::{scan_transmitters, ScanOutcome};
+use crate::kernels::gain_batch;
+use crate::sinr::{scan_transmitters_soa, ScanOutcome};
 use crate::{
     pow_alpha, ChannelPerturbation, FarFieldStats, NodeId, Reception, SinrParams,
     FARFIELD_REL_SLACK, NEAR_RING,
@@ -83,6 +84,17 @@ pub const HIER_ACCEPT_RATIO_SQ: f64 = 2.25;
 /// are identical under any executor.
 pub const HIER_CHUNK: usize = 1024;
 
+/// Chunk-local gain buffers for [`HierarchicalFarFieldEngine`]'s parallel
+/// listener phase: one per chunk closure, so concurrent
+/// `decide_listener` calls never share mutable state.
+#[derive(Debug, Default)]
+struct NearScratch {
+    /// Per-near-tile batched gains (bucket order).
+    near_gains: Vec<f64>,
+    /// Exact-fallback gains over all transmitters (slice order).
+    fallback_gains: Vec<f64>,
+}
+
 /// Multi-resolution far-field engine over a [`TileTree`]. Built once per
 /// deployment by
 /// [`Channel::build_hierarchical_engine`](crate::Channel::build_hierarchical_engine);
@@ -101,8 +113,22 @@ pub struct HierarchicalFarFieldEngine {
     /// Live members per fine tile.
     alive_per_tile: Vec<u32>,
     num_alive: usize,
+    /// SoA mirror of the build positions, feeding the batched kernels
+    /// (coherent with `positions` whenever `matches` holds).
+    soa: PointsSoA,
     /// Per-round transmitter buckets per fine tile: `(node, slice index)`.
     tx_in_tile: Vec<Vec<(u32, u32)>>,
+    /// Per-tile contiguous transmitter coordinates, parallel to
+    /// `tx_in_tile` (bucket order), so near-ring scans run as one fused
+    /// gain batch per tile.
+    tx_x_in_tile: Vec<Vec<f64>>,
+    tx_y_in_tile: Vec<Vec<f64>>,
+    /// Round-level gathered transmitter coordinates (slice order) for the
+    /// batched exact fallback. Written during the serial prepare phase,
+    /// read-only during the parallel listener phase (gain buffers are
+    /// chunk-local — see [`NearScratch`]).
+    tx_xs: Vec<f64>,
+    tx_ys: Vec<f64>,
     /// Per-round transmitter count under each tree node, per level.
     tx_count: Vec<Vec<u32>>,
     /// Nodes touched this round, per level (level 0 doubles as the list of
@@ -166,7 +192,12 @@ impl HierarchicalFarFieldEngine {
             alive: vec![true; positions.len()],
             alive_per_tile,
             num_alive: positions.len(),
+            soa: PointsSoA::from_points(positions),
             tx_in_tile: vec![Vec::new(); num_fine],
+            tx_x_in_tile: vec![Vec::new(); num_fine],
+            tx_y_in_tile: vec![Vec::new(); num_fine],
+            tx_xs: Vec::new(),
+            tx_ys: Vec::new(),
             tx_count: (0..num_levels).map(|l| vec![0u32; tree.num_nodes(l)]).collect(),
             touched: vec![Vec::new(); num_levels],
             far_lo: vec![0.0; num_fine],
@@ -344,8 +375,8 @@ impl HierarchicalFarFieldEngine {
 
     /// One listener's decision: exact near scan + cached far bracket
     /// through the shared ladder. Read-only over the engine (runs
-    /// concurrently across chunks); `stats` is the caller's chunk-local
-    /// accumulator.
+    /// concurrently across chunks); `stats` and `scratch` are the
+    /// caller's chunk-local accumulator and gain buffers.
     #[allow(clippy::too_many_arguments)] // the round's scalars, spelled out
     fn decide_listener(
         &self,
@@ -356,6 +387,7 @@ impl HierarchicalFarFieldEngine {
         noise: f64,
         beta: f64,
         stats: &mut FarFieldStats,
+        scratch: &mut NearScratch,
     ) -> Reception {
         let p = self.power;
         let alpha = self.alpha;
@@ -369,18 +401,32 @@ impl HierarchicalFarFieldEngine {
         // powf non-monotonicity; see FARFIELD_REL_SLACK).
         let far_cap = self.far_cap[lt] * (1.0 + FARFIELD_REL_SLACK);
 
-        // Exact near-field scan: canonical per-pair expression, winner =
-        // minimal slice index among the strict maxima, which is exactly
-        // the canonical fold's first-strict-max.
+        // Exact near-field scan: one fused gain batch per near tile
+        // (canonical per-pair expression, bucket order), folded in bucket
+        // order with winner = minimal slice index among the strict maxima
+        // — exactly the canonical fold's first-strict-max.
         let mut near_sum = 0.0f64;
         let mut best_sig = 0.0f64;
         let mut best_tx: Option<NodeId> = None;
         let mut best_idx = u32::MAX;
         for near_t in fine.neighborhood(lt, NEAR_RING) {
-            for &(u, idx) in &self.tx_in_tile[near_t] {
+            let bucket = &self.tx_in_tile[near_t];
+            if bucket.is_empty() {
+                continue;
+            }
+            scratch.near_gains.resize(bucket.len(), 0.0);
+            gain_batch(
+                p,
+                alpha,
+                &self.tx_x_in_tile[near_t],
+                &self.tx_y_in_tile[near_t],
+                vp.x,
+                vp.y,
+                &mut scratch.near_gains,
+            );
+            for (&sig, &(u, idx)) in scratch.near_gains.iter().zip(bucket) {
                 let u = u as usize;
                 debug_assert_ne!(u, v, "a node cannot transmit and listen simultaneously");
-                let sig = p / pow_alpha(positions[u].distance_sq(vp), alpha);
                 near_sum += sig;
                 if sig > best_sig {
                     best_sig = sig;
@@ -408,14 +454,25 @@ impl HierarchicalFarFieldEngine {
                 beta,
             },
             || {
-                // Exact fallback: the canonical scan over *all*
+                // Exact fallback: the canonical batched scan over *all*
                 // transmitters — bit-identical to SinrChannel by sharing
-                // its loop.
+                // its kernels and fold. The gather (`tx_xs`/`tx_ys`) is
+                // round-level and read-only; the gain buffer is
+                // chunk-local.
                 let ScanOutcome {
                     total,
                     best_sig,
                     best_tx,
-                } = scan_transmitters(p, alpha, positions, None, v, vp, transmitters);
+                } = scan_transmitters_soa(
+                    p,
+                    alpha,
+                    v,
+                    vp,
+                    transmitters,
+                    &self.tx_xs,
+                    &self.tx_ys,
+                    &mut scratch.fallback_gains,
+                );
                 let denom = match extra {
                     Some(e) => noise + e + (total - best_sig),
                     None => noise + (total - best_sig),
@@ -466,6 +523,8 @@ impl HierarchicalFarFieldEngine {
                 self.tx_count[l][t as usize] = 0;
                 if l == 0 {
                     self.tx_in_tile[t as usize].clear();
+                    self.tx_x_in_tile[t as usize].clear();
+                    self.tx_y_in_tile[t as usize].clear();
                 }
             }
             self.touched[l].clear();
@@ -476,8 +535,13 @@ impl HierarchicalFarFieldEngine {
                 self.touched[0].push(t as u32);
             }
             self.tx_in_tile[t].push((u as u32, idx as u32));
+            self.tx_x_in_tile[t].push(self.soa.xs()[u]);
+            self.tx_y_in_tile[t].push(self.soa.ys()[u]);
             self.tx_count[0][t] += 1;
         }
+        // Round-level SoA gather for the exact fallback scan: written here
+        // in the serial prepare, read-only during the parallel phase.
+        self.soa.gather(transmitters, &mut self.tx_xs, &mut self.tx_ys);
         for l in 1..self.tree.num_levels() {
             let cols = self.tree.level_cols(l);
             let child_cols = self.tree.level_cols(l - 1);
@@ -527,6 +591,7 @@ impl HierarchicalFarFieldEngine {
                 let start = chunk * HIER_CHUNK;
                 let end = (start + HIER_CHUNK).min(listeners.len());
                 let mut local = FarFieldStats::default();
+                let mut scratch = NearScratch::default();
                 let mut rx = Vec::with_capacity(end - start);
                 for &v in &listeners[start..end] {
                     rx.push(this.decide_listener(
@@ -537,6 +602,7 @@ impl HierarchicalFarFieldEngine {
                         noise,
                         beta,
                         &mut local,
+                        &mut scratch,
                     ));
                 }
                 let mut guard = slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);

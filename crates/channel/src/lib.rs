@@ -44,6 +44,12 @@
 //! [`HierarchicalFarFieldEngine`] (a [`fading_geom::TileTree`] traversal
 //! with no quadratic precompute, parallelizable via [`ChunkExecutor`]).
 //!
+//! All tiers bottom out in the batched per-α SINR kernels of the
+//! [`kernels`] module — structure-of-arrays distance/gain batches,
+//! monomorphized per exponent class, bit-identical to the scalar
+//! [`pow_alpha`] path (see DESIGN.md §15 for the summation-order
+//! contract).
+//!
 //! # Example
 //!
 //! ```
@@ -63,7 +69,11 @@
 //! # Ok::<(), fading_channel::ChannelError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // narrowly allowed inside `kernels` only: the
+// `#[target_feature(enable = "avx2")]` instantiations of the batch
+// kernels need `unsafe` at their runtime-dispatched call sites (the
+// detection guard is the safety argument; the wide path computes
+// bit-identical results). Everything else in the crate is unsafe-free.
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![warn(clippy::unwrap_used, clippy::expect_used)]
@@ -76,6 +86,7 @@ mod exec;
 mod farfield;
 mod hierarchical;
 mod gain_cache;
+pub mod kernels;
 mod lossy;
 mod params;
 mod perturbation;
@@ -101,7 +112,7 @@ pub use lossy::LossySinrChannel;
 pub use params::{SinrParams, SinrParamsBuilder, DEFAULT_SINGLE_HOP_MARGIN};
 pub use perturbation::ChannelPerturbation;
 pub use radio::{RadioCdChannel, RadioChannel};
-pub use rayleigh::RayleighSinrChannel;
+pub use rayleigh::{RayleighSinrChannel, RAYLEIGH_CACHE_PROFITABLE_NODES};
 pub use reception::Reception;
 pub use sinr::{pow_alpha, SinrChannel};
 

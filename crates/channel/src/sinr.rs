@@ -5,6 +5,7 @@ use rand::rngs::SmallRng;
 use fading_geom::Point;
 
 use crate::channel::{sealed, Channel};
+use crate::kernels::{fold_scan, gain_batch, scan_block, ScanFold, ScanScratch, LISTENER_BLOCK};
 use crate::{
     ChannelPerturbation, ChunkExecutor, FarFieldEngine, GainCache, HierarchicalFarFieldEngine,
     NodeId, Reception, SinrBreakdown, SinrParams,
@@ -88,6 +89,65 @@ pub(crate) fn scan_transmitters(
         total,
         best_sig,
         best_tx,
+    }
+}
+
+/// The batched counterpart of [`scan_transmitters`] for the geometry
+/// (uncached) path: one fused SoA gain batch into `scratch.gains`, then a
+/// slice-order fold.
+///
+/// `scratch.xs`/`scratch.ys` must already hold the transmitters'
+/// coordinates in `transmitters` slice order
+/// ([`ScanScratch::gather`] — done once per round, not per listener).
+/// Bit-identical to the scalar scan: each gain is the same expression
+/// ([`gain_batch`]), and [`fold_scan`] reproduces the canonical
+/// accumulation order and first-strict-max winner rule
+/// (`tests/kernels.rs` pins the equivalence, tie-breaks included).
+#[inline]
+pub(crate) fn scan_transmitters_batched(
+    p: f64,
+    alpha: f64,
+    v: NodeId,
+    vp: Point,
+    transmitters: &[NodeId],
+    scratch: &mut ScanScratch,
+) -> ScanOutcome {
+    let ScanScratch { xs, ys, gains } = scratch;
+    scan_transmitters_soa(p, alpha, v, vp, transmitters, xs, ys, gains)
+}
+
+/// The slice-level core of [`scan_transmitters_batched`]: takes the
+/// gathered coordinate slices and the gain buffer separately, so callers
+/// whose gather is shared across threads (the hierarchical engine's
+/// read-only listener phase) can pair it with thread-local gain scratch.
+#[inline]
+#[allow(clippy::too_many_arguments)] // the scan inputs plus the split scratch
+pub(crate) fn scan_transmitters_soa(
+    p: f64,
+    alpha: f64,
+    v: NodeId,
+    vp: Point,
+    transmitters: &[NodeId],
+    xs: &[f64],
+    ys: &[f64],
+    gains: &mut Vec<f64>,
+) -> ScanOutcome {
+    debug_assert!(
+        transmitters.iter().all(|&u| u != v),
+        "a node cannot transmit and listen simultaneously"
+    );
+    debug_assert_eq!(xs.len(), transmitters.len(), "stale gather");
+    gains.resize(transmitters.len(), 0.0);
+    gain_batch(p, alpha, xs, ys, vp.x, vp.y, gains);
+    let ScanFold {
+        total,
+        best_sig,
+        best_idx,
+    } = fold_scan(gains);
+    ScanOutcome {
+        total,
+        best_sig,
+        best_tx: best_idx.map(|i| transmitters[i]),
     }
 }
 
@@ -204,19 +264,20 @@ impl SinrChannel {
             None => self.params.noise(),
         };
         let mut out = Vec::with_capacity(listeners.len());
-        for &v in listeners {
-            let row = cache.map(|c| c.row(v));
-            let vp = positions[v];
-            let ScanOutcome {
-                total,
-                best_sig,
-                best_tx,
-            } = scan_transmitters(p, alpha, positions, row, v, vp, transmitters);
-            // The jammer term is looked up once per listener and feeds both
-            // the denominator and the breakdown. The scaled noise and the
-            // jammer term join the denominator exactly where Equation 1
-            // puts N; the clean grouping is kept verbatim so an absent
-            // perturbation reproduces the historical expression bit for bit.
+        // Shared per-listener epilogue: the jammer term is looked up once
+        // per listener and feeds both the denominator and the breakdown.
+        // The scaled noise and the jammer term join the denominator exactly
+        // where Equation 1 puts N; the clean grouping is kept verbatim so
+        // an absent perturbation reproduces the historical expression bit
+        // for bit.
+        let finish = |v: NodeId,
+                      ScanOutcome {
+                          total,
+                          best_sig,
+                          best_tx,
+                      }: ScanOutcome,
+                      out: &mut Vec<Reception>,
+                      breakdown: &mut Option<&mut Vec<SinrBreakdown>>| {
             let extra = perturbation.map(|pt| pt.extra_at(v));
             let denom = match extra {
                 Some(e) => noise + e + (total - best_sig),
@@ -239,6 +300,65 @@ impl SinrChannel {
                 });
             }
             out.push(reception);
+        };
+        match cache {
+            // Cached rounds are table lookups — the batch kernels have
+            // nothing to compute there, so the scalar row scan stands.
+            Some(c) => {
+                for &v in listeners {
+                    let row = Some(c.row(v));
+                    let outcome =
+                        scan_transmitters(p, alpha, positions, row, v, positions[v], transmitters);
+                    finish(v, outcome, &mut out, &mut breakdown);
+                }
+            }
+            // Uncached rounds recompute every gain from geometry, so they
+            // run through the batched SoA kernels: the transmitters'
+            // coordinates are gathered once per round, then listeners are
+            // scanned in blocks through the fused `scan_block` kernel — one
+            // pass computing gains and folds for LISTENER_BLOCK listeners
+            // at once, each lane bit-identical to the scalar scan (see
+            // kernels module docs). The tail block falls back to the
+            // per-listener batch + fold, which is the same arithmetic.
+            None => {
+                let mut scratch = ScanScratch::new();
+                scratch.gather(positions, transmitters);
+                for block in listeners.chunks(LISTENER_BLOCK) {
+                    if block.len() == LISTENER_BLOCK {
+                        let mut vx = [0.0; LISTENER_BLOCK];
+                        let mut vy = [0.0; LISTENER_BLOCK];
+                        for (j, &v) in block.iter().enumerate() {
+                            debug_assert!(
+                                transmitters.iter().all(|&u| u != v),
+                                "a node cannot transmit and listen simultaneously"
+                            );
+                            vx[j] = positions[v].x;
+                            vy[j] = positions[v].y;
+                        }
+                        let folds = scan_block(p, alpha, &scratch.xs, &scratch.ys, &vx, &vy);
+                        for (&v, fold) in block.iter().zip(folds) {
+                            let outcome = ScanOutcome {
+                                total: fold.total,
+                                best_sig: fold.best_sig,
+                                best_tx: fold.best_idx.map(|i| transmitters[i]),
+                            };
+                            finish(v, outcome, &mut out, &mut breakdown);
+                        }
+                    } else {
+                        for &v in block {
+                            let outcome = scan_transmitters_batched(
+                                p,
+                                alpha,
+                                v,
+                                positions[v],
+                                transmitters,
+                                &mut scratch,
+                            );
+                            finish(v, outcome, &mut out, &mut breakdown);
+                        }
+                    }
+                }
+            }
         }
         out
     }

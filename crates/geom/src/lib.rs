@@ -7,6 +7,9 @@
 //! The crate provides:
 //!
 //! * [`Point`] — a point in the 2-D Euclidean plane, with distance helpers.
+//! * [`PointsSoA`] — a structure-of-arrays mirror of a `Vec<Point>` (separate
+//!   contiguous `x[]`/`y[]` slices) feeding the channel layer's batched
+//!   distance/gain kernels.
 //! * [`Bbox`] — axis-aligned bounding boxes.
 //! * [`GridIndex`] — a uniform-grid spatial index supporting nearest-neighbor
 //!   and range queries over thousands of points in (amortized) constant time
@@ -49,6 +52,7 @@ mod grid;
 mod hull;
 mod io;
 mod point;
+mod soa;
 mod tiles;
 mod tiletree;
 
@@ -58,6 +62,7 @@ pub use error::GeomError;
 pub use grid::GridIndex;
 pub use hull::{convex_hull, diameter};
 pub use point::Point;
+pub use soa::{gather_points, PointsSoA};
 pub use tiles::TileIndex;
 pub use tiletree::TileTree;
 

@@ -1,0 +1,232 @@
+//! Structure-of-arrays point storage for batched geometry kernels.
+//!
+//! The channel layer's hot loops (transmitter scans, gain-table builds,
+//! near-ring scans) stream squared distances from one listener to many
+//! stored points. Over `&[Point]` (array-of-structs) each iteration loads
+//! an interleaved `(x, y)` pair; over [`PointsSoA`] the `x` and `y`
+//! coordinates live in separate contiguous slices, so the autovectorizer
+//! can issue wide loads and keep the `dx² + dy²` arithmetic branch-free.
+//!
+//! The struct is a *mirror*, not a replacement: the canonical
+//! representation everywhere in the workspace remains `Vec<Point>`, and
+//! [`PointsSoA::matches`] checks bit-level coherence with it (the same
+//! fingerprint discipline the channel engines use for their caches).
+//! Mutations ([`PointsSoA::set`], [`PointsSoA::push`]) exist so future
+//! mobility models can maintain the mirror incrementally instead of
+//! rebuilding it per round.
+
+use crate::Point;
+
+/// Structure-of-arrays mirror of a `Vec<Point>`: the same points, stored
+/// as two contiguous coordinate slices.
+///
+/// # Example
+///
+/// ```
+/// use fading_geom::{Point, PointsSoA};
+///
+/// let pts = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)];
+/// let soa = PointsSoA::from_points(&pts);
+/// assert_eq!(soa.xs(), &[1.0, 3.0]);
+/// assert_eq!(soa.ys(), &[2.0, 4.0]);
+/// assert!(soa.matches(&pts));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PointsSoA {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl PointsSoA {
+    /// An empty mirror.
+    #[must_use]
+    pub fn new() -> Self {
+        PointsSoA::default()
+    }
+
+    /// Builds the mirror of `points`, preserving order.
+    #[must_use]
+    pub fn from_points(points: &[Point]) -> Self {
+        PointsSoA {
+            xs: points.iter().map(|p| p.x).collect(),
+            ys: points.iter().map(|p| p.y).collect(),
+        }
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the mirror holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The contiguous `x` coordinates, in point order.
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The contiguous `y` coordinates, in point order.
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The point at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.xs[i], self.ys[i])
+    }
+
+    /// Overwrites the point at index `i` (mobility-style update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, p: Point) {
+        self.xs[i] = p.x;
+        self.ys[i] = p.y;
+    }
+
+    /// Appends a point (late-arrival churn).
+    pub fn push(&mut self, p: Point) {
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+    }
+
+    /// Drops all points, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+    }
+
+    /// Bit-level coherence check against the canonical `&[Point]`: same
+    /// length and bit-identical coordinates at every index (`to_bits`
+    /// comparison, so `NaN`s and signed zeros cannot hide a divergence).
+    #[must_use]
+    pub fn matches(&self, points: &[Point]) -> bool {
+        self.len() == points.len()
+            && points.iter().enumerate().all(|(i, p)| {
+                self.xs[i].to_bits() == p.x.to_bits() && self.ys[i].to_bits() == p.y.to_bits()
+            })
+    }
+
+    /// Materializes the mirror back into the canonical representation.
+    #[must_use]
+    pub fn to_points(&self) -> Vec<Point> {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(&x, &y)| Point::new(x, y))
+            .collect()
+    }
+
+    /// Gathers the coordinates of `ids` (indices into this mirror) into
+    /// the contiguous scratch slices `out_x`/`out_y`, replacing their
+    /// contents. The output order is `ids` order, so downstream folds over
+    /// the scratch reproduce the canonical slice-order accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn gather(&self, ids: &[usize], out_x: &mut Vec<f64>, out_y: &mut Vec<f64>) {
+        out_x.clear();
+        out_y.clear();
+        out_x.extend(ids.iter().map(|&i| self.xs[i]));
+        out_y.extend(ids.iter().map(|&i| self.ys[i]));
+    }
+}
+
+/// Gathers the coordinates of `ids` (indices into `points`) into the
+/// contiguous scratch slices `out_x`/`out_y`, replacing their contents —
+/// the AoS counterpart of [`PointsSoA::gather`] for callers that only
+/// hold the canonical `&[Point]`.
+///
+/// # Panics
+///
+/// Panics if any id is out of range.
+pub fn gather_points(points: &[Point], ids: &[usize], out_x: &mut Vec<f64>, out_y: &mut Vec<f64>) {
+    out_x.clear();
+    out_y.clear();
+    out_x.extend(ids.iter().map(|&i| points[i].x));
+    out_y.extend(ids.iter().map(|&i| points[i].y));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_matches() {
+        let pts = vec![
+            Point::new(0.0, -1.0),
+            Point::new(2.5, 3.25),
+            Point::new(-7.0, 0.0),
+        ];
+        let soa = PointsSoA::from_points(&pts);
+        assert_eq!(soa.len(), 3);
+        assert!(!soa.is_empty());
+        assert!(soa.matches(&pts));
+        assert_eq!(soa.to_points(), pts);
+        assert_eq!(soa.point(1), pts[1]);
+    }
+
+    #[test]
+    fn mutation_keeps_coherence_when_mirrored() {
+        let mut pts = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let mut soa = PointsSoA::from_points(&pts);
+        pts[0] = Point::new(-3.0, 4.0);
+        assert!(!soa.matches(&pts), "divergence must be detected");
+        soa.set(0, pts[0]);
+        assert!(soa.matches(&pts));
+        pts.push(Point::new(9.0, 9.0));
+        soa.push(pts[2]);
+        assert!(soa.matches(&pts));
+    }
+
+    #[test]
+    fn matches_detects_negative_zero_and_nan() {
+        let pts = vec![Point::new(0.0, 1.0)];
+        let mut soa = PointsSoA::from_points(&pts);
+        soa.set(0, Point::new(-0.0, 1.0));
+        assert!(!soa.matches(&pts), "-0.0 differs from 0.0 at the bit level");
+        let nan = vec![Point::new(f64::NAN, 1.0)];
+        let soa = PointsSoA::from_points(&nan);
+        assert!(soa.matches(&nan), "identical NaN bits must match");
+    }
+
+    #[test]
+    fn gather_follows_id_order() {
+        let pts = vec![
+            Point::new(0.0, 10.0),
+            Point::new(1.0, 11.0),
+            Point::new(2.0, 12.0),
+        ];
+        let soa = PointsSoA::from_points(&pts);
+        let (mut xs, mut ys) = (vec![99.0], vec![99.0]);
+        soa.gather(&[2, 0], &mut xs, &mut ys);
+        assert_eq!(xs, vec![2.0, 0.0]);
+        assert_eq!(ys, vec![12.0, 10.0]);
+        gather_points(&pts, &[1, 1], &mut xs, &mut ys);
+        assert_eq!(xs, vec![1.0, 1.0]);
+        assert_eq!(ys, vec![11.0, 11.0]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_semantics() {
+        let mut soa = PointsSoA::from_points(&[Point::ORIGIN, Point::new(1.0, 1.0)]);
+        soa.clear();
+        assert!(soa.is_empty());
+        assert!(soa.matches(&[]));
+    }
+}

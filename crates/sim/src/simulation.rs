@@ -200,7 +200,16 @@ impl Simulation {
         let active: Vec<bool> = protocols.iter().map(|p| p.is_active()).collect();
         let num_active = active.iter().filter(|&&a| a).count();
         let positions = deployment.points().to_vec();
-        let gain_cache = channel.build_gain_cache(&positions);
+        // Per-channel cache policy: cached and uncached resolves are
+        // bit-identical by contract, so declining the cache here (e.g. the
+        // Rayleigh channel past RAYLEIGH_CACHE_PROFITABLE_NODES, where the
+        // memory-bound n×n rows lose to the batched kernels) is purely a
+        // performance decision and can never change results.
+        let gain_cache = if channel.gain_cache_profitable(n) {
+            channel.build_gain_cache(&positions)
+        } else {
+            None
+        };
         let mut active_interference = gain_cache.as_ref().map(ActiveInterference::new);
         if let (Some(engine), Some(cache)) = (&mut active_interference, &gain_cache) {
             for (i, &is_active) in active.iter().enumerate() {

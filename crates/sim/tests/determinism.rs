@@ -228,6 +228,51 @@ fn simulation_exposes_cache_state() {
     assert!(sim.gain_cache().is_some(), "disabling keeps the cache built");
 }
 
+/// Regression: the Rayleigh channel's n×n gain cache is memory-bound past
+/// LLC and *slower* than recomputing deterministic gains with the batched
+/// kernels (measured 43.1 ms cached vs 33.4 ms uncached per round at
+/// n = 4096). The simulator must respect the channel's
+/// `gain_cache_profitable` policy: Rayleigh keeps the cache up to
+/// `RAYLEIGH_CACHE_PROFITABLE_NODES` and bypasses it above, while the
+/// deterministic SINR channel keeps it at every size its own guard admits.
+/// Bypassing never changes results (cached ≡ uncached bit-exactly), which
+/// `rayleigh_results_invariant_under_cache_and_thread_count` pins.
+#[test]
+fn rayleigh_bypasses_gain_cache_above_profitability_threshold() {
+    use fading_channel::RAYLEIGH_CACHE_PROFITABLE_NODES;
+
+    let make_sim = |channel: Box<dyn Channel>, n: usize| {
+        let deployment = Deployment::uniform_square(n, 40.0, 11);
+        Simulation::new(deployment, channel, 11, |_| {
+            Box::new(Knockout {
+                p: 0.25,
+                active: true,
+            })
+        })
+    };
+
+    // At and below the threshold the cache still wins and is kept.
+    let small = make_sim(Box::new(RayleighSinrChannel::new(params())), 16);
+    assert!(small.gain_cache_active(), "small Rayleigh should cache");
+
+    // Above it the simulator must not even build the cache...
+    let n = RAYLEIGH_CACHE_PROFITABLE_NODES + 1;
+    let big = make_sim(Box::new(RayleighSinrChannel::new(params())), n);
+    assert!(
+        big.gain_cache().is_none(),
+        "Rayleigh cache should be bypassed at n = {n}"
+    );
+    assert!(!big.gain_cache_active());
+
+    // ...while the deterministic channel keeps caching at the same size
+    // (the policy is per-channel, not global).
+    let sinr = make_sim(Box::new(SinrChannel::new(params())), n);
+    assert!(
+        sinr.gain_cache_active(),
+        "SINR should still cache at n = {n}"
+    );
+}
+
 #[test]
 fn active_interference_shrinks_as_nodes_knock_out() {
     let deployment = Deployment::uniform_square(24, 15.0, 3);
