@@ -32,6 +32,14 @@
 //! `fading-server`, and fails when throughput drops — or the p95 latency
 //! tail grows — beyond the threshold. `--check` and `--inject-slowdown`
 //! behave the same in both modes.
+//!
+//! With `--stream-overhead` the gate replays the baseline's mix twice on
+//! this host — bare, then with the monitor and a live watch subscriber
+//! attached — and fails when streaming costs more than the threshold
+//! (default 1.05, the "watchers are ≤5% overhead" contract). The paired
+//! design makes it host-independent: both runs share the machine, so the
+//! ratio isolates the observability cost. `--quick` swaps in the
+//! seconds-scale mix.
 
 use std::process::ExitCode;
 
@@ -40,7 +48,8 @@ use fading_bench::gate::{
 };
 use fading_bench::probe::{default_budget_ms, run_kernel_probe, run_probe, DEFAULT_SIZES};
 use fading_bench::service::{
-    judge_service, parse_service_baseline, render_service_verdict, run_loadgen,
+    judge_service, judge_stream_overhead, parse_service_baseline, render_service_verdict,
+    render_stream_overhead, run_loadgen, run_loadgen_observed, LoadgenObs, ServiceMix,
 };
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -104,11 +113,92 @@ fn service_gate(baseline_path: &str, threshold: f64, check_only: bool, inject: f
     ExitCode::SUCCESS
 }
 
+/// The `--stream-overhead` mode: the same mix twice — bare vs watched —
+/// gated on the paired throughput ratio.
+fn stream_overhead_gate(
+    baseline_path: &str,
+    threshold: f64,
+    check_only: bool,
+    quick: bool,
+    inject: f64,
+) -> ExitCode {
+    let mix = if quick {
+        ServiceMix::quick()
+    } else {
+        let text = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        parse_service_baseline(&text)
+            .unwrap_or_else(|e| panic!("{baseline_path}: {e}"))
+            .mix
+    };
+    eprintln!(
+        "# bench-gate --stream-overhead: {} small + {} huge jobs, bare then watched",
+        mix.small_jobs, mix.huge_jobs
+    );
+    let base = std::env::temp_dir().join(format!("fading-stream-gate-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let run = |name: &str, obs: &LoadgenObs| {
+        let root = base.join(name);
+        let result = run_loadgen_observed(&root, &mix, obs);
+        std::fs::remove_dir_all(&root).ok();
+        result
+    };
+    let plain = run("bare", &LoadgenObs::default());
+    let watched = run("watched", &LoadgenObs::watched(100));
+    std::fs::remove_dir_all(&base).ok();
+    let (plain, mut watched) = match (plain, watched) {
+        (Ok(p), Ok(w)) => (p, w),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-gate: stream-overhead replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if inject != 1.0 {
+        eprintln!("# injecting synthetic {inject}x slowdown on the watched run");
+        watched.jobs_per_sec /= inject;
+        watched.p95_ms *= inject;
+    }
+    if watched.watch_lines == 0 || watched.ts_frames == 0 {
+        eprintln!(
+            "bench-gate: watched replay streamed nothing ({} lines, {} frames) — the \
+             comparison would be vacuous",
+            watched.watch_lines, watched.ts_frames
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let verdict = judge_stream_overhead(&plain, &watched, threshold);
+    print!(
+        "{}",
+        render_stream_overhead(&plain, &watched, &verdict, threshold)
+    );
+    if plain.failed > 0 || watched.failed > 0 {
+        println!(
+            "bench-gate: {} jobs failed during the replays",
+            plain.failed + watched.failed
+        );
+        return ExitCode::FAILURE;
+    }
+    if verdict.regressed {
+        println!(
+            "bench-gate: streaming overhead beyond {threshold:.2}x{}",
+            if check_only { " (check mode: not failing)" } else { "" }
+        );
+        if !check_only {
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!("bench-gate: streaming overhead within {threshold:.2}x");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let service = args.iter().any(|a| a == "--service");
+    let stream_overhead = args.iter().any(|a| a == "--stream-overhead");
     let baseline_path = flag_value(&args, "--baseline").unwrap_or_else(|| {
-        if service {
+        if service || stream_overhead {
             "BENCH_service.json".to_string()
         } else {
             "BENCH_scaling.json".to_string()
@@ -116,7 +206,7 @@ fn main() -> ExitCode {
     });
     let threshold: f64 = flag_value(&args, "--threshold")
         .map(|v| v.parse().expect("--threshold wants a number"))
-        .unwrap_or(1.5);
+        .unwrap_or(if stream_overhead { 1.05 } else { 1.5 });
     assert!(
         threshold.is_finite() && threshold > 0.0,
         "--threshold must be a positive number, got {threshold}"
@@ -126,6 +216,9 @@ fn main() -> ExitCode {
     let inject: f64 = flag_value(&args, "--inject-slowdown")
         .map(|v| v.parse().expect("--inject-slowdown wants a number"))
         .unwrap_or(1.0);
+    if stream_overhead {
+        return stream_overhead_gate(&baseline_path, threshold, check_only, quick, inject);
+    }
     if service {
         return service_gate(&baseline_path, threshold, check_only, inject);
     }
@@ -170,13 +263,16 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut verdicts = judge_kernels(&kernel_baseline, &measured_kernels, threshold);
-    verdicts.extend(judge(&baseline, &measured, threshold));
-    print!("{}", render_verdicts(&verdicts, threshold));
-    if verdicts.is_empty() {
+    let scaling_verdicts = judge(&baseline, &measured, threshold);
+    if scaling_verdicts.is_empty() {
+        // Kernel cells alone don't rescue a size list that matched
+        // nothing — the caller asked for sizes the baseline never saw.
         eprintln!("bench-gate: no baseline cells matched the probed sizes");
         return ExitCode::FAILURE;
     }
+    let mut verdicts = judge_kernels(&kernel_baseline, &measured_kernels, threshold);
+    verdicts.extend(scaling_verdicts);
+    print!("{}", render_verdicts(&verdicts, threshold));
     let regressed = verdicts.iter().filter(|v| v.regressed).count();
     if regressed > 0 {
         println!(

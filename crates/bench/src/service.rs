@@ -13,12 +13,15 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fading_cr::jobspec::JobSpec;
 use fading_cr::sim::montecarlo::percentile_f64;
+use fading_cr::sim::obs::timeseries::frame_to_json;
 use fading_cr::sim::telemetry::jsonl::{parse_json, JsonValue};
-use fading_server::{ExitPolicy, Server, ServerConfig};
+use fading_server::{ExitPolicy, MonitorConfig, Server, ServerConfig, Subscription};
 
 /// How long [`run_loadgen`] waits for the fleet before declaring a hang.
 const LOADGEN_DEADLINE: Duration = Duration::from_secs(900);
@@ -113,6 +116,29 @@ impl ServiceMix {
     }
 }
 
+/// Observability attachments for a loadgen replay: the monitor recording
+/// time-series frames, and/or a live watch subscriber draining the event
+/// stream while the fleet runs (what `bench-gate --stream-overhead` pays
+/// for on its "watched" side).
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenObs {
+    /// Run the server monitor at this interval and capture its frames.
+    pub monitor_ms: Option<u64>,
+    /// Attach a watch-everything subscriber drained by a live thread.
+    pub subscriber: bool,
+}
+
+impl LoadgenObs {
+    /// Monitor plus a draining subscriber — the fully-watched replay.
+    #[must_use]
+    pub fn watched(monitor_ms: u64) -> Self {
+        LoadgenObs {
+            monitor_ms: Some(monitor_ms),
+            subscriber: true,
+        }
+    }
+}
+
 /// What one loadgen replay measured.
 #[derive(Debug, Clone)]
 pub struct ServiceResult {
@@ -132,6 +158,15 @@ pub struct ServiceResult {
     pub p99_ms: f64,
     /// Worst-case latency.
     pub max_ms: f64,
+    /// Time-series frames the monitor recorded (0 when it didn't run).
+    pub ts_frames: usize,
+    /// Trials counted across those frames' deltas.
+    pub ts_trials: u64,
+    /// Lines the attached subscriber drained (0 when none attached).
+    pub watch_lines: usize,
+    /// The recorded frames as JSONL lines (`frame_to_json`), oldest
+    /// first — what `loadgen --dump-frames` writes out.
+    pub frames_jsonl: Vec<String>,
 }
 
 /// Replays `mix` against a fresh in-process server rooted at `root`,
@@ -142,11 +177,52 @@ pub struct ServiceResult {
 /// Server/queue IO failures, or the fleet not finishing inside the
 /// harness deadline.
 pub fn run_loadgen(root: &Path, mix: &ServiceMix) -> Result<ServiceResult, String> {
+    run_loadgen_observed(root, mix, &LoadgenObs::default())
+}
+
+/// [`run_loadgen`] with observability attached: optionally starts the
+/// server monitor (capturing its time-series ring into the result) and
+/// optionally drains a live watch subscriber for the whole replay — the
+/// measured throughput then includes the full streaming cost.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_loadgen`].
+pub fn run_loadgen_observed(
+    root: &Path,
+    mix: &ServiceMix,
+    obs: &LoadgenObs,
+) -> Result<ServiceResult, String> {
     let cfg = ServerConfig {
         workers: mix.workers,
         ..ServerConfig::default()
     };
     let server = Server::open(root, cfg).map_err(|e| format!("open server: {e}"))?;
+    if let Some(ms) = obs.monitor_ms {
+        server.start_monitor(MonitorConfig {
+            interval: Duration::from_millis(ms.max(10)),
+            ..MonitorConfig::default()
+        });
+    }
+    // The draining subscriber lives on its own thread so the stream is
+    // consumed at realistic pace (bounded queues never back up) while the
+    // main thread keeps polling job completion.
+    let drainer = obs.subscriber.then(|| {
+        let sub = server.hub().subscribe(Subscription::watch_all());
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut lines = 0usize;
+            loop {
+                match sub.recv_timeout(Duration::from_millis(20)) {
+                    Some(_) => lines += 1,
+                    None if flag.load(Ordering::Relaxed) => break lines,
+                    None => {}
+                }
+            }
+        });
+        (stop, handle)
+    });
     let specs = mix.specs();
 
     let started = Instant::now();
@@ -194,6 +270,29 @@ pub fn run_loadgen(root: &Path, mix: &ServiceMix) -> Result<ServiceResult, Strin
     let elapsed_secs = started.elapsed().as_secs_f64();
     worker.join().map_err(|_| "server worker panicked".to_string())?;
 
+    let watch_lines = drainer.map_or(0, |(stop, handle)| {
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap_or(0)
+    });
+    let (ts_frames, ts_trials, frames_jsonl) = if obs.monitor_ms.is_some() {
+        // The monitor keeps ticking after the drain; give it until one
+        // more interval has passed so even a sub-interval replay records
+        // at least one frame, then freeze the ring.
+        let wait = Instant::now() + Duration::from_millis(obs.monitor_ms.unwrap_or(0).max(10) * 2);
+        while server.timeseries_frames().is_empty() && Instant::now() < wait {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        server.stop_monitor();
+        let frames = server.timeseries_frames();
+        (
+            frames.len(),
+            frames.iter().map(|f| f.d_trials).sum(),
+            frames.iter().map(frame_to_json).collect(),
+        )
+    } else {
+        (0, 0, Vec::new())
+    };
+
     latencies_ms.sort_by(f64::total_cmp);
     let jobs = latencies_ms.len();
     Ok(ServiceResult {
@@ -205,6 +304,10 @@ pub fn run_loadgen(root: &Path, mix: &ServiceMix) -> Result<ServiceResult, Strin
         p95_ms: percentile_f64(&latencies_ms, 0.95),
         p99_ms: percentile_f64(&latencies_ms, 0.99),
         max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        ts_frames,
+        ts_trials,
+        watch_lines,
+        frames_jsonl,
     })
 }
 
@@ -215,10 +318,21 @@ fn fmt_list(ns: &[usize]) -> String {
 
 /// Renders the `BENCH_service.json` schema: the replayed mix (so the gate
 /// can re-run exactly it) plus the measured throughput and latency tail.
+/// When the replay ran with the monitor attached, a `timeseries` section
+/// records what the obs ring captured; baselines without it (or parsers
+/// predating it) are unaffected — the gate never reads it.
 #[must_use]
 pub fn render_service_json(mix: &ServiceMix, result: &ServiceResult) -> String {
+    let timeseries = if result.ts_frames > 0 {
+        format!(
+            ",\n    \"timeseries\": {{\"frames\": {}, \"d_trials\": {}}}",
+            result.ts_frames, result.ts_trials
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "{{\n  \"bench\": \"service_loadgen\",\n  \"workload\": {{\n    \"small_jobs\": {},\n    \"small_ns\": {},\n    \"small_trials\": {},\n    \"small_max_rounds\": {},\n    \"huge_jobs\": {},\n    \"huge_n\": {},\n    \"huge_trials\": {},\n    \"huge_max_rounds\": {},\n    \"workers\": {}\n  }},\n  \"results\": {{\n    \"jobs\": {},\n    \"failed\": {},\n    \"elapsed_secs\": {:.3},\n    \"jobs_per_sec\": {:.3},\n    \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"service_loadgen\",\n  \"workload\": {{\n    \"small_jobs\": {},\n    \"small_ns\": {},\n    \"small_trials\": {},\n    \"small_max_rounds\": {},\n    \"huge_jobs\": {},\n    \"huge_n\": {},\n    \"huge_trials\": {},\n    \"huge_max_rounds\": {},\n    \"workers\": {}\n  }},\n  \"results\": {{\n    \"jobs\": {},\n    \"failed\": {},\n    \"elapsed_secs\": {:.3},\n    \"jobs_per_sec\": {:.3},\n    \"latency_ms\": {{\"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}}{timeseries}\n  }}\n}}\n",
         mix.small_jobs,
         fmt_list(&mix.small_ns),
         mix.small_trials,
@@ -396,6 +510,71 @@ pub fn render_service_verdict(
     out
 }
 
+/// The paired comparison behind `bench-gate --stream-overhead`: the same
+/// mix replayed twice on the same host — once bare, once with the monitor
+/// plus a live watch subscriber attached — so the ratio isolates the
+/// streaming cost from host speed.
+#[derive(Debug, Clone)]
+pub struct StreamOverheadVerdict {
+    /// `plain.jobs_per_sec / watched.jobs_per_sec` — above 1 means the
+    /// watched replay was slower.
+    pub throughput_ratio: f64,
+    /// `watched.p95_ms / plain.p95_ms`.
+    pub p95_ratio: f64,
+    /// Whether the throughput cost exceeds the threshold (p95 is
+    /// informational — short-run latency tails are too noisy to gate on).
+    pub regressed: bool,
+}
+
+/// Judges the watched replay against the bare one: streaming observers
+/// must not cost more than `threshold`-fold throughput.
+#[must_use]
+pub fn judge_stream_overhead(
+    plain: &ServiceResult,
+    watched: &ServiceResult,
+    threshold: f64,
+) -> StreamOverheadVerdict {
+    let throughput_ratio = plain.jobs_per_sec / watched.jobs_per_sec.max(1e-9);
+    StreamOverheadVerdict {
+        throughput_ratio,
+        p95_ratio: watched.p95_ms / plain.p95_ms.max(1e-9),
+        regressed: throughput_ratio > threshold,
+    }
+}
+
+/// Renders the `bench-gate --stream-overhead` verdict block.
+#[must_use]
+pub fn render_stream_overhead(
+    plain: &ServiceResult,
+    watched: &ServiceResult,
+    verdict: &StreamOverheadVerdict,
+    threshold: f64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>14} {:>12} {:>12} {:>8}  verdict (threshold {threshold:.2}x)",
+        "metric", "bare", "watched", "ratio"
+    );
+    let _ = writeln!(
+        out,
+        "{:>14} {:>12.3} {:>12.3} {:>7.2}x  {}",
+        "jobs/sec",
+        plain.jobs_per_sec,
+        watched.jobs_per_sec,
+        verdict.throughput_ratio,
+        if verdict.regressed { "REGRESSED" } else { "ok" }
+    );
+    let _ = writeln!(
+        out,
+        "{:>14} {:>12.3} {:>12.3} {:>7.2}x  (informational)",
+        "p95 ms", plain.p95_ms, watched.p95_ms, verdict.p95_ratio
+    );
+    let stream = format!("{} lines, {} frames", watched.watch_lines, watched.ts_frames);
+    let _ = writeln!(out, "{:>14} {:>12} {stream:>12}", "stream", "-");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +589,10 @@ mod tests {
             p95_ms,
             p99_ms: p95_ms * 1.5,
             max_ms: p95_ms * 2.0,
+            ts_frames: 0,
+            ts_trials: 0,
+            watch_lines: 0,
+            frames_jsonl: Vec::new(),
         }
     }
 
@@ -438,6 +621,52 @@ mod tests {
         assert!((parsed.jobs_per_sec - 12.5).abs() < 1e-9);
         assert!((parsed.p95_ms - 840.0).abs() < 1e-9);
         assert!((parsed.p99_ms - 1260.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeseries_section_renders_and_stays_parseable() {
+        let mix = ServiceMix::quick();
+        let mut result = fake_result(10.0, 500.0);
+        result.ts_frames = 7;
+        result.ts_trials = 120;
+        let rendered = render_service_json(&mix, &result);
+        assert!(rendered.contains("\"timeseries\": {\"frames\": 7, \"d_trials\": 120}"));
+        // The gate's parser must keep accepting baselines with (and
+        // without — covered by the round-trip test) the obs section.
+        let parsed = parse_service_baseline(&rendered).unwrap();
+        assert_eq!(parsed.mix, mix);
+        let doc = parse_json(&rendered).unwrap();
+        let frames = doc
+            .get("results")
+            .and_then(|r| r.get("timeseries"))
+            .and_then(|t| t.get("frames"))
+            .and_then(JsonValue::as_f64);
+        assert_eq!(frames, Some(7.0));
+    }
+
+    #[test]
+    fn stream_overhead_gate_separates_ok_from_regressed() {
+        let plain = fake_result(10.0, 500.0);
+        // 2% slower with watchers: fine at the 5% gate.
+        let v = judge_stream_overhead(&plain, &fake_result(9.8, 520.0), 1.05);
+        assert!(!v.regressed, "{v:?}");
+        // 20% slower: gates.
+        let v = judge_stream_overhead(&plain, &fake_result(8.0, 500.0), 1.05);
+        assert!(v.regressed && v.throughput_ratio > 1.2, "{v:?}");
+        // Watched somehow faster: never gates.
+        let v = judge_stream_overhead(&plain, &fake_result(11.0, 400.0), 1.05);
+        assert!(!v.regressed, "{v:?}");
+        let mut watched = fake_result(8.0, 500.0);
+        watched.watch_lines = 42;
+        watched.ts_frames = 3;
+        let table = render_stream_overhead(
+            &plain,
+            &watched,
+            &judge_stream_overhead(&plain, &watched, 1.05),
+            1.05,
+        );
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("42 lines, 3 frames"));
     }
 
     #[test]
@@ -519,6 +748,42 @@ mod tests {
         assert!(result.jobs_per_sec > 0.0);
         assert!(result.p50_ms <= result.p95_ms && result.p95_ms <= result.p99_ms);
         assert!(result.p99_ms <= result.max_ms);
+        assert_eq!(
+            (result.ts_frames, result.watch_lines),
+            (0, 0),
+            "bare replays must not record obs artifacts"
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn observed_loadgen_captures_frames_and_drains_the_stream() {
+        let root = std::env::temp_dir()
+            .join("fading-loadgen-test")
+            .join(format!("observed-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let mix = ServiceMix {
+            small_jobs: 3,
+            small_ns: vec![32, 64],
+            small_trials: 2,
+            small_max_rounds: 20_000,
+            huge_jobs: 0,
+            huge_n: 4096,
+            huge_trials: 1,
+            huge_max_rounds: 10,
+            workers: 2,
+        };
+        let result = run_loadgen_observed(&root, &mix, &LoadgenObs::watched(10)).unwrap();
+        assert_eq!(result.jobs, 3);
+        assert_eq!(result.failed, 0);
+        assert!(result.ts_frames > 0, "monitor recorded no frames");
+        // 3 × (job_started + job_done) + 3 × 2 trials × (started + done),
+        // plus whatever frames the subscriber caught.
+        assert!(
+            result.watch_lines >= 6 + 12,
+            "subscriber drained only {} lines",
+            result.watch_lines
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 }

@@ -4,7 +4,14 @@
 //! fading-server --queue <dir> [--addr 127.0.0.1:0] [--metrics-addr 127.0.0.1:0]
 //!               [--workers N] [--trial-threads N] [--poll-ms MS]
 //!               [--drain] [--idle-exit-ms MS] [--collect-spans]
+//!               [--monitor-ms MS] [--slo-fallback-max F]
+//!               [--slo-timeout-spike PER_MIN] [--slo-queue-max N]
 //! ```
+//!
+//! When `--addr` is given the monitor thread starts automatically (at
+//! `--monitor-ms`, default 250 ms) so `watch` connections receive
+//! time-series frames; the `--slo-*` flags arm the corresponding watch
+//! rules, whose alerts reach both the stream and the Prometheus scrape.
 //!
 //! On startup the server re-enqueues any spec stranded in `running/` by
 //! a previous incarnation (their manifests make the re-run skip finished
@@ -25,7 +32,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use fading_server::{interrupt, ExitPolicy, Server, ServerConfig};
+use fading_server::{interrupt, ExitPolicy, MonitorConfig, Server, ServerConfig, SloRules};
 
 struct Args {
     queue: Option<String>,
@@ -38,13 +45,17 @@ struct Args {
     idle_exit_ms: Option<u64>,
     collect_spans: bool,
     selftest_interrupt: bool,
+    monitor_ms: Option<u64>,
+    slo: SloRules,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: fading-server --queue <dir> [--addr HOST:PORT] [--metrics-addr HOST:PORT]\n\
          \x20                    [--workers N] [--trial-threads N] [--poll-ms MS]\n\
-         \x20                    [--drain] [--idle-exit-ms MS] [--collect-spans]"
+         \x20                    [--drain] [--idle-exit-ms MS] [--collect-spans]\n\
+         \x20                    [--monitor-ms MS] [--slo-fallback-max F]\n\
+         \x20                    [--slo-timeout-spike PER_MIN] [--slo-queue-max N]"
     );
     std::process::exit(2);
 }
@@ -61,6 +72,8 @@ fn parse_args() -> Args {
         idle_exit_ms: None,
         collect_spans: false,
         selftest_interrupt: false,
+        monitor_ms: None,
+        slo: SloRules::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -81,6 +94,21 @@ fn parse_args() -> Args {
             "--poll-ms" => args.poll_ms = parse_num(&value("--poll-ms"), "--poll-ms"),
             "--idle-exit-ms" => {
                 args.idle_exit_ms = Some(parse_num(&value("--idle-exit-ms"), "--idle-exit-ms"));
+            }
+            "--monitor-ms" => {
+                args.monitor_ms = Some(parse_num(&value("--monitor-ms"), "--monitor-ms"));
+            }
+            "--slo-fallback-max" => {
+                args.slo.fallback_fraction_max =
+                    Some(parse_num(&value("--slo-fallback-max"), "--slo-fallback-max"));
+            }
+            "--slo-timeout-spike" => {
+                args.slo.timed_out_per_min_max =
+                    Some(parse_num(&value("--slo-timeout-spike"), "--slo-timeout-spike"));
+            }
+            "--slo-queue-max" => {
+                args.slo.queue_depth_max =
+                    Some(parse_num(&value("--slo-queue-max"), "--slo-queue-max"));
             }
             "--drain" => args.drain = true,
             "--collect-spans" => args.collect_spans = true,
@@ -170,6 +198,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    // Start the monitor whenever the control socket is up (watchers need
+    // frames) or the operator asked for it / armed SLO rules explicitly.
+    if args.addr.is_some() || args.monitor_ms.is_some() || !args.slo.is_empty() {
+        server.start_monitor(MonitorConfig {
+            interval: Duration::from_millis(args.monitor_ms.unwrap_or(250).max(10)),
+            rules: args.slo,
+            ..MonitorConfig::default()
+        });
     }
     println!("READY");
 

@@ -18,6 +18,10 @@
 //! - [`server`] — the worker pool, job execution, and the socket and
 //!   metrics listeners.
 //! - [`metrics`] — service-level tallies rendered as Prometheus text.
+//! - [`stream`] — the live-observability fan-out: bounded subscriber
+//!   queues behind `subscribe`/`watch`, slow-consumer drop-and-count,
+//!   and edge-triggered SLO watch rules.
+//! - [`top`] — the `fading-top` terminal dashboard renderer.
 //! - [`interrupt`] — process-global idempotent SIGINT/SIGTERM handling
 //!   (the one place in the workspace allowed to touch `unsafe`).
 //!
@@ -39,8 +43,11 @@ pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod stream;
+pub mod top;
 
 pub use metrics::ServerMetrics;
 pub use protocol::{JobState, Request};
-pub use queue::JobQueue;
-pub use server::{ExitPolicy, JobReport, Server, ServerConfig};
+pub use queue::{JobQueue, StateDepths};
+pub use server::{ExitPolicy, JobReport, MonitorConfig, Server, ServerConfig};
+pub use stream::{Alert, EventHub, SloRules, SloWatch, Subscriber, Subscription};

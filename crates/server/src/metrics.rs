@@ -12,14 +12,18 @@
 //!
 //! [`parse_prometheus`]: fading_cr::sim::obs::export::prometheus::parse_prometheus
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::Duration;
 
 use fading_cr::sim::obs::export::prometheus::{counters_to_prometheus, registry_to_prometheus};
-use fading_cr::sim::obs::EngineCounters;
+use fading_cr::sim::obs::timeseries::TsSample;
+use fading_cr::sim::obs::{EngineCounters, ProgressEvent};
 use fading_cr::sim::recover::FleetSummary;
 use fading_cr::sim::telemetry::{Histogram, MetricsRegistry};
+
+use crate::protocol::json_escape;
 
 /// Aggregated service metrics behind one lock (server threads record,
 /// the scrape endpoint renders).
@@ -42,6 +46,17 @@ struct Inner {
     job_latency_ms: Histogram,
     queue_depth: u64,
     jobs_in_flight: u64,
+    // Live trial-granularity counters fed by `record_progress` as events
+    // happen, not at job completion — these make the monitor's
+    // time-series frames move while a big fleet is still running.
+    live_trials: u64,
+    live_trial_rounds: u64,
+    live_retried: u64,
+    live_timed_out: u64,
+    /// SLO alerts fired, keyed by rule name.
+    alerts: BTreeMap<String, u64>,
+    /// Watch lines dropped against slow subscribers (mirrors the hub).
+    watch_dropped: u64,
 }
 
 impl ServerMetrics {
@@ -105,6 +120,68 @@ impl ServerMetrics {
     /// Updates the queue-depth gauge.
     pub fn set_queue_depth(&self, depth: u64) {
         self.lock().queue_depth = depth;
+    }
+
+    /// Records one live trial-progress event (called from the progress
+    /// sink on every event of every running job).
+    pub fn record_progress(&self, event: &ProgressEvent) {
+        let mut m = self.lock();
+        match event {
+            ProgressEvent::TrialStarted { .. } => {}
+            ProgressEvent::TrialRetried { .. } => m.live_retried += 1,
+            ProgressEvent::TrialFinished { rounds, .. } => {
+                m.live_trials += 1;
+                m.live_trial_rounds += rounds;
+            }
+            ProgressEvent::TrialTimedOut { .. } => {
+                m.live_trials += 1;
+                m.live_timed_out += 1;
+            }
+            ProgressEvent::TrialPoisoned { .. } => m.live_trials += 1,
+        }
+    }
+
+    /// Records one fired SLO alert under its rule name.
+    pub fn record_alert(&self, rule: &str) {
+        *self.lock().alerts.entry(rule.to_string()).or_insert(0) += 1;
+    }
+
+    /// Mirrors the hub's total of lines dropped against slow watch
+    /// subscribers (monotonic; the monitor refreshes it each tick).
+    pub fn set_watch_dropped(&self, total: u64) {
+        self.lock().watch_dropped = total;
+    }
+
+    /// Snapshots everything a time-series frame needs, stamped `t_ms`.
+    /// Trial counters are live (from `record_progress`); engine-tier
+    /// counters advance when jobs complete and merge their
+    /// [`EngineCounters`].
+    #[must_use]
+    pub fn ts_sample(&self, t_ms: u64) -> TsSample {
+        let m = self.lock();
+        let mut s = TsSample::at(t_ms);
+        s.trials = m.live_trials;
+        s.trial_rounds = m.live_trial_rounds;
+        s.retried = m.live_retried;
+        s.timed_out = m.live_timed_out;
+        s.jobs_completed = m.jobs_completed;
+        s.jobs_failed = m.jobs_failed;
+        s.observe_counters(&m.counters);
+        s.queue_depth = m.queue_depth;
+        s.jobs_in_flight = m.jobs_in_flight;
+        s
+    }
+
+    /// Upper bounds on the p50/p95/p99 job latencies in milliseconds,
+    /// `None` until a job has completed.
+    #[must_use]
+    pub fn latency_quantiles(&self) -> Option<(f64, f64, f64)> {
+        let m = self.lock();
+        Some((
+            m.job_latency_ms.quantile_upper_bound(0.50)?,
+            m.job_latency_ms.quantile_upper_bound(0.95)?,
+            m.job_latency_ms.quantile_upper_bound(0.99)?,
+        ))
     }
 
     /// Completed-job count (used by pollers and the idle-exit check).
@@ -209,6 +286,22 @@ impl ServerMetrics {
             m.jobs_in_flight,
         );
 
+        let _ = writeln!(
+            out,
+            "# HELP fading_watch_dropped_total Stream lines dropped against slow watch subscribers."
+        );
+        let _ = writeln!(out, "# TYPE fading_watch_dropped_total counter");
+        let _ = writeln!(out, "fading_watch_dropped_total {}", m.watch_dropped);
+        let _ = writeln!(out, "# HELP fading_alerts_total SLO alerts fired, by rule.");
+        let _ = writeln!(out, "# TYPE fading_alerts_total counter");
+        for (rule, count) in &m.alerts {
+            let _ = writeln!(
+                out,
+                "fading_alerts_total{{rule=\"{}\"}} {count}",
+                json_escape(rule)
+            );
+        }
+
         out.push_str(&fading_cr::sim::obs::export::prometheus::histogram_to_prometheus(
             "fading_job_latency_ms",
             "Submit-to-complete latency per job, milliseconds.",
@@ -263,5 +356,68 @@ mod tests {
         assert_eq!(sample(&samples, "fading_fleet_succeeded_total"), 4.0);
         assert_eq!(sample(&samples, "fading_trials_resumed_total"), 1.0);
         assert_eq!(sample(&samples, "fading_job_latency_ms_count"), 1.0);
+    }
+
+    #[test]
+    fn progress_events_feed_live_counters_and_samples() {
+        let metrics = ServerMetrics::new();
+        assert!(metrics.latency_quantiles().is_none());
+        metrics.record_progress(&ProgressEvent::TrialStarted { seed: 1 });
+        metrics.record_progress(&ProgressEvent::TrialFinished {
+            seed: 1,
+            rounds: 40,
+            resolved: true,
+            retries: 0,
+        });
+        metrics.record_progress(&ProgressEvent::TrialRetried { seed: 2, retries: 1 });
+        metrics.record_progress(&ProgressEvent::TrialTimedOut {
+            seed: 2,
+            timeout_ms: 50,
+            retries: 1,
+        });
+        metrics.set_queue_depth(3);
+
+        let s = metrics.ts_sample(500);
+        assert_eq!(s.t_ms, 500);
+        assert_eq!(s.trials, 2);
+        assert_eq!(s.trial_rounds, 40);
+        assert_eq!(s.retried, 1);
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.queue_depth, 3);
+
+        metrics.record_completed(
+            Duration::from_millis(20),
+            &FleetSummary::default(),
+            0,
+            &EngineCounters::default(),
+            None,
+        );
+        let (p50, p95, p99) = metrics.latency_quantiles().expect("one job recorded");
+        assert!(p50 >= 20.0 && p95 >= p50 && p99 >= p95, "{p50} {p95} {p99}");
+    }
+
+    #[test]
+    fn alerts_and_watch_drops_reach_the_scrape() {
+        let metrics = ServerMetrics::new();
+        metrics.record_alert("queue_depth");
+        metrics.record_alert("queue_depth");
+        metrics.record_alert("fallback_fraction");
+        metrics.set_watch_dropped(7);
+
+        let text = metrics.render_prometheus();
+        let samples = parse_prometheus(&text).expect("scrape must parse");
+        assert_eq!(sample(&samples, "fading_watch_dropped_total"), 7.0);
+        let alerts: Vec<_> = samples
+            .iter()
+            .filter(|s| s.name == "fading_alerts_total")
+            .collect();
+        assert_eq!(alerts.len(), 2);
+        assert_eq!(
+            alerts
+                .iter()
+                .find(|s| s.label("rule") == Some("queue_depth"))
+                .map(|s| s.value),
+            Some(2.0)
+        );
     }
 }

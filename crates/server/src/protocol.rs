@@ -7,10 +7,17 @@
 //! {"cmd":"submit","job":{...JobSpec...}}
 //! {"cmd":"status","id":"job-17"}
 //! {"cmd":"stats"}
+//! {"cmd":"watch"}                      // progress + frames, all jobs
+//! {"cmd":"watch","id":"job-17"}        // one job's progress + frames
+//! {"cmd":"subscribe"}                  // progress only, no frames
 //! {"cmd":"shutdown"}
 //! ```
 //!
-//! Responses always carry `"ok"`; failures add `"error"`. The framing is
+//! Responses always carry `"ok"`; failures add `"error"`. `watch` and
+//! `subscribe` switch the connection into streaming mode: after the ack
+//! the server pushes one event object per line (`trial_*`,
+//! `job_started`/`job_done`/`job_failed`, `frame`, `alert`, `dropped`)
+//! until the client hangs up. The framing is
 //! hand-rolled on the same [`jsonl`](fading_cr::sim::telemetry::jsonl)
 //! parser the telemetry layer uses — no new dependencies, and the same
 //! dialect on both ends.
@@ -34,6 +41,17 @@ pub enum Request {
     },
     /// Service-level tallies (completed/failed/in-flight/queue depth).
     Stats,
+    /// Stream progress events and periodic time-series frames until the
+    /// connection closes.
+    Watch {
+        /// Restrict progress events to this job (`None` = all jobs).
+        id: Option<String>,
+    },
+    /// Stream progress events only (no frames).
+    Subscribe {
+        /// Restrict progress events to this job (`None` = all jobs).
+        id: Option<String>,
+    },
     /// Ask the server to stop accepting work and exit when drained.
     Shutdown,
 }
@@ -115,6 +133,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Status { id: id.to_string() })
         }
         "stats" => Ok(Request::Stats),
+        "watch" | "subscribe" => {
+            // `id` is optional, but when present it must be a string.
+            let id = match v.get("id") {
+                None => None,
+                Some(j) => Some(
+                    j.as_str()
+                        .ok_or_else(|| format!("{cmd} \"id\" must be a string"))?
+                        .to_string(),
+                ),
+            };
+            if cmd == "watch" {
+                Ok(Request::Watch { id })
+            } else {
+                Ok(Request::Subscribe { id })
+            }
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown cmd {other:?}")),
     }
@@ -154,6 +188,19 @@ mod tests {
             Request::Status { id } => assert_eq!(id, "j1"),
             other => panic!("unexpected {other:?}"),
         }
+        assert!(matches!(
+            parse_request("{\"cmd\":\"watch\"}"),
+            Ok(Request::Watch { id: None })
+        ));
+        match parse_request("{\"cmd\":\"watch\",\"id\":\"j2\"}").unwrap() {
+            Request::Watch { id } => assert_eq!(id.as_deref(), Some("j2")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_request("{\"cmd\":\"subscribe\"}"),
+            Ok(Request::Subscribe { id: None })
+        ));
+        assert!(parse_request("{\"cmd\":\"watch\",\"id\":7}").is_err());
         let spec = JobSpec::example("sock-1");
         let line = format!("{{\"cmd\":\"submit\",\"job\":{}}}", spec.to_json());
         match parse_request(&line).unwrap() {

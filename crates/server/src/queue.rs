@@ -32,6 +32,20 @@ fn is_spec_name(name: &str) -> bool {
     name.ends_with(".json") && !name.starts_with('.')
 }
 
+/// Spec counts per lifecycle directory, as returned by
+/// [`JobQueue::state_depths`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateDepths {
+    /// Submitted, not yet claimed.
+    pub incoming: u64,
+    /// Claimed by a worker.
+    pub running: u64,
+    /// Completed successfully.
+    pub done: u64,
+    /// Rejected or errored.
+    pub failed: u64,
+}
+
 /// Handle to a queue root (all five directories created on open).
 #[derive(Debug, Clone)]
 pub struct JobQueue {
@@ -222,6 +236,31 @@ impl JobQueue {
         Ok(n)
     }
 
+    /// Spec counts across all four lifecycle directories (the thick
+    /// `stats` reply).
+    ///
+    /// # Errors
+    ///
+    /// IO failures reading any of the directories.
+    pub fn state_depths(&self) -> io::Result<StateDepths> {
+        let count = |dir: PathBuf| -> io::Result<u64> {
+            let mut n = 0;
+            for entry in std::fs::read_dir(dir)? {
+                let name = entry?.file_name().to_string_lossy().into_owned();
+                if is_spec_name(&name) {
+                    n += 1;
+                }
+            }
+            Ok(n)
+        };
+        Ok(StateDepths {
+            incoming: count(self.incoming_dir())?,
+            running: count(self.running_dir())?,
+            done: count(self.done_dir())?,
+            failed: count(self.failed_dir())?,
+        })
+    }
+
     /// Whether job `id` has retired into `done/`.
     #[must_use]
     pub fn is_done(&self, id: &str) -> bool {
@@ -268,8 +307,16 @@ mod tests {
         q.finish(&claimed, None).unwrap();
         assert!(q.is_done("a-first"));
         let second = q.claim_next().unwrap().unwrap();
+        assert_eq!(
+            q.state_depths().unwrap(),
+            StateDepths { incoming: 0, running: 1, done: 1, failed: 0 }
+        );
         q.finish(&second, Some("boom")).unwrap();
         assert!(q.is_failed("b-second"));
+        assert_eq!(
+            q.state_depths().unwrap(),
+            StateDepths { incoming: 0, running: 0, done: 1, failed: 1 }
+        );
         let err = std::fs::read_to_string(q.failed_dir().join("b-second.error")).unwrap();
         assert_eq!(err, "boom\n");
         assert!(q.claim_next().unwrap().is_none());

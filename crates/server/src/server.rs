@@ -20,6 +20,13 @@
 //! at `TraceLevel::None`). Clients reach the server through the file
 //! queue directly or via [`Server::listen`]'s JSONL socket; Prometheus
 //! text is served by [`Server::serve_metrics`].
+//!
+//! Live observability rides on top (DESIGN.md §16): an [`EventHub`]
+//! fans trial progress, periodic [`TsFrame`]s from the monitor thread,
+//! and SLO [`Alert`](crate::stream::Alert)s out to `watch`/`subscribe`
+//! connections. Publishing is strictly fire-and-forget — a slow or
+//! stalled subscriber loses lines (counted), never slows a worker — so
+//! job artifacts stay byte-identical with or without watchers attached.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -29,8 +36,9 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use fading_cr::jobspec::JobSpec;
-use fading_cr::sim::montecarlo::{run_trials_supervised_with_manifest, ShardedRun, Summary};
-use fading_cr::sim::obs::EngineCounters;
+use fading_cr::sim::montecarlo::{run_trials_supervised_with_manifest_observed, ShardedRun, Summary};
+use fading_cr::sim::obs::timeseries::{frame_to_json, TimeSeries, TsFrame};
+use fading_cr::sim::obs::{EngineCounters, NoopProgress, ProgressEvent, ProgressSink};
 use fading_cr::sim::recover::{trial_line, SupervisorConfig, TrialManifest};
 use fading_cr::sim::telemetry::jsonl::write_events_to_path;
 use fading_cr::sim::telemetry::{MemorySink, MetricsRegistry, TelemetryDetail};
@@ -38,8 +46,9 @@ use fading_cr::sim::RunResult;
 
 use crate::interrupt;
 use crate::metrics::ServerMetrics;
-use crate::protocol::{error_response, ok_response, parse_request, JobState, Request};
+use crate::protocol::{error_response, json_escape, ok_response, parse_request, JobState, Request};
 use crate::queue::JobQueue;
+use crate::stream::{with_job_fields, EventHub, SloRules, SloWatch, Subscription};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -103,12 +112,41 @@ impl ExitPolicy {
     }
 }
 
+/// Monitor-thread tunables (see [`Server::start_monitor`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Sampling cadence for time-series frames and SLO checks.
+    pub interval: Duration,
+    /// SLO thresholds; all-`None` disables alerting but keeps frames.
+    pub rules: SloRules,
+    /// Ring-buffer capacity, in frames.
+    pub ring_capacity: usize,
+    /// How many recent frames windowed rates and rules look back over.
+    pub rate_window: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            interval: Duration::from_millis(250),
+            rules: SloRules::default(),
+            ring_capacity: 512,
+            rate_window: 16,
+        }
+    }
+}
+
 struct Inner {
     cfg: ServerConfig,
     queue: JobQueue,
     metrics: ServerMetrics,
     stop: AtomicBool,
     drain: AtomicBool,
+    hub: EventHub,
+    started: Instant,
+    timeseries: Mutex<TimeSeries>,
+    monitor_stop: AtomicBool,
+    monitor_running: AtomicBool,
 }
 
 /// The job server; cheap to clone (all state is shared).
@@ -140,8 +178,114 @@ impl Server {
                 metrics: ServerMetrics::new(),
                 stop: AtomicBool::new(false),
                 drain: AtomicBool::new(false),
+                hub: EventHub::new(),
+                started: Instant::now(),
+                timeseries: Mutex::new(TimeSeries::new(
+                    MonitorConfig::default().ring_capacity,
+                )),
+                monitor_stop: AtomicBool::new(false),
+                monitor_running: AtomicBool::new(false),
             }),
         })
+    }
+
+    /// The live-event hub (attach in-process subscribers directly; socket
+    /// clients use the `watch`/`subscribe` verbs).
+    #[must_use]
+    pub fn hub(&self) -> &EventHub {
+        &self.inner.hub
+    }
+
+    /// Milliseconds since this server instance was opened (the `t_ms`
+    /// clock stamped onto every streamed event).
+    #[must_use]
+    pub fn t_ms(&self) -> u64 {
+        u64::try_from(self.inner.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// A copy of the monitor's recorded frames, oldest first.
+    #[must_use]
+    pub fn timeseries_frames(&self) -> Vec<TsFrame> {
+        self.inner
+            .timeseries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .frames()
+            .copied()
+            .collect()
+    }
+
+    /// Starts the monitor thread: every `interval` it samples the metrics
+    /// into the time-series ring, publishes a `frame` event, refreshes the
+    /// queue-depth gauge, evaluates the SLO rules (publishing `alert`
+    /// events and bumping the alert counters), and mirrors the hub's
+    /// dropped-line total into the scrape. Idempotent: a second call while
+    /// the monitor runs is a no-op. Runs detached until
+    /// [`stop_monitor`](Self::stop_monitor) or process exit.
+    pub fn start_monitor(&self, cfg: MonitorConfig) {
+        if self.inner.monitor_running.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.monitor_stop.store(false, Ordering::SeqCst);
+        {
+            let mut ts = self
+                .inner
+                .timeseries
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            *ts = TimeSeries::new(cfg.ring_capacity);
+        }
+        let server = self.clone();
+        std::thread::spawn(move || server.monitor_loop(cfg));
+    }
+
+    /// Asks the monitor thread to exit after its current tick.
+    pub fn stop_monitor(&self) {
+        self.inner.monitor_stop.store(true, Ordering::SeqCst);
+    }
+
+    fn monitor_loop(&self, cfg: MonitorConfig) {
+        let inner = &*self.inner;
+        let mut watch = SloWatch::new(cfg.rules);
+        // Baseline sample so the first sleep's frame has a predecessor.
+        self.monitor_tick(&mut watch, cfg.rate_window);
+        while !inner.monitor_stop.load(Ordering::SeqCst) && !inner.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(cfg.interval);
+            self.monitor_tick(&mut watch, cfg.rate_window);
+        }
+        inner.monitor_running.store(false, Ordering::SeqCst);
+    }
+
+    fn monitor_tick(&self, watch: &mut SloWatch, rate_window: usize) {
+        let inner = &*self.inner;
+        if let Ok(depth) = inner.queue.depth() {
+            inner.metrics.set_queue_depth(depth as u64);
+        }
+        inner.metrics.set_watch_dropped(inner.hub.dropped_total());
+        let t_ms = self.t_ms();
+        let sample = inner.metrics.ts_sample(t_ms);
+        let (frame, alerts) = {
+            let mut ts = inner
+                .timeseries
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let frame = ts.record(sample);
+            let alerts = watch.check(&ts, rate_window, t_ms);
+            (frame, alerts)
+        };
+        if let Some(frame) = frame {
+            if inner.hub.has_subscribers() {
+                let body = frame_to_json(&frame);
+                let line = body
+                    .strip_prefix('{')
+                    .map_or(body.clone(), |rest| format!("{{\"event\":\"frame\",{rest}"));
+                inner.hub.publish_frame(&line);
+            }
+        }
+        for alert in alerts {
+            inner.metrics.record_alert(&alert.rule);
+            inner.hub.publish_alert(&alert.to_json());
+        }
     }
 
     /// The underlying queue.
@@ -270,8 +414,37 @@ impl Server {
             }
         };
         inner.metrics.record_started();
-        match run_job(&inner.queue, &inner.cfg, &spec) {
+        if inner.hub.has_subscribers() {
+            inner.hub.publish_progress(
+                &spec.id,
+                &format!(
+                    "{{\"event\":\"job_started\",\"job\":\"{}\",\"t_ms\":{},\"trials\":{}}}",
+                    json_escape(&spec.id),
+                    self.t_ms(),
+                    spec.trials
+                ),
+            );
+        }
+        let progress = ServerProgress {
+            metrics: &inner.metrics,
+            hub: &inner.hub,
+            job: &spec.id,
+            epoch: inner.started,
+        };
+        match run_job_observed(&inner.queue, &inner.cfg, &spec, &progress) {
             Ok(report) => {
+                if inner.hub.has_subscribers() {
+                    inner.hub.publish_progress(
+                        &spec.id,
+                        &format!(
+                            "{{\"event\":\"job_done\",\"job\":\"{}\",\"t_ms\":{},\"succeeded\":{},\"resumed\":{}}}",
+                            json_escape(&spec.id),
+                            self.t_ms(),
+                            report.run.summary.succeeded,
+                            report.run.resumed
+                        ),
+                    );
+                }
                 inner.metrics.record_completed(
                     started.elapsed(),
                     &report.run.summary,
@@ -282,6 +455,17 @@ impl Server {
                 let _ = inner.queue.finish(running, None);
             }
             Err(e) => {
+                if inner.hub.has_subscribers() {
+                    inner.hub.publish_progress(
+                        &spec.id,
+                        &format!(
+                            "{{\"event\":\"job_failed\",\"job\":\"{}\",\"t_ms\":{},\"error\":\"{}\"}}",
+                            json_escape(&spec.id),
+                            self.t_ms(),
+                            json_escape(&e)
+                        ),
+                    );
+                }
                 inner.metrics.record_failed();
                 let _ = inner.queue.finish(running, Some(&e));
             }
@@ -320,19 +504,70 @@ impl Server {
             if line.trim().is_empty() {
                 continue;
             }
-            let response = self.handle_request(&line);
-            if writer
-                .write_all(format!("{response}\n").as_bytes())
-                .is_err()
-            {
-                break;
+            // `watch`/`subscribe` flip the connection into streaming mode
+            // and never come back to request/response.
+            match parse_request(&line) {
+                Ok(Request::Watch { id }) => {
+                    self.stream_events(&mut writer, id, true);
+                    return;
+                }
+                Ok(Request::Subscribe { id }) => {
+                    self.stream_events(&mut writer, id, false);
+                    return;
+                }
+                parsed => {
+                    let response = self.handle_request(parsed);
+                    if writer
+                        .write_all(format!("{response}\n").as_bytes())
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
             }
         }
     }
 
-    fn handle_request(&self, line: &str) -> String {
+    /// The post-ack half of a `watch`/`subscribe` connection: pump hub
+    /// lines to the socket until the client hangs up or the server stops.
+    /// Idle stretches get a blank keepalive line (clients skip empty
+    /// lines) so a vanished client is still detected within a few
+    /// seconds even when no events flow.
+    fn stream_events(&self, writer: &mut TcpStream, id: Option<String>, frames: bool) {
+        let sub = self.inner.hub.subscribe(Subscription {
+            job: id,
+            frames,
+            capacity: 0,
+        });
+        let ack = ok_response(&[("streaming", "true".to_string())]);
+        if writer.write_all(format!("{ack}\n").as_bytes()).is_err() {
+            return;
+        }
+        let mut idle_ticks = 0u32;
+        loop {
+            if let Some(line) = sub.recv_timeout(Duration::from_millis(250)) {
+                idle_ticks = 0;
+                if writer.write_all(format!("{line}\n").as_bytes()).is_err() {
+                    return;
+                }
+            } else {
+                if self.inner.stop.load(Ordering::SeqCst) || interrupt::interrupted() {
+                    return;
+                }
+                idle_ticks += 1;
+                if idle_ticks >= 8 {
+                    idle_ticks = 0;
+                    if writer.write_all(b"\n").is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_request(&self, parsed: Result<Request, String>) -> String {
         let inner = &*self.inner;
-        match parse_request(line) {
+        match parsed {
             Err(msg) => {
                 inner.metrics.record_rejected();
                 error_response(&msg)
@@ -356,13 +591,34 @@ impl Server {
                 ])
             }
             Ok(Request::Stats) => {
-                let depth = inner.queue.depth().unwrap_or(0);
-                ok_response(&[
+                let depths = inner.queue.state_depths().unwrap_or_default();
+                let mut fields = vec![
                     ("completed", inner.metrics.jobs_completed().to_string()),
                     ("failed", inner.metrics.jobs_failed().to_string()),
                     ("in_flight", inner.metrics.jobs_in_flight().to_string()),
-                    ("queue_depth", depth.to_string()),
-                ])
+                    ("queue_depth", depths.incoming.to_string()),
+                    (
+                        "states",
+                        format!(
+                            "{{\"queued\":{},\"running\":{},\"done\":{},\"failed\":{}}}",
+                            depths.incoming, depths.running, depths.done, depths.failed
+                        ),
+                    ),
+                    ("watch_dropped", inner.hub.dropped_total().to_string()),
+                ];
+                if let Some((p50, p95, p99)) = inner.metrics.latency_quantiles() {
+                    fields.push((
+                        "latency_ms",
+                        format!("{{\"p50\":{p50:?},\"p95\":{p95:?},\"p99\":{p99:?}}}"),
+                    ));
+                }
+                ok_response(&fields)
+            }
+            // Streaming verbs are intercepted in `serve_connection`; seeing
+            // one here means the transport can't stream (shouldn't happen
+            // over the socket).
+            Ok(Request::Watch { .. } | Request::Subscribe { .. }) => {
+                error_response("watch/subscribe require a streaming connection")
             }
             Ok(Request::Shutdown) => {
                 inner.drain.store(true, Ordering::SeqCst);
@@ -401,6 +657,28 @@ impl Server {
     }
 }
 
+/// The per-job progress sink: tallies every event into the live metrics
+/// and — only when someone is watching — formats it onto the hub with
+/// the job id and server clock spliced in. The hub path is try-push all
+/// the way down, so this sink never blocks a trial thread.
+struct ServerProgress<'a> {
+    metrics: &'a ServerMetrics,
+    hub: &'a EventHub,
+    job: &'a str,
+    epoch: Instant,
+}
+
+impl ProgressSink for ServerProgress<'_> {
+    fn on_event(&self, event: &ProgressEvent) {
+        self.metrics.record_progress(event);
+        if self.hub.has_subscribers() {
+            let t_ms = u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX);
+            self.hub
+                .publish_progress(self.job, &with_job_fields(&event.to_json(), self.job, t_ms));
+        }
+    }
+}
+
 /// What one completed job reports back.
 #[derive(Debug)]
 pub struct JobReport {
@@ -420,6 +698,22 @@ pub struct JobReport {
 /// A human-readable failure reason (spec invalid, manifest IO/corruption,
 /// or artifact write errors).
 pub fn run_job(queue: &JobQueue, cfg: &ServerConfig, spec: &JobSpec) -> Result<JobReport, String> {
+    run_job_observed(queue, cfg, spec, &NoopProgress)
+}
+
+/// [`run_job`] with a progress sink observing every trial event. The
+/// unobserved form is this one with [`NoopProgress`] — one code path, so
+/// attaching a sink cannot change results.
+///
+/// # Errors
+///
+/// Same as [`run_job`].
+pub fn run_job_observed(
+    queue: &JobQueue,
+    cfg: &ServerConfig,
+    spec: &JobSpec,
+    progress: &dyn ProgressSink,
+) -> Result<JobReport, String> {
     let scenario = Arc::new(spec.build_scenario().map_err(|e| e.to_string())?);
     let job_dir = queue.job_dir(&spec.id);
     std::fs::create_dir_all(&job_dir).map_err(|e| format!("creating job dir: {e}"))?;
@@ -472,12 +766,13 @@ pub fn run_job(queue: &JobQueue, cfg: &ServerConfig, spec: &JobSpec) -> Result<J
         }
     };
 
-    let run = run_trials_supervised_with_manifest(
+    let run = run_trials_supervised_with_manifest_observed(
         spec.trials,
         cfg.trial_threads,
         spec.seed_base,
         &cfg.supervisor,
         &mut manifest,
+        progress,
         trial_fn,
     )
     .map_err(|e| format!("trial fleet failed: {e}"))?;
@@ -595,6 +890,44 @@ mod tests {
         assert_eq!(server.job_state("broken"), JobState::Failed);
         let err = std::fs::read_to_string(server.queue().failed_dir().join("broken.error")).unwrap();
         assert!(!err.trim().is_empty());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn hub_subscribers_see_seed_ordered_progress_and_lifecycle() {
+        let root = tmp_root("watch-unit");
+        let server = Server::open(&root, ServerConfig::default()).unwrap();
+        let sub = server.hub().subscribe(Subscription::watch_all());
+        let mut spec = JobSpec::example("w1");
+        spec.trials = 3;
+        server.queue().submit(&spec).unwrap();
+        server.run(ExitPolicy::drain());
+
+        let lines = sub.drain();
+        assert!(lines[0].contains("\"event\":\"job_started\""), "{lines:?}");
+        assert!(
+            lines.last().unwrap().contains("\"event\":\"job_done\""),
+            "{lines:?}"
+        );
+        // With the default single trial thread, trial events arrive in
+        // strict seed order: started/finished pairs for each seed.
+        let trials: Vec<ProgressEvent> = lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"trial_"))
+            .map(|l| ProgressEvent::from_json(l).expect("spliced lines parse"))
+            .collect();
+        assert_eq!(trials.len(), 6);
+        for (i, pair) in trials.chunks(2).enumerate() {
+            let seed = spec.seed_base + i as u64;
+            assert!(
+                matches!(pair[0], ProgressEvent::TrialStarted { seed: s } if s == seed),
+                "{pair:?}"
+            );
+            assert!(
+                matches!(pair[1], ProgressEvent::TrialFinished { seed: s, .. } if s == seed),
+                "{pair:?}"
+            );
+        }
         std::fs::remove_dir_all(&root).ok();
     }
 

@@ -94,7 +94,10 @@ pub mod telemetry;
 
 pub use action::Action;
 pub use faults::{FaultError, FaultPlan};
-pub use obs::{EngineCounters, ResolvePath, SpanGuard, SpanRecord, Tracer};
+pub use obs::{
+    EngineCounters, MemoryProgress, NoopProgress, ProgressEvent, ProgressSink, Rates,
+    ResolvePath, SpanGuard, SpanRecord, TimeSeries, Tracer, TsFrame, TsSample,
+};
 pub use pool::StealPool;
 pub use protocol::{Protocol, ProtocolStateError};
 pub use recover::{

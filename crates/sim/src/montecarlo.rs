@@ -12,9 +12,10 @@ use std::sync::{Arc, Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
+use crate::obs::progress::{NoopProgress, ProgressSink};
 use crate::recover::{
-    supervise_trial, FleetSummary, SnapshotError, SupervisedRun, SupervisorConfig, TrialFn,
-    TrialManifest, TrialOutcome,
+    supervise_trial_observed, FleetSummary, SnapshotError, SupervisedRun, SupervisorConfig,
+    TrialFn, TrialManifest, TrialOutcome,
 };
 use crate::RunResult;
 
@@ -141,6 +142,31 @@ pub fn run_trials_supervised<F>(
 where
     F: Fn(u64) -> RunResult + Send + Sync + 'static,
 {
+    run_trials_supervised_observed(trials, threads, seed_base, cfg, &NoopProgress, f)
+}
+
+/// [`run_trials_supervised`] with live progress: every trial transition
+/// (started / retried / finished / timed-out / poisoned) is delivered to
+/// `sink` as a typed [`ProgressEvent`](crate::obs::ProgressEvent) from
+/// the worker thread supervising that trial, as it happens.
+///
+/// The sink only observes — outcomes, ordering, and the returned
+/// [`SupervisedRun`] are byte-identical to the unobserved runner
+/// (`run_trials_supervised` *is* this function with a
+/// [`NoopProgress`](crate::obs::NoopProgress) sink). Events from
+/// different seeds interleave by scheduling; within one seed the sequence
+/// is always started → retried\* → terminal.
+pub fn run_trials_supervised_observed<F>(
+    trials: usize,
+    threads: usize,
+    seed_base: u64,
+    cfg: &SupervisorConfig,
+    sink: &dyn ProgressSink,
+    f: F,
+) -> SupervisedRun
+where
+    F: Fn(u64) -> RunResult + Send + Sync + 'static,
+{
     let trial: Arc<TrialFn> = Arc::new(f);
     let threads = threads.max(1).min(trials.max(1));
     let next = AtomicUsize::new(0);
@@ -152,7 +178,7 @@ where
                 if i >= trials {
                     break;
                 }
-                let outcome = supervise_trial(cfg, seed_base + i as u64, &trial);
+                let outcome = supervise_trial_observed(cfg, seed_base + i as u64, &trial, sink);
                 // `supervise_trial` never unwinds, but mirror
                 // `run_trials_with`'s poison recovery for uniformity.
                 slots
@@ -296,6 +322,42 @@ pub fn run_trials_supervised_with_manifest<F>(
 where
     F: Fn(u64) -> RunResult + Send + Sync + 'static,
 {
+    run_trials_supervised_with_manifest_observed(
+        trials,
+        threads,
+        seed_base,
+        cfg,
+        manifest,
+        &NoopProgress,
+        f,
+    )
+}
+
+/// [`run_trials_supervised_with_manifest`] with live progress delivered
+/// to `progress`, exactly as in [`run_trials_supervised_observed`].
+///
+/// Resumed trials (seeds already in the manifest) emit **no** events —
+/// they completed in an earlier incarnation; only freshly-run seeds are
+/// observed. The sink cannot perturb results: the service-path
+/// determinism drill pins a watched run byte-identical to an unwatched
+/// one, stalled subscriber included.
+///
+/// # Errors
+///
+/// [`SnapshotError::Io`] when appending to the manifest fails; the first
+/// failure is latched and aborts recording (in-flight trials still finish).
+pub fn run_trials_supervised_with_manifest_observed<F>(
+    trials: usize,
+    threads: usize,
+    seed_base: u64,
+    cfg: &SupervisorConfig,
+    manifest: &mut TrialManifest,
+    progress: &dyn ProgressSink,
+    f: F,
+) -> Result<ShardedRun, SnapshotError>
+where
+    F: Fn(u64) -> RunResult + Send + Sync + 'static,
+{
     let trial: Arc<TrialFn> = Arc::new(f);
     let pending: Vec<u64> = (0..trials as u64)
         .map(|i| seed_base + i)
@@ -316,7 +378,7 @@ where
                 if i >= pending.len() {
                     break;
                 }
-                let outcome = supervise_trial(cfg, pending[i], &trial);
+                let outcome = supervise_trial_observed(cfg, pending[i], &trial, progress);
                 if let Some(result) = outcome.result() {
                     let mut guard = sink.lock().unwrap_or_else(PoisonError::into_inner);
                     let (manifest, err) = &mut *guard;
@@ -784,6 +846,65 @@ mod tests {
             .map(|r| r.as_ref().unwrap().resolved_at().unwrap())
             .collect();
         assert_eq!(rounds, vec![71, 72, 73, 74], "seed order preserved");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn observed_runner_matches_unobserved_and_orders_events_per_seed() {
+        use crate::obs::progress::{MemoryProgress, ProgressEvent};
+        let f = |seed: u64| result_with_rounds(Some(seed + 2));
+        let cfg = SupervisorConfig::default();
+        let plain = run_trials_supervised(10, 4, 30, &cfg, f);
+        let sink = MemoryProgress::new();
+        let observed = run_trials_supervised_observed(10, 4, 30, &cfg, &sink, f);
+        assert_eq!(plain.summary, observed.summary);
+        for (a, b) in plain.outcomes.iter().zip(&observed.outcomes) {
+            assert_eq!(a.seed(), b.seed());
+            assert_eq!(a.result(), b.result(), "a sink must not perturb results");
+        }
+        let events = sink.take();
+        assert_eq!(events.len(), 20, "started + finished per trial");
+        for seed in 30..40u64 {
+            let per_seed: Vec<&ProgressEvent> =
+                events.iter().filter(|e| e.seed() == seed).collect();
+            assert_eq!(per_seed.len(), 2);
+            assert!(matches!(per_seed[0], ProgressEvent::TrialStarted { .. }));
+            assert!(matches!(
+                per_seed[1],
+                ProgressEvent::TrialFinished { rounds, resolved: true, retries: 0, .. }
+                    if *rounds == seed + 2
+            ));
+        }
+    }
+
+    #[test]
+    fn observed_manifest_runner_skips_events_for_resumed_seeds() {
+        use crate::obs::progress::MemoryProgress;
+        let dir = std::env::temp_dir().join("fading-sim-observed-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.jsonl");
+        std::fs::remove_file(&path).ok();
+        let cfg = SupervisorConfig::default();
+        let f = |seed: u64| result_with_rounds(Some(seed + 1));
+
+        let mut first = crate::TrialManifest::open(&path).unwrap();
+        let sink = MemoryProgress::new();
+        let run = run_trials_supervised_with_manifest_observed(3, 2, 90, &cfg, &mut first, &sink, f)
+            .unwrap();
+        assert!(run.complete());
+        assert_eq!(sink.take().len(), 6);
+        drop(first);
+
+        // Resume over the same manifest: all 5 seeds satisfied means only
+        // the 2 fresh ones emit events.
+        let mut second = crate::TrialManifest::open(&path).unwrap();
+        let run2 =
+            run_trials_supervised_with_manifest_observed(5, 2, 90, &cfg, &mut second, &sink, f)
+                .unwrap();
+        assert_eq!(run2.resumed, 3);
+        let events = sink.take();
+        assert_eq!(events.len(), 4, "resumed seeds are silent");
+        assert!(events.iter().all(|e| e.seed() >= 93));
         std::fs::remove_file(&path).ok();
     }
 

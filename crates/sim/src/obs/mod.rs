@@ -21,15 +21,28 @@
 //!   and collapsed-stack flamegraph text. Every format has a parser, so
 //!   round-trips are tested rather than assumed.
 //!
+//! * [`progress`] — typed supervised-trial progress events
+//!   ([`ProgressEvent`]) delivered to a [`ProgressSink`] by the observed
+//!   Monte-Carlo runners, so a fleet is no longer a black box between
+//!   submit and summary.
+//! * [`timeseries`] — a fixed-capacity ring-buffer recorder that turns
+//!   periodic counter snapshots ([`TsSample`]) into monotonic deltas
+//!   ([`TsFrame`]) with windowed rates, for live dashboards.
+//!
 //! Nothing here participates in the determinism contract: attaching a
 //! tracer never changes a run's outcome (spans only *observe* the step
-//! loop), and wall-clock measurements differ between byte-identical runs.
+//! loop), attaching a progress sink never changes a trial's result, and
+//! wall-clock measurements differ between byte-identical runs.
 //!
 //! [`FarFieldStats`]: fading_channel::FarFieldStats
 
 mod counters;
 pub mod export;
+pub mod progress;
+pub mod timeseries;
 mod tracer;
 
 pub use counters::{EngineCounters, ResolvePath};
+pub use progress::{MemoryProgress, NoopProgress, ProgressEvent, ProgressSink};
+pub use timeseries::{Rates, TimeSeries, TsFrame, TsSample};
 pub use tracer::{SpanGuard, SpanRecord, Tracer};

@@ -28,6 +28,6 @@ pub mod supervisor;
 pub use manifest::{trial_line, TrialManifest};
 pub use snapshot::{SimSnapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use supervisor::{
-    supervise_trial, FleetSummary, PanicKind, SupervisedRun, SupervisorConfig, TrialFn,
-    TrialOutcome,
+    supervise_trial, supervise_trial_observed, FleetSummary, PanicKind, SupervisedRun,
+    SupervisorConfig, TrialFn, TrialOutcome,
 };

@@ -19,6 +19,7 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
+use crate::obs::progress::{NoopProgress, ProgressEvent, ProgressSink};
 use crate::result::RunResult;
 
 /// The supervised trial closure: seed in, result out. `'static` because
@@ -88,6 +89,20 @@ impl PanicKind {
             PanicKind::UnwrapFailed => "unwrap_failed",
             PanicKind::Other => "other",
         }
+    }
+
+    /// Inverse of [`PanicKind::name`] (used by the progress-event parser).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<PanicKind> {
+        [
+            PanicKind::IndexOutOfBounds,
+            PanicKind::ArithmeticOverflow,
+            PanicKind::Assertion,
+            PanicKind::UnwrapFailed,
+            PanicKind::Other,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
     }
 }
 
@@ -317,7 +332,27 @@ fn attempt_with_watchdog(trial: &Arc<TrialFn>, seed: u64, timeout: Duration) -> 
 /// keeps supervision overhead within the bench gate's 2% budget.
 #[must_use]
 pub fn supervise_trial(cfg: &SupervisorConfig, seed: u64, trial: &Arc<TrialFn>) -> TrialOutcome {
+    supervise_trial_observed(cfg, seed, trial, &NoopProgress)
+}
+
+/// [`supervise_trial`] with live progress: emits [`ProgressEvent`]s into
+/// `sink` around the same supervision loop — `TrialStarted` before the
+/// first attempt, `TrialRetried` before each re-run, and exactly one
+/// terminal event mirroring the returned [`TrialOutcome`].
+///
+/// The sink only observes: it is called on this thread (never on the
+/// watchdog's trial thread), it cannot alter the outcome, and
+/// `supervise_trial` is literally this function with a no-op sink — so
+/// observed and unobserved supervision are the same code path.
+#[must_use]
+pub fn supervise_trial_observed(
+    cfg: &SupervisorConfig,
+    seed: u64,
+    trial: &Arc<TrialFn>,
+    sink: &dyn ProgressSink,
+) -> TrialOutcome {
     let mut retries = 0;
+    sink.on_event(&ProgressEvent::TrialStarted { seed });
     loop {
         let attempt = match cfg.timeout {
             None => match panic::catch_unwind(AssertUnwindSafe(|| trial(seed))) {
@@ -328,16 +363,27 @@ pub fn supervise_trial(cfg: &SupervisorConfig, seed: u64, trial: &Arc<TrialFn>) 
         };
         match attempt {
             Attempt::Completed(result) => {
+                sink.on_event(&ProgressEvent::TrialFinished {
+                    seed,
+                    rounds: result.rounds_executed(),
+                    resolved: result.resolved(),
+                    retries,
+                });
                 return TrialOutcome::Succeeded {
                     seed,
                     result,
                     retries,
-                }
+                };
             }
             Attempt::TimedOut => {
                 // recv_timeout already consumed the budget; unwrap is
                 // safe by construction (only the Some branch times out).
                 let timeout = cfg.timeout.unwrap_or_default();
+                sink.on_event(&ProgressEvent::TrialTimedOut {
+                    seed,
+                    timeout_ms: timeout.as_millis() as u64,
+                    retries,
+                });
                 return TrialOutcome::TimedOut {
                     seed,
                     timeout,
@@ -346,14 +392,21 @@ pub fn supervise_trial(cfg: &SupervisorConfig, seed: u64, trial: &Arc<TrialFn>) 
             }
             Attempt::Panicked(message) => {
                 if retries >= cfg.max_retries {
+                    let kind = PanicKind::classify(&message);
+                    sink.on_event(&ProgressEvent::TrialPoisoned {
+                        seed,
+                        kind,
+                        retries,
+                    });
                     return TrialOutcome::Panicked {
                         seed,
-                        kind: PanicKind::classify(&message),
+                        kind,
                         message,
                         retries,
                     };
                 }
                 retries += 1;
+                sink.on_event(&ProgressEvent::TrialRetried { seed, retries });
             }
         }
     }

@@ -256,9 +256,17 @@ impl JsonValue {
     }
 }
 
+/// Maximum container nesting the parser accepts. The writers in this
+/// workspace emit at most ~4 levels; the guard exists so adversarial
+/// input (`[[[[…`) is a clean `Parse` error instead of a stack overflow
+/// in the recursive descent (the control socket feeds untrusted bytes
+/// straight into [`parse_json`]).
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -266,7 +274,19 @@ impl<'a> Parser<'a> {
         Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(parse_err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
     }
 
     fn skip_ws(&mut self) {
@@ -400,11 +420,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self) -> Result<JsonValue, JsonlError> {
+        self.enter()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -416,6 +438,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Arr(items));
                 }
                 _ => return Err(parse_err(format!("expected ',' or ']' at byte {}", self.pos))),
@@ -424,11 +447,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self) -> Result<JsonValue, JsonlError> {
+        self.enter()?;
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Obj(fields));
         }
         loop {
@@ -445,6 +470,7 @@ impl<'a> Parser<'a> {
                 }
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Obj(fields));
                 }
                 _ => return Err(parse_err(format!("expected ',' or '}}' at byte {}", self.pos))),
